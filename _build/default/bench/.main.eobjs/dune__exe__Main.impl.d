@@ -1,0 +1,1 @@
+bench/main.ml: Analyze Array Bechamel Benchmark Float Format Hashtbl Instance List Measure Mm_boolfun Mm_core Mm_device Mm_report Mm_sat Paper_data Printf Staged String Sys Test Time Toolkit Unix

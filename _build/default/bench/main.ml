@@ -1,0 +1,739 @@
+(* Experiment harness: one sub-command per table/figure of the paper, plus
+   ablations and a Bechamel micro-benchmark suite. Running with no argument
+   executes every reproduction in sequence. See DESIGN.md for the index. *)
+
+module Tt = Mm_boolfun.Truth_table
+module Literal = Mm_boolfun.Literal
+module Spec = Mm_boolfun.Spec
+module Arith = Mm_boolfun.Arith
+module Gf = Mm_boolfun.Gf
+module C = Mm_core.Circuit
+module E = Mm_core.Encode
+module Synth = Mm_core.Synth
+module U = Mm_core.Universality
+module Vop = Mm_core.Vop
+module Baseline = Mm_core.Baseline
+module Metrics = Mm_core.Metrics
+module Reference = Mm_core.Reference
+module Schedule = Mm_core.Schedule
+module Reliability = Mm_core.Reliability
+module Table = Mm_report.Table
+module Variation = Mm_device.Variation
+module Xbar = Mm_core.Xbar_schedule
+module Heuristic = Mm_core.Heuristic
+
+let section title = Printf.printf "\n=== %s ===\n\n%!" title
+
+let human n =
+  if n >= 1_000_000 then Printf.sprintf "%.1fM" (float_of_int n /. 1e6)
+  else if n >= 10_000 then Printf.sprintf "%.1fK" (float_of_int n /. 1e3)
+  else string_of_int n
+
+let verdict_string = function
+  | Synth.Sat _ -> "SAT"
+  | Synth.Unsat -> "UNSAT"
+  | Synth.Timeout -> "timeout"
+
+(* ------------------------------------------------------------------ *)
+(* Table I: V-op behaviour of a single device, logical and electrical  *)
+(* ------------------------------------------------------------------ *)
+
+let table1 () =
+  section "Table I: voltage-input behaviour V-op(s, TE, BE)";
+  let t = Table.create [ "s"; "TE"; "BE"; "next s (model)"; "next s (simulator)" ] in
+  let params = Mm_device.Device.default_params in
+  List.iter
+    (fun (s, te, be, next) ->
+      let d = Mm_device.Device.create ~rng:(Mm_device.Rng.create 1) params in
+      Mm_device.Device.set_state d s;
+      let pulse b = if b then params.Mm_device.Device.v_write else 0.0 in
+      ignore (Mm_device.Device.apply d ~v_te:(pulse te) ~v_be:(pulse be));
+      let electrical = Mm_device.Device.state d in
+      let b x = if x then "1" else "0" in
+      Table.add_row t [ b s; b te; b be; b next; b electrical ];
+      assert (electrical = next))
+    Vop.table1;
+  Table.print t;
+  Printf.printf "\nAll 8 rows agree between the logical model and the electrical simulator.\n"
+
+(* ------------------------------------------------------------------ *)
+(* Table II: AND4/NAND4/OR4/NOR4 with V-ops only on a shared-BE array   *)
+(* ------------------------------------------------------------------ *)
+
+let print_vleg_table ?names c =
+  let names =
+    match names with
+    | Some n -> n
+    | None ->
+      (* label each leg by the outputs that tap it *)
+      let output_names = [| "AND4"; "NAND4"; "OR4"; "NOR4" |] in
+      Array.init (C.n_legs c) (fun l ->
+          let tapped =
+            List.filteri (fun _ _ -> true)
+              (List.concat
+                 (List.mapi
+                    (fun o src ->
+                      match src with
+                      | C.From_leg l' when l' = l -> [ output_names.(o) ]
+                      | C.From_vop (l', _) when l' = l -> [ output_names.(o) ]
+                      | C.From_leg _ | C.From_vop _ | C.From_rop _
+                      | C.From_literal _ -> [])
+                    (Array.to_list c.C.outputs)))
+          in
+          match tapped with
+          | [] -> Printf.sprintf "leg %d" (l + 1)
+          | l -> String.concat "/" l)
+  in
+  let t =
+    Table.create
+      ([ "step" ]
+      @ Array.to_list (Array.map (fun n -> "TE " ^ n) names)
+      @ [ "shared BE" ])
+  in
+  for s = 0 to C.steps_per_leg c - 1 do
+    Table.add_row t
+      ([ string_of_int (s + 1) ]
+      @ List.init (C.n_legs c) (fun l -> Literal.to_string c.C.legs.(l).(s).C.te)
+      @ [ Literal.to_string c.C.legs.(0).(s).C.be ])
+  done;
+  Table.print t;
+  print_newline ();
+  let st = Table.create ([ "state" ] @ Array.to_list names) in
+  for s = 0 to C.steps_per_leg c - 1 do
+    Table.add_row st
+      ([ Printf.sprintf "s%d" (s + 1) ]
+      @ List.init (C.n_legs c) (fun l -> Tt.to_string (C.leg_value c ~leg:l ~step:s)))
+  done;
+  Table.print st
+
+let table2 ~budget () =
+  section "Table II: 4-input AND/NAND/OR/NOR by V-ops only (shared BE)";
+  Printf.printf "Reference schedule transcribed from the paper:\n\n";
+  let ref_c = Reference.table2_circuit () in
+  print_vleg_table ~names:[| "AND4"; "NAND4"; "OR4"; "NOR4" |] ref_c;
+  (match C.realizes ref_c Arith.table2_spec with
+   | Ok () -> Printf.printf "\nReference schedule verified on all 16 rows.\n"
+   | Error row -> Printf.printf "\nREFERENCE WRONG on row %d!\n" row);
+  Printf.printf
+    "\nRe-synthesizing the same 4-output function from scratch (N_R=0, 4 legs, 5 steps):\n%!";
+  let cfg = E.config ~n_legs:4 ~steps_per_leg:5 ~n_rops:0 () in
+  let a = Synth.solve_instance ~timeout:budget cfg Arith.table2_spec in
+  Printf.printf "  %s in %.1fs (%d vars, %d clauses)\n" (verdict_string a.Synth.verdict)
+    a.Synth.time_s a.Synth.vars a.Synth.clauses;
+  match a.Synth.verdict with
+  | Synth.Sat c ->
+    print_newline ();
+    print_vleg_table c;
+    let plan = Schedule.plan c in
+    let failures = Schedule.verify plan Arith.table2_spec in
+    Printf.printf "\nSynthesized schedule on the electrical simulator: %d failing rows.\n"
+      (List.length failures)
+  | Synth.Unsat | Synth.Timeout -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Table III: universality counts                                      *)
+(* ------------------------------------------------------------------ *)
+
+let table3 ~full () =
+  section "Table III: numbers of realizable 3- and 4-input functions";
+  if not full then
+    Printf.printf
+      "(the n=4 cell of row (0,0,2) takes ~40s and is skipped; pass --full to include it)\n\n";
+  let t =
+    Table.create
+      [ "k_pre"; "k_post"; "k_TEBE"; "N3"; "N3 paper"; "N4"; "N4 paper"; "match" ]
+  in
+  List.iter
+    (fun ((k_pre, k_post, k_tebe) as row) ->
+      let e3, e4 = U.paper_expected row in
+      let n3 = U.count ~n:3 ~k_pre ~k_post ~k_tebe in
+      let skip_n4 = (not full) && row = (0, 0, 2) in
+      let n4 = if skip_n4 then -1 else U.count ~n:4 ~k_pre ~k_post ~k_tebe in
+      Table.add_row t
+        [
+          string_of_int k_pre;
+          string_of_int k_post;
+          string_of_int k_tebe;
+          string_of_int n3;
+          string_of_int e3;
+          (if skip_n4 then "(skipped)" else string_of_int n4);
+          string_of_int e4;
+          (if n3 = e3 && (skip_n4 || n4 = e4) then "yes" else "NO");
+        ])
+    U.paper_rows;
+  Table.print t;
+  Printf.printf "\nTotal functions: 256 (n=3), 65536 (n=4).\n"
+
+(* ------------------------------------------------------------------ *)
+(* Table IV: optimal synthesis, MM vs R-only                           *)
+(* ------------------------------------------------------------------ *)
+
+let attempt_row ~(paper : Paper_data.row) (a : Synth.attempt) =
+  let measured_dev, measured_steps =
+    match a.Synth.verdict with
+    | Synth.Sat c -> (string_of_int (C.n_devices c), string_of_int (C.n_steps c))
+    | Synth.Unsat | Synth.Timeout -> ("-", "-")
+  in
+  [
+    paper.Paper_data.circuit;
+    (match paper.Paper_data.mode with Paper_data.Mm -> "MM" | Paper_data.R_only -> "R-only");
+    verdict_string a.Synth.verdict;
+    string_of_int a.Synth.n_rops;
+    string_of_int a.Synth.n_legs;
+    string_of_int a.Synth.steps_per_leg;
+    measured_steps;
+    string_of_int paper.Paper_data.n_steps;
+    measured_dev;
+    string_of_int paper.Paper_data.n_dev;
+    human a.Synth.vars;
+    paper.Paper_data.vars;
+    human a.Synth.clauses;
+    paper.Paper_data.clauses;
+    Printf.sprintf "%.1f" a.Synth.time_s;
+    paper.Paper_data.time_s;
+  ]
+
+let table4 ~budget () =
+  section "Table IV: optimal synthesis results (MM and R-only), paper vs measured";
+  Printf.printf
+    "Paper dimensions are re-solved with this repository's own CDCL solver\n\
+     (the paper used SLIME 5 on a 16-core Ryzen 9; base budget here: %gs per call;\n\
+     rows exceeding their budget report 'timeout', akin to the paper's '<=' rows).\n\
+     Taps follow the paper's Eq. 7 (Any_vop).\n\n%!"
+    budget;
+  let t =
+    Table.create
+      [
+        "circuit"; "mode"; "verdict"; "N_R"; "N_L"; "N_VS";
+        "N_St"; "paper"; "N_Dev"; "paper";
+        "vars"; "paper"; "clauses"; "paper"; "T[s]"; "paper";
+      ]
+  in
+  let solve_paper_row (row : Paper_data.row) =
+    let spec = Paper_data.spec_of_circuit row.Paper_data.circuit in
+    (* generous budgets only where a from-scratch single-core solver has a
+       realistic shot; the rest still reports exact formula sizes *)
+    let row_budget =
+      match (row.Paper_data.circuit, row.Paper_data.mode) with
+      | "1-bit adder", _ -> budget
+      | "GF(2^2) multiplier", Paper_data.Mm -> 3.0 *. budget
+      | "GF(2^2) multiplier", Paper_data.R_only -> budget
+      | _ -> budget /. 4.
+    in
+    let cfg =
+      match row.Paper_data.mode with
+      | Paper_data.Mm ->
+        E.config ~taps:E.Any_vop ~n_legs:row.Paper_data.n_legs
+          ~steps_per_leg:row.Paper_data.n_vs ~n_rops:row.Paper_data.n_rops ()
+      | Paper_data.R_only ->
+        E.config ~n_legs:0 ~steps_per_leg:0 ~n_rops:row.Paper_data.n_rops ()
+    in
+    Printf.printf "  solving %-20s %-7s (budget %4.0fs)...\n%!"
+      row.Paper_data.circuit
+      (match row.Paper_data.mode with Paper_data.Mm -> "MM" | _ -> "R-only")
+      row_budget;
+    let a = Synth.solve_instance ~timeout:row_budget cfg spec in
+    Table.add_row t (attempt_row ~paper:row a);
+    match a.Synth.verdict with
+    | Synth.Sat c ->
+      let plan = Schedule.plan c in
+      let failures = Schedule.verify plan spec in
+      if failures <> [] then
+        Printf.printf "!! %s: %d simulator failures\n" row.Paper_data.circuit
+          (List.length failures)
+    | Synth.Unsat ->
+      Printf.printf "!! %s: UNSAT at the paper's dimensions\n" row.Paper_data.circuit
+    | Synth.Timeout -> ()
+  in
+  List.iter solve_paper_row Paper_data.table4;
+  print_newline ();
+  Table.print t;
+  Printf.printf "\nOptimality certificates (UNSAT proofs for smaller budgets):\n%!";
+  let cert name cfg spec =
+    let a = Synth.solve_instance ~timeout:budget cfg spec in
+    Printf.printf "  %-48s %-7s (%.1fs)\n%!" name (verdict_string a.Synth.verdict)
+      a.Synth.time_s
+  in
+  let fa = Arith.adder_bits 1 in
+  cert "1-bit adder, N_R=1 (paper: UNSAT)"
+    (E.config ~taps:E.Any_vop ~n_legs:3 ~steps_per_leg:3 ~n_rops:1 ())
+    fa;
+  cert "1-bit adder, N_R=2, N_VS=2 (paper: UNSAT)"
+    (E.config ~taps:E.Any_vop ~n_legs:3 ~steps_per_leg:2 ~n_rops:2 ())
+    fa;
+  cert "GF(2^2) multiplier, N_R=3 (paper: UNSAT)"
+    (E.config ~taps:E.Any_vop ~n_legs:5 ~steps_per_leg:3 ~n_rops:3 ())
+    (Gf.mul_spec 2);
+  Printf.printf
+    "\nTap-discipline ablation (reproduction finding): the paper's Eq. 7 lets\n\
+     R-ops tap one leg at several time points; with physically schedulable\n\
+     leg-final taps the 1-bit adder needs one extra leg:\n%!";
+  cert "1-bit adder MM, Final_only taps, N_L=3"
+    (E.config ~taps:E.Final_only ~n_legs:3 ~steps_per_leg:3 ~n_rops:2 ())
+    fa;
+  cert "1-bit adder MM, Final_only taps, N_L=4"
+    (E.config ~taps:E.Final_only ~n_legs:4 ~steps_per_leg:3 ~n_rops:2 ())
+    fa
+
+(* ------------------------------------------------------------------ *)
+(* Table V: adders vs literature                                       *)
+(* ------------------------------------------------------------------ *)
+
+let table5 () =
+  section "Table V: MM adders vs published adder designs";
+  let t =
+    Table.create
+      [ "design"; "n=1 N_St"; "n=1 N_Dev"; "n=2 N_St"; "n=2 N_Dev";
+        "n=3 N_St"; "n=3 N_Dev" ]
+  in
+  let cell source bits pick =
+    match
+      List.find_opt
+        (fun e -> e.Metrics.source = source && e.Metrics.bits = bits)
+        Metrics.literature_adders
+    with
+    | Some e -> string_of_int (pick e)
+    | None -> "-"
+  in
+  List.iter
+    (fun source ->
+      Table.add_row t
+        [
+          source;
+          cell source 1 (fun e -> e.Metrics.n_st);
+          cell source 1 (fun e -> e.Metrics.n_dev);
+          cell source 2 (fun e -> e.Metrics.n_st);
+          cell source 2 (fun e -> e.Metrics.n_dev);
+          cell source 3 (fun e -> e.Metrics.n_st);
+          cell source 3 (fun e -> e.Metrics.n_dev);
+        ])
+    [ "[16]"; "[17]"; "[18]"; "[19]"; "[20]" ];
+  Table.add_separator t;
+  let ours bits =
+    let row =
+      List.find
+        (fun r ->
+          r.Paper_data.mode = Paper_data.Mm
+          && r.Paper_data.circuit = Printf.sprintf "%d-bit adder" bits)
+        Paper_data.table4
+    in
+    ( Metrics.steps ~n_vs:row.Paper_data.n_vs ~n_rops:row.Paper_data.n_rops,
+      row.Paper_data.n_dev )
+  in
+  let s1, d1 = ours 1 and s2, d2 = ours 2 and s3, d3 = ours 3 in
+  Table.add_row t
+    [
+      "Ours (MM)";
+      string_of_int s1; string_of_int d1;
+      string_of_int s2; string_of_int d2;
+      string_of_int s3; string_of_int d3;
+    ];
+  Table.print t;
+  Printf.printf
+    "\n[18]/[20] use IMPLY gates needing fewer devices per gate than the\n\
+     3-device MAGIC NOR R-op, as the paper notes.\n"
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 1: the GF(2^2) multiplier circuit                              *)
+(* ------------------------------------------------------------------ *)
+
+let fig1 () =
+  section "Fig. 1: mixed-mode GF(2^2) multiplier (18 V-ops, 4 R-ops, 10 devices)";
+  let c = Reference.gf4_mul_circuit () in
+  Format.printf "%a@." C.pp c;
+  Printf.printf
+    "\nMetrics: N_V=%d, N_R=%d, N_L=%d, N_VS=%d, N_St=%d, N_Dev=%d (paper: 18/4/6/3/7/10)\n"
+    (C.n_vops c) (C.n_rops c) (C.n_legs c) (C.steps_per_leg c) (C.n_steps c)
+    (C.n_devices c);
+  (match C.realizes c (Gf.mul_spec 2) with
+   | Ok () -> Printf.printf "Verified against GF(2^2) multiplication on all 16 inputs.\n"
+   | Error row -> Printf.printf "WRONG on row %d!\n" row);
+  let dot_path = "gf4_mul.dot" in
+  let oc = open_out dot_path in
+  output_string oc (Mm_core.Emit.to_dot c);
+  close_out oc;
+  Printf.printf "Graphviz netlist written to %s\n" dot_path
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 2: electrical trace for input 1011                             *)
+(* ------------------------------------------------------------------ *)
+
+let fig2 () =
+  section "Fig. 2: electrical execution of the GF(2^2) multiplier, input x=1011";
+  let c = Reference.gf4_mul_circuit () in
+  let plan = Schedule.plan c in
+  let r = Schedule.execute plan ~input:0b1011 () in
+  Format.printf "%a@." Mm_device.Waveform.pp r.Schedule.waveform;
+  Printf.printf
+    "\nReadout: out1 = %d, out2 = %d over %d cycles on %d cells\n\
+     (paper measurement: out1 = 0, out2 = 1, 9 cycles incl. readout, 10 cells).\n"
+    (if r.Schedule.outputs.(0) then 1 else 0)
+    (if r.Schedule.outputs.(1) then 1 else 0)
+    r.Schedule.cycles (Schedule.n_cells plan);
+  let failures = Schedule.verify plan (Gf.mul_spec 2) in
+  Printf.printf "Full input sweep on the simulator: %d/16 inputs correct.\n"
+    (16 - List.length failures)
+
+(* ------------------------------------------------------------------ *)
+(* Ablation A: reliability under variation                             *)
+(* ------------------------------------------------------------------ *)
+
+let reliability ~trials () =
+  section "Ablation A: MM vs R-only error rate under D2D/C2C variation";
+  let spec = Gf.mul_spec 2 in
+  let mm = Reference.gf4_mul_circuit () in
+  let r_only = Baseline.nor_network spec in
+  Printf.printf
+    "MM: %d R-ops (cascade depth %d); R-only baseline: %d R-ops (depth %d).\n\
+     Monte Carlo: %d trials x 16 inputs per point, deterministic seed.\n\n%!"
+    (C.n_rops mm)
+    (Reliability.rop_depth mm)
+    (C.n_rops r_only)
+    (Reliability.rop_depth r_only)
+    trials;
+  let study = Reliability.run spec ~mm ~r_only ~trials ~seed:2025 in
+  let t = Table.create [ "variation"; "sigma"; "MM error"; "R-only error" ] in
+  List.iter
+    (fun p ->
+      Table.add_row t
+        [
+          p.Reliability.variation.Variation.label;
+          Printf.sprintf "%.2f" p.Reliability.variation.Variation.sigma_c2c;
+          Printf.sprintf "%.4f" p.Reliability.mm_error;
+          Printf.sprintf "%.4f" p.Reliability.r_only_error;
+        ])
+    study.Reliability.points;
+  Table.print t;
+  Printf.printf
+    "\nExpected shape (paper, Sections II-B/III): both are clean when ideal;\n\
+     as variation grows the deep R-only cascade degrades faster than MM.\n"
+
+(* ------------------------------------------------------------------ *)
+(* Ablation B: direct (Eqs. 4-10) vs compact encoding                  *)
+(* ------------------------------------------------------------------ *)
+
+let encodings ~budget () =
+  section "Ablation B: paper-literal (direct) vs compact encoding of Phi";
+  let t =
+    Table.create
+      [ "circuit"; "mode"; "direct vars"; "direct clauses"; "compact vars";
+        "compact clauses"; "paper vars"; "paper clauses" ]
+  in
+  List.iter
+    (fun (row : Paper_data.row) ->
+      let spec = Paper_data.spec_of_circuit row.Paper_data.circuit in
+      let cfg style =
+        match row.Paper_data.mode with
+        | Paper_data.Mm ->
+          E.config ~style ~taps:E.Any_vop ~n_legs:row.Paper_data.n_legs
+            ~steps_per_leg:row.Paper_data.n_vs ~n_rops:row.Paper_data.n_rops ()
+        | Paper_data.R_only ->
+          E.config ~style ~n_legs:0 ~steps_per_leg:0 ~n_rops:row.Paper_data.n_rops ()
+      in
+      let dv, dc = E.size (cfg E.Direct) spec in
+      let cv, cc = E.size (cfg E.Compact) spec in
+      Table.add_row t
+        [
+          row.Paper_data.circuit;
+          (match row.Paper_data.mode with Paper_data.Mm -> "MM" | _ -> "R-only");
+          human dv; human dc; human cv; human cc;
+          row.Paper_data.vars; row.Paper_data.clauses;
+        ])
+    Paper_data.table4;
+  Table.print t;
+  Printf.printf "\nSolving the 1-bit adder MM instance with both encodings:\n%!";
+  let fa = Arith.adder_bits 1 in
+  List.iter
+    (fun (label, style) ->
+      let cfg =
+        E.config ~style ~taps:E.Any_vop ~n_legs:3 ~steps_per_leg:3 ~n_rops:2 ()
+      in
+      let a = Synth.solve_instance ~timeout:budget cfg fa in
+      Printf.printf "  %-8s %-7s in %6.2fs (%d vars, %d clauses)\n%!" label
+        (verdict_string a.Synth.verdict) a.Synth.time_s a.Synth.vars a.Synth.clauses)
+    [ ("direct", E.Direct); ("compact", E.Compact) ]
+
+(* ------------------------------------------------------------------ *)
+(* Ablation C: symmetry breaking                                       *)
+(* ------------------------------------------------------------------ *)
+
+let symmetry ~budget () =
+  section "Ablation C: effect of symmetry breaking on solve time";
+  let cases =
+    [
+      ( "1-bit adder MM (SAT)",
+        Arith.adder_bits 1,
+        fun sym ->
+          E.config ~symmetry_breaking:sym ~taps:E.Any_vop ~n_legs:3
+            ~steps_per_leg:3 ~n_rops:2 () );
+      ( "1-bit adder N_R=1 (UNSAT)",
+        Arith.adder_bits 1,
+        fun sym ->
+          E.config ~symmetry_breaking:sym ~taps:E.Any_vop ~n_legs:3
+            ~steps_per_leg:3 ~n_rops:1 () );
+      ( "GF(2^2) mult N_R=4 (SAT)",
+        Gf.mul_spec 2,
+        fun sym ->
+          E.config ~symmetry_breaking:sym ~taps:E.Any_vop ~n_legs:6
+            ~steps_per_leg:3 ~n_rops:4 () );
+    ]
+  in
+  let t =
+    Table.create [ "instance"; "symmetry"; "verdict"; "time [s]"; "conflicts" ]
+  in
+  List.iter
+    (fun (name, spec, cfg_of) ->
+      List.iter
+        (fun sym ->
+          let a = Synth.solve_instance ~timeout:budget (cfg_of sym) spec in
+          Table.add_row t
+            [
+              name;
+              (if sym then "on" else "off");
+              verdict_string a.Synth.verdict;
+              Printf.sprintf "%.2f" a.Synth.time_s;
+              string_of_int a.Synth.solver_stats.Mm_sat.Solver.conflicts;
+            ])
+        [ true; false ])
+    cases;
+  Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* Extension D: crossbar scheduling (the paper's future work)          *)
+(* ------------------------------------------------------------------ *)
+
+let crossbar () =
+  section "Extension D: 1D line array vs 2D crossbar latency (parallel R-ops)";
+  Printf.printf
+    "The paper's conclusions point to crossbars for parallel R-ops. Here the\n\
+     same circuits run on both substrates; crossbar latency is\n\
+     N_VS + 2*depth + N_O (one transfer + one parallel-NOR cycle per level).\n\n";
+  let t =
+    Table.create
+      [ "circuit"; "N_R"; "R depth"; "line cycles"; "crossbar cycles"; "verified" ]
+  in
+  let case name circuit spec =
+    let plan = Xbar.plan circuit in
+    let line, xbar = Xbar.latency_comparison circuit in
+    let failures = Xbar.verify plan spec in
+    Table.add_row t
+      [
+        name;
+        string_of_int (C.n_rops circuit);
+        string_of_int (Xbar.depth plan);
+        string_of_int line;
+        string_of_int xbar;
+        (if failures = [] then "yes" else "NO");
+      ]
+  in
+  let gf_spec = Gf.mul_spec 2 in
+  case "GF(2^2) mult, MM" (Reference.gf4_mul_circuit ()) gf_spec;
+  case "GF(2^2) mult, R-only" (Baseline.nor_network gf_spec) gf_spec;
+  let fa = Arith.adder_bits 1 in
+  case "full adder, R-only" (Baseline.nor_network fa) fa;
+  let cmp = Arith.comparator 2 in
+  case "2-bit comparator, R-only" (Baseline.nor_network cmp) cmp;
+  Table.print t;
+  Printf.printf
+    "\nShape: MM circuits are already shallow, so the crossbar gains little;\n\
+     deep R-only NOR networks parallelize well — matching the paper's remark\n\
+     that crossbars mainly help stateful-heavy designs.\n"
+
+(* ------------------------------------------------------------------ *)
+(* Extension E: scalable heuristic synthesis (the paper's future work) *)
+(* ------------------------------------------------------------------ *)
+
+let heuristic_bench () =
+  section "Extension E: heuristic synthesis for larger functions";
+  Printf.printf
+    "Shannon decomposition to <=4-input blocks, each block synthesized\n\
+     optimally by SAT (cached), recombined with 3-NOR multiplexers; the\n\
+     QMC->NOR two-level baseline is the comparison point.\n\n%!";
+  let t =
+    Table.create
+      [ "function"; "n"; "heuristic NORs"; "baseline NORs"; "blocks";
+        "exact"; "cache hits"; "time [s]"; "verified" ]
+  in
+  let case spec =
+    let t0 = Unix.gettimeofday () in
+    let c, stats = Heuristic.synthesize ~timeout_per_block:10. spec in
+    let dt = Unix.gettimeofday () -. t0 in
+    let plan = Schedule.plan c in
+    let failures = Schedule.verify plan spec in
+    Table.add_row t
+      [
+        Spec.name spec;
+        string_of_int (Spec.arity spec);
+        string_of_int (C.n_rops c);
+        string_of_int (Baseline.nor_count spec);
+        string_of_int stats.Heuristic.blocks;
+        string_of_int stats.Heuristic.exact_blocks;
+        string_of_int stats.Heuristic.cache_hits;
+        Printf.sprintf "%.1f" dt;
+        (if failures = [] then "yes" else "NO");
+      ]
+  in
+  case (Arith.adder_bits 2);
+  case (Gf.inv_spec 4);
+  case (Arith.multiplier 2);
+  case (Arith.majority 5);
+  case (Arith.comparator 3);
+  Table.print t;
+  Printf.printf
+    "\nShape: block-exact synthesis beats the two-level baseline by a wide\n\
+     margin while scaling past the reach of monolithic optimal SAT calls.\n"
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks (one Test.make per table/figure kernel)   *)
+(* ------------------------------------------------------------------ *)
+
+let perf () =
+  section "Bechamel micro-benchmarks (kernel of each experiment)";
+  let open Bechamel in
+  let open Toolkit in
+  let and4 =
+    Spec.of_fun ~name:"and4" ~arity:4 ~outputs:1 (fun ~row ~output:_ -> row = 15)
+  in
+  let tests =
+    [
+      Test.make ~name:"table1/vop-apply"
+        (Staged.stage (fun () ->
+             ignore
+               (Vop.apply ~n:4 (Tt.var 4 1) ~te:(Literal.Pos 2) ~be:(Literal.Neg 3))));
+      Test.make ~name:"table2/synth-and4-v-only"
+        (Staged.stage (fun () ->
+             ignore
+               (Synth.solve_instance ~timeout:30.
+                  (E.config ~n_legs:1 ~steps_per_leg:5 ~n_rops:0 ())
+                  and4)));
+      Test.make ~name:"table3/vop-closure-n3"
+        (Staged.stage (fun () ->
+             let lits = U.literal_functions ~n:3 in
+             ignore (U.vop_closure ~n:3 ~electrodes:lits lits)));
+      Test.make ~name:"table4/encode-gfmul-compact"
+        (Staged.stage (fun () ->
+             ignore
+               (E.size
+                  (E.config ~taps:E.Any_vop ~n_legs:6 ~steps_per_leg:3 ~n_rops:4 ())
+                  (Gf.mul_spec 2))));
+      Test.make ~name:"table5/baseline-full-adder"
+        (Staged.stage (fun () ->
+             ignore (Baseline.nor_network (Arith.adder_bits 1))));
+      Test.make ~name:"fig1/evaluate-gfmul"
+        (Staged.stage (fun () ->
+             ignore (C.output_tables (Reference.gf4_mul_circuit ()))));
+      Test.make ~name:"fig2/simulate-input-1011"
+        (Staged.stage
+           (let plan = Schedule.plan (Reference.gf4_mul_circuit ()) in
+            fun () -> ignore (Schedule.execute plan ~input:0b1011 ())));
+    ]
+  in
+  let grouped = Test.make_grouped ~name:"mmsynth" tests in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] grouped in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let t = Table.create [ "kernel"; "time/run"; "r^2" ] in
+  let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) results [] in
+  List.iter
+    (fun (name, ols_result) ->
+      let time_ns =
+        match Analyze.OLS.estimates ols_result with
+        | Some [ est ] -> est
+        | Some _ | None -> nan
+      in
+      let pretty =
+        if Float.is_nan time_ns then "n/a"
+        else if time_ns > 1e9 then Printf.sprintf "%.2f s" (time_ns /. 1e9)
+        else if time_ns > 1e6 then Printf.sprintf "%.2f ms" (time_ns /. 1e6)
+        else if time_ns > 1e3 then Printf.sprintf "%.2f us" (time_ns /. 1e3)
+        else Printf.sprintf "%.0f ns" time_ns
+      in
+      let r2 =
+        match Analyze.OLS.r_square ols_result with
+        | Some r -> Printf.sprintf "%.3f" r
+        | None -> "-"
+      in
+      Table.add_row t [ name; pretty; r2 ])
+    (List.sort compare rows);
+  Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let usage () =
+  print_endline
+    "usage: main.exe [experiment] [options]\n\n\
+     experiments:\n\
+    \  table1       V-op behaviour (Table I)\n\
+    \  table2       V-only AND/NAND/OR/NOR schedules (Table II)\n\
+    \  table3       universality counts (Table III); --full includes the slow cell\n\
+    \  table4       optimal synthesis MM vs R-only (Table IV); --budget SECONDS\n\
+    \  table5       adder comparison with literature (Table V)\n\
+    \  fig1         the GF(2^2) multiplier circuit\n\
+    \  fig2         electrical trace for input 1011\n\
+    \  reliability  MM vs R-only under variation (ablation A); --trials N\n\
+    \  encodings    direct vs compact encoding (ablation B)\n\
+    \  symmetry     symmetry-breaking ablation (ablation C)\n\
+    \  crossbar     line array vs crossbar latency (extension D)\n\
+    \  heuristic    scalable heuristic synthesis (extension E)\n\
+    \  perf         Bechamel micro-benchmarks\n\
+    \  all          everything above (default)"
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let has flag = List.mem flag args in
+  let value flag default =
+    let rec go = function
+      | a :: b :: _ when a = flag -> (try float_of_string b with _ -> default)
+      | _ :: rest -> go rest
+      | [] -> default
+    in
+    go args
+  in
+  let budget = value "--budget" 120. in
+  let trials = int_of_float (value "--trials" 40.) in
+  let full = has "--full" in
+  let run_all () =
+    table1 ();
+    table2 ~budget ();
+    table3 ~full ();
+    table4 ~budget ();
+    table5 ();
+    fig1 ();
+    fig2 ();
+    reliability ~trials ();
+    encodings ~budget ();
+    symmetry ~budget ();
+    crossbar ();
+    heuristic_bench ();
+    perf ()
+  in
+  let positional =
+    (* drop flags and their numeric values *)
+    List.filter
+      (fun a ->
+        String.length a > 0 && a.[0] <> '-' && float_of_string_opt a = None)
+      (List.tl args)
+  in
+  match positional with
+  | [] | [ "all" ] -> run_all ()
+  | [ "table1" ] -> table1 ()
+  | [ "table2" ] -> table2 ~budget ()
+  | [ "table3" ] -> table3 ~full ()
+  | [ "table4" ] -> table4 ~budget ()
+  | [ "table5" ] -> table5 ()
+  | [ "fig1" ] -> fig1 ()
+  | [ "fig2" ] -> fig2 ()
+  | [ "reliability" ] -> reliability ~trials ()
+  | [ "encodings" ] -> encodings ~budget ()
+  | [ "symmetry" ] -> symmetry ~budget ()
+  | [ "crossbar" ] -> crossbar ()
+  | [ "heuristic" ] -> heuristic_bench ()
+  | [ "perf" ] -> perf ()
+  | _ ->
+    usage ();
+    exit 1

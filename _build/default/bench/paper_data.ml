@@ -1,0 +1,64 @@
+(* The published numbers of the paper's Table IV, embedded so every bench
+   run prints paper-vs-measured side by side. *)
+
+type mode = Mm | R_only
+
+type row = {
+  circuit : string;
+  mode : mode;
+  n : int;
+  n_outputs : int;
+  n_rops : int;
+  rops_exact : bool; (* false = the paper printed "<=" (optimality unproven) *)
+  n_legs : int; (* 0 for R-only *)
+  n_vs : int;
+  n_steps : int;
+  n_dev : int;
+  vars : string;
+  clauses : string;
+  time_s : string;
+}
+
+let table4 =
+  [
+    { circuit = "1-bit adder"; mode = Mm; n = 3; n_outputs = 2; n_rops = 2;
+      rops_exact = true; n_legs = 3; n_vs = 3; n_steps = 5; n_dev = 5;
+      vars = "880"; clauses = "44.1K"; time_s = "3" };
+    { circuit = "1-bit adder"; mode = R_only; n = 3; n_outputs = 2; n_rops = 9;
+      rops_exact = true; n_legs = 0; n_vs = 0; n_steps = 9; n_dev = 20;
+      vars = "1394"; clauses = "34.2K"; time_s = "2" };
+    { circuit = "2-bit adder"; mode = Mm; n = 5; n_outputs = 3; n_rops = 4;
+      rops_exact = true; n_legs = 6; n_vs = 5; n_steps = 9; n_dev = 10;
+      vars = "13.2K"; clauses = "1.6M"; time_s = "109" };
+    { circuit = "2-bit adder"; mode = R_only; n = 5; n_outputs = 3; n_rops = 18;
+      rops_exact = false; n_legs = 0; n_vs = 0; n_steps = 18; n_dev = 39;
+      vars = "15.2K"; clauses = "784.8K"; time_s = "343233" };
+    { circuit = "3-bit adder"; mode = Mm; n = 7; n_outputs = 4; n_rops = 5;
+      rops_exact = true; n_legs = 8; n_vs = 6; n_steps = 11; n_dev = 14;
+      vars = "93.0K"; clauses = "17.9M"; time_s = "24154" };
+    { circuit = "3-bit adder"; mode = R_only; n = 7; n_outputs = 4; n_rops = 25;
+      rops_exact = false; n_legs = 0; n_vs = 0; n_steps = 25; n_dev = 54;
+      vars = "108.9K"; clauses = "8.1M"; time_s = "162433" };
+    { circuit = "GF(2^4) inversion"; mode = Mm; n = 4; n_outputs = 4; n_rops = 7;
+      rops_exact = true; n_legs = 11; n_vs = 4; n_steps = 11; n_dev = 18;
+      vars = "14.2K"; clauses = "1.1M"; time_s = "1539" };
+    { circuit = "GF(2^4) inversion"; mode = R_only; n = 4; n_outputs = 4;
+      n_rops = 30; rops_exact = false; n_legs = 0; n_vs = 0; n_steps = 30;
+      n_dev = 64; vars = "11.2K"; clauses = "997.6K"; time_s = "78187" };
+    { circuit = "GF(2^2) multiplier"; mode = Mm; n = 4; n_outputs = 2; n_rops = 4;
+      rops_exact = true; n_legs = 6; n_vs = 3; n_steps = 7; n_dev = 10;
+      vars = "4544"; clauses = "347.5K"; time_s = "6" };
+    { circuit = "GF(2^2) multiplier"; mode = R_only; n = 4; n_outputs = 2;
+      n_rops = 14; rops_exact = false; n_legs = 0; n_vs = 0; n_steps = 14;
+      n_dev = 30; vars = "5106"; clauses = "199.0K"; time_s = "15" };
+  ]
+
+let spec_of_circuit = function
+  | "1-bit adder" -> Mm_boolfun.Arith.adder_bits 1
+  | "2-bit adder" -> Mm_boolfun.Arith.adder_bits 2
+  | "3-bit adder" -> Mm_boolfun.Arith.adder_bits 3
+  | "GF(2^4) inversion" -> Mm_boolfun.Gf.inv_spec 4
+  | "GF(2^2) multiplier" -> Mm_boolfun.Gf.mul_spec 2
+  | c -> invalid_arg ("Paper_data.spec_of_circuit: " ^ c)
+
+let is_adder name = String.length name >= 5 && String.sub name 2 3 = "bit"

@@ -1,0 +1,266 @@
+(* mmsynth: command-line front end for the mixed-mode synthesis library.
+
+     mmsynth synth -e "x1 ^ x2" -e "x1 & x2" --minimize
+     mmsynth synth -e "x1 & x2 | x3" --rops 0 --legs 1 --steps 3 --dot out.dot
+     mmsynth check -e "x1 ^ x2"            # V-op realizability
+     mmsynth baseline -e "x1 ^ x2 ^ x3"    # QMC -> NOR-NOR gate count
+     mmsynth simulate -e "x1 & x2" --rops 1 --legs 2 --steps 2 --input 3 *)
+
+open Cmdliner
+
+module Expr = Mm_boolfun.Expr
+module Spec = Mm_boolfun.Spec
+module C = Mm_core.Circuit
+module E = Mm_core.Encode
+module Synth = Mm_core.Synth
+module Schedule = Mm_core.Schedule
+
+(* build the spec from -e expressions or a --pla/--tables file *)
+let spec_of_inputs names exprs arity pla tables =
+  let name = match names with Some n -> n | None -> "cli" in
+  match exprs, pla, tables with
+  | [], None, None ->
+    Error "no specification: use -e EXPR, --pla FILE or --tables FILE"
+  | _ :: _, Some _, _ | _ :: _, _, Some _ | _, Some _, Some _ ->
+    Error "give exactly one of -e, --pla, --tables"
+  | _ :: _, None, None -> (
+    match List.map Expr.parse_exn exprs with
+    | parsed -> (
+      match arity with
+      | Some n -> Ok (Expr.spec ~name ~n parsed)
+      | None -> Ok (Expr.spec ~name parsed))
+    | exception Invalid_argument msg -> Error msg)
+  | [], Some path, None -> Mm_boolfun.Io.read_pla path
+  | [], None, Some path -> (
+    match open_in path with
+    | exception Sys_error msg -> Error msg
+    | ic ->
+      let len = in_channel_length ic in
+      let contents = really_input_string ic len in
+      close_in ic;
+      Mm_boolfun.Io.parse_tables ~name contents)
+
+(* common options *)
+let exprs =
+  let doc = "Output function as a Boolean expression over x1, x2, ... \
+             (operators: ~ & | ^, or the paper's * and +). Repeatable: one \
+             per output. Alternatively load a spec with --pla or --tables." in
+  Arg.(value & opt_all string [] & info [ "e"; "expr" ] ~docv:"EXPR" ~doc)
+
+let pla_file =
+  Arg.(value & opt (some file) None & info [ "pla" ] ~docv:"FILE"
+         ~doc:"Load the specification from a Berkeley-PLA file.")
+
+let tables_file =
+  Arg.(value & opt (some file) None & info [ "tables" ] ~docv:"FILE"
+         ~doc:"Load the specification from a truth-table file (one \
+               2^n-character 0/1 line per output).")
+
+let arity =
+  let doc = "Force the number of inputs (default: the largest variable used)." in
+  Arg.(value & opt (some int) None & info [ "n"; "arity" ] ~docv:"N" ~doc)
+
+let name_t =
+  Arg.(value & opt (some string) None & info [ "name" ] ~docv:"NAME"
+         ~doc:"Name for the specification.")
+
+let timeout =
+  Arg.(value & opt float 60.0 & info [ "timeout" ] ~docv:"SECONDS"
+         ~doc:"Solver budget per SAT call.")
+
+let rops = Arg.(value & opt (some int) None & info [ "rops" ] ~docv:"N_R"
+                  ~doc:"Number of stateful R-ops (NOR gates).")
+
+let legs = Arg.(value & opt (some int) None & info [ "legs" ] ~docv:"N_L"
+                  ~doc:"Number of V-legs (default: N_R + #outputs).")
+
+let steps = Arg.(value & opt (some int) None & info [ "steps" ] ~docv:"N_VS"
+                   ~doc:"V-op steps per leg (default: arity + 2).")
+
+let minimize_flag =
+  Arg.(value & flag & info [ "minimize" ]
+         ~doc:"Run the paper's optimality loop: smallest N_R, then smallest N_VS.")
+
+let r_only = Arg.(value & flag & info [ "r-only" ]
+                    ~doc:"Synthesize with stateful R-ops only (no V-legs).")
+
+let final_taps =
+  Arg.(value & flag & info [ "final-taps" ]
+         ~doc:"Restrict R-op inputs to leg-final values (directly \
+               schedulable; the paper's formula allows intermediate taps).")
+
+let dot_out = Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"FILE"
+                     ~doc:"Write the circuit as Graphviz dot.")
+
+let json_flag = Arg.(value & flag & info [ "json" ] ~doc:"Print the circuit as JSON.")
+
+let taps_of final = if final then E.Final_only else E.Any_vop
+
+let print_circuit ~json ~dot c =
+  Format.printf "%a@." C.pp c;
+  Printf.printf
+    "steps: %d (V) + %d (R) = %d; devices: %d (after physicalization)\n"
+    (C.steps_per_leg c) (C.n_rops c) (C.n_steps c) (C.n_devices c);
+  if json then print_endline (Mm_core.Emit.to_json c);
+  match dot with
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (Mm_core.Emit.to_dot c);
+    close_out oc;
+    Printf.printf "dot written to %s\n" path
+  | None -> ()
+
+let synth_cmd =
+  let run exprs pla tables arity name timeout rops legs steps minimize r_only
+      final json dot =
+    match spec_of_inputs name exprs arity pla tables with
+    | Error msg -> `Error (false, msg)
+    | Ok spec ->
+    let n_out = Spec.output_count spec in
+    if minimize then begin
+      let report =
+        if r_only then Synth.minimize_r_only ~timeout_per_call:timeout spec
+        else Synth.minimize ~timeout_per_call:timeout ~taps:(taps_of final) spec
+      in
+      List.iter (fun a -> Format.printf "tried %a@." Synth.pp_attempt a)
+        report.Synth.attempts;
+      match report.Synth.best with
+      | Some (c, _) ->
+        Format.printf "@.N_R minimal proven: %b; N_VS minimal proven: %b@.@."
+          report.Synth.rops_proven_minimal report.Synth.steps_proven_minimal;
+        print_circuit ~json ~dot c;
+        `Ok ()
+      | None -> `Error (false, "no circuit found within the budget")
+    end
+    else begin
+      let n_rops = Option.value rops ~default:(if r_only then 4 else 1) in
+      let n_legs =
+        if r_only then 0
+        else Option.value legs ~default:(Synth.default_legs spec ~n_rops)
+      in
+      let steps_per_leg =
+        if r_only then 0
+        else Option.value steps ~default:(Spec.arity spec + 2)
+      in
+      ignore n_out;
+      let cfg =
+        E.config ~taps:(taps_of final) ~n_legs ~steps_per_leg ~n_rops ()
+      in
+      let a = Synth.solve_instance ~timeout cfg spec in
+      Format.printf "%a@.@." Synth.pp_attempt a;
+      match a.Synth.verdict with
+      | Synth.Sat c ->
+        print_circuit ~json ~dot c;
+        let plan = Schedule.plan c in
+        let failures = Schedule.verify plan spec in
+        Printf.printf "simulator validation: %d/%d rows correct\n"
+          ((1 lsl Spec.arity spec) - List.length failures)
+          (1 lsl Spec.arity spec);
+        `Ok ()
+      | Synth.Unsat ->
+        Printf.printf "UNSAT: no circuit with these dimensions (optimality certificate)\n";
+        `Ok ()
+      | Synth.Timeout -> `Error (false, "solver budget exhausted")
+    end
+  in
+  let term =
+    Term.(
+      ret
+        (const run $ exprs $ pla_file $ tables_file $ arity $ name_t $ timeout
+        $ rops $ legs $ steps $ minimize_flag $ r_only $ final_taps
+        $ json_flag $ dot_out))
+  in
+  Cmd.v
+    (Cmd.info "synth" ~doc:"Synthesize a mixed-mode memristive circuit via SAT.")
+    term
+
+let check_cmd =
+  let run exprs pla tables arity name =
+    match spec_of_inputs name exprs arity pla tables with
+    | Error msg -> `Error (false, msg)
+    | Ok spec ->
+    if Spec.arity spec > 4 then
+      `Error (false, "V-op realizability check supports up to 4 inputs")
+    else begin
+      Array.iteri
+        (fun o tt ->
+          Printf.printf "output %d: %s\n" (o + 1)
+            (if Mm_core.Universality.vop_realizable tt then
+               "realizable by V-ops alone"
+             else "NOT realizable by V-ops alone (R-ops required)"))
+        (Spec.outputs spec);
+      `Ok ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Check whether each output is realizable by V-ops alone (n <= 4).")
+    Term.(ret (const run $ exprs $ pla_file $ tables_file $ arity $ name_t))
+
+let baseline_cmd =
+  let run exprs pla tables arity name =
+    match spec_of_inputs name exprs arity pla tables with
+    | Error msg -> `Error (false, msg)
+    | Ok spec ->
+      let c = Mm_core.Baseline.nor_network spec in
+      Format.printf "%a@." C.pp c;
+      Printf.printf
+        "QMC -> NOR-NOR baseline: %d NOR gates, %d devices, %d steps\n"
+        (C.n_rops c) (C.n_devices c) (C.n_steps c);
+      `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "baseline"
+       ~doc:"Gate-oriented baseline: Quine-McCluskey cover mapped to 2-input NORs.")
+    Term.(ret (const run $ exprs $ pla_file $ tables_file $ arity $ name_t))
+
+let simulate_cmd =
+  let input =
+    Arg.(value & opt (some int) None & info [ "input" ] ~docv:"ROW"
+           ~doc:"Input row to trace (default: verify all rows).")
+  in
+  let run exprs pla tables arity name timeout rops legs steps final input =
+    match spec_of_inputs name exprs arity pla tables with
+    | Error msg -> `Error (false, msg)
+    | Ok spec ->
+    let n_rops = Option.value rops ~default:1 in
+    let n_legs = Option.value legs ~default:(Synth.default_legs spec ~n_rops) in
+    let steps_per_leg = Option.value steps ~default:(Spec.arity spec + 2) in
+    let cfg = E.config ~taps:(taps_of final) ~n_legs ~steps_per_leg ~n_rops () in
+    let a = Synth.solve_instance ~timeout cfg spec in
+    match a.Synth.verdict with
+    | Synth.Sat c ->
+      let plan = Schedule.plan c in
+      (match input with
+       | Some row ->
+         let r = Schedule.execute plan ~input:row () in
+         Format.printf "%a@." Mm_device.Waveform.pp r.Schedule.waveform;
+         Printf.printf "outputs:";
+         Array.iteri
+           (fun o b -> Printf.printf " out%d=%d" (o + 1) (if b then 1 else 0))
+           r.Schedule.outputs;
+         print_newline ();
+         `Ok ()
+       | None ->
+         let failures = Schedule.verify plan spec in
+         Printf.printf "simulator validation: %d/%d rows correct\n"
+           ((1 lsl Spec.arity spec) - List.length failures)
+           (1 lsl Spec.arity spec);
+         `Ok ())
+    | Synth.Unsat -> `Error (false, "UNSAT at these dimensions")
+    | Synth.Timeout -> `Error (false, "solver budget exhausted")
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Synthesize, then execute on the behavioral line-array simulator.")
+    Term.(
+      ret
+        (const run $ exprs $ pla_file $ tables_file $ arity $ name_t $ timeout
+        $ rops $ legs $ steps $ final_taps $ input))
+
+let main =
+  let doc = "optimal synthesis of memristive mixed-mode circuits" in
+  Cmd.group (Cmd.info "mmsynth" ~version:"1.0.0" ~doc)
+    [ synth_cmd; check_cmd; baseline_cmd; simulate_cmd ]
+
+let () = exit (Cmd.eval main)

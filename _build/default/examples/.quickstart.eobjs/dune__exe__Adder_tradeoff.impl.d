@@ -1,0 +1,1 @@
+examples/adder_tradeoff.ml: Array Format List Mm_boolfun Mm_core Mm_report Printf String

@@ -1,0 +1,1 @@
+examples/gf_multiplier.ml: Array Format Mm_boolfun Mm_core Mm_device Printf

@@ -1,0 +1,1 @@
+examples/gf_multiplier.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Mm_boolfun Mm_core

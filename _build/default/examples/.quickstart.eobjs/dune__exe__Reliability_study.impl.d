@@ -1,0 +1,1 @@
+examples/reliability_study.ml: Array List Mm_boolfun Mm_core Mm_device Mm_report Printf

@@ -1,0 +1,1 @@
+examples/yield_fitting.ml: List Mm_boolfun Mm_core Mm_report Printf

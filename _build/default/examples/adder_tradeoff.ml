@@ -1,0 +1,92 @@
+(* The designer's N_V/N_R trade-off on the 1-bit full adder (Section III):
+   fewer R-ops means lower latency and fewer devices but may be
+   unsatisfiable; the knobs also accept technology constraints such as a
+   pinned shared-BE schedule.
+
+   Run with: dune exec examples/adder_tradeoff.exe *)
+
+module E = Mm_core.Encode
+module Synth = Mm_core.Synth
+module C = Mm_core.Circuit
+module Table = Mm_report.Table
+module Arith = Mm_boolfun.Arith
+module Literal = Mm_boolfun.Literal
+
+let () =
+  let fa = Arith.full_adder in
+  print_endline "Exploring (N_R, N_L, N_VS) combinations for the full adder.";
+  print_endline "Taps follow the paper's formula (Any_vop); devices are counted";
+  print_endline "after physicalization (replica legs for multi-tapped legs).";
+  print_newline ();
+  let t =
+    Table.create
+      [ "N_R"; "N_L"; "N_VS"; "verdict"; "N_St"; "N_Dev"; "time [s]" ]
+  in
+  let try_dims ~n_rops ~n_legs ~steps =
+    let cfg =
+      E.config ~taps:E.Any_vop ~n_legs ~steps_per_leg:steps ~n_rops ()
+    in
+    let a = Synth.solve_instance ~timeout:60. cfg fa in
+    let steps_s, dev_s =
+      match a.Synth.verdict with
+      | Synth.Sat c ->
+        (string_of_int (C.n_steps c), string_of_int (C.n_devices c))
+      | Synth.Unsat | Synth.Timeout -> ("-", "-")
+    in
+    Table.add_row t
+      [
+        string_of_int n_rops;
+        string_of_int n_legs;
+        string_of_int steps;
+        (match a.Synth.verdict with
+         | Synth.Sat _ -> "SAT"
+         | Synth.Unsat -> "UNSAT"
+         | Synth.Timeout -> "timeout");
+        steps_s;
+        dev_s;
+        Printf.sprintf "%.2f" a.Synth.time_s;
+      ]
+  in
+  (* too few R-ops: provably impossible (sum is XOR-like) *)
+  try_dims ~n_rops:0 ~n_legs:2 ~steps:4;
+  try_dims ~n_rops:1 ~n_legs:3 ~steps:3;
+  (* the paper's optimum *)
+  try_dims ~n_rops:2 ~n_legs:3 ~steps:3;
+  (* spending more R-ops buys shorter V-phases *)
+  try_dims ~n_rops:2 ~n_legs:3 ~steps:2;
+  try_dims ~n_rops:3 ~n_legs:5 ~steps:2;
+  try_dims ~n_rops:4 ~n_legs:6 ~steps:2;
+  Table.print t;
+
+  (* a designer constraint: force the first shared-BE cycle to const-0 (a
+     common peripheral simplification: the first cycle only SETs) *)
+  print_newline ();
+  print_endline "With the first shared-BE cycle pinned to const-0:";
+  let cfg =
+    E.config ~taps:E.Any_vop ~forced_be:[ (0, Literal.Const0) ] ~n_legs:3
+      ~steps_per_leg:3 ~n_rops:2 ()
+  in
+  let a = Synth.solve_instance ~timeout:60. cfg fa in
+  (match a.Synth.verdict with
+   | Synth.Sat c ->
+     Format.printf "  still SAT; BE schedule: %s@."
+       (String.concat ", "
+          (List.init (C.steps_per_leg c) (fun s ->
+               Literal.to_string c.C.legs.(0).(s).C.be)))
+   | Synth.Unsat -> print_endline "  UNSAT under this constraint"
+   | Synth.Timeout -> print_endline "  timeout");
+
+  (* the full optimality loop, as a designer would run it *)
+  print_newline ();
+  print_endline "Synth.minimize (the paper's outer loop):";
+  let report =
+    Synth.minimize ~timeout_per_call:60. ~max_steps:3
+      ~legs_of:(fun n_rops -> Synth.default_legs ~adder:true fa ~n_rops)
+      fa
+  in
+  List.iter (fun a -> Format.printf "  %a@." Synth.pp_attempt a) report.Synth.attempts;
+  match report.Synth.best with
+  | Some (c, _) ->
+    Format.printf "best: N_R=%d, N_L=%d, N_VS=%d (matches the paper's Table IV row)@."
+      (C.n_rops c) (C.n_legs c) (C.steps_per_leg c)
+  | None -> print_endline "no circuit found"

@@ -1,0 +1,1 @@
+lib/bitvec/bitvec.ml: Array Format Hashtbl Printf Stdlib String

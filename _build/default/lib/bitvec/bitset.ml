@@ -1,0 +1,55 @@
+type t = { capacity : int; words : Bytes.t; mutable cardinal : int }
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create";
+  { capacity = n; words = Bytes.make ((n + 7) / 8) '\000'; cardinal = 0 }
+
+let capacity t = t.capacity
+
+let check t x =
+  if x < 0 || x >= t.capacity then invalid_arg "Bitset: out of range"
+
+let mem t x =
+  check t x;
+  Char.code (Bytes.unsafe_get t.words (x lsr 3)) land (1 lsl (x land 7)) <> 0
+
+let add t x =
+  check t x;
+  let w = x lsr 3 and bit = 1 lsl (x land 7) in
+  let old = Char.code (Bytes.unsafe_get t.words w) in
+  if old land bit <> 0 then false
+  else begin
+    Bytes.unsafe_set t.words w (Char.unsafe_chr (old lor bit));
+    t.cardinal <- t.cardinal + 1;
+    true
+  end
+
+let remove t x =
+  check t x;
+  let w = x lsr 3 and bit = 1 lsl (x land 7) in
+  let old = Char.code (Bytes.unsafe_get t.words w) in
+  if old land bit <> 0 then begin
+    Bytes.unsafe_set t.words w (Char.unsafe_chr (old land lnot bit));
+    t.cardinal <- t.cardinal - 1
+  end
+
+let cardinal t = t.cardinal
+
+let iter f t =
+  for x = 0 to t.capacity - 1 do
+    if Char.code (Bytes.unsafe_get t.words (x lsr 3)) land (1 lsl (x land 7)) <> 0
+    then f x
+  done
+
+let fold f t acc =
+  let acc = ref acc in
+  iter (fun x -> acc := f x !acc) t;
+  !acc
+
+let to_list t = List.rev (fold (fun x l -> x :: l) t [])
+
+let copy t = { t with words = Bytes.copy t.words }
+
+let clear t =
+  Bytes.fill t.words 0 (Bytes.length t.words) '\000';
+  t.cardinal <- 0

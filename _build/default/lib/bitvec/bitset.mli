@@ -1,0 +1,26 @@
+(** Dense mutable sets of small integers.
+
+    Used by the universality closure engine, where the universe is the space
+    of all [2^(2^n)] truth tables of [n]-input functions encoded as ints
+    (n <= 4), and by the SAT solver for seen-markers. *)
+
+type t
+
+(** [create n] is the empty subset of [{0, ..., n-1}]. *)
+val create : int -> t
+
+(** Size of the universe. *)
+val capacity : t -> int
+
+val mem : t -> int -> bool
+
+(** [add t x] inserts [x]; returns [true] when [x] was not yet present. *)
+val add : t -> int -> bool
+
+val remove : t -> int -> unit
+val cardinal : t -> int
+val iter : (int -> unit) -> t -> unit
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+val to_list : t -> int list
+val copy : t -> t
+val clear : t -> unit

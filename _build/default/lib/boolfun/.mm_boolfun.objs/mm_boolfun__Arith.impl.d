@@ -1,0 +1,1 @@
+lib/boolfun/arith.ml: Printf Spec Truth_table

@@ -1,0 +1,1 @@
+lib/boolfun/arith.mli: Spec

@@ -1,0 +1,1 @@
+lib/boolfun/expr.ml: Array Format List Printf Spec String Truth_table

@@ -1,0 +1,1 @@
+lib/boolfun/gf.ml: Printf Spec Truth_table

@@ -1,0 +1,1 @@
+lib/boolfun/gf.mli: Spec

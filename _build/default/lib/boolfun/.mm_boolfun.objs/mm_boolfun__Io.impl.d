@@ -1,0 +1,1 @@
+lib/boolfun/io.ml: Array Buffer Filename List Printf Spec String Truth_table

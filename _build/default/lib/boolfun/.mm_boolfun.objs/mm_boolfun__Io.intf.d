@@ -1,0 +1,1 @@
+lib/boolfun/io.mli: Spec

@@ -1,0 +1,1 @@
+lib/boolfun/literal.ml: Format Printf Truth_table

@@ -1,0 +1,1 @@
+lib/boolfun/literal.mli: Format Truth_table

@@ -1,0 +1,1 @@
+lib/boolfun/qmc.ml: Array Format Fun Hashtbl List Literal Set Stdlib String Truth_table

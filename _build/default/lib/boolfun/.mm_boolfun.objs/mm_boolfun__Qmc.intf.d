@@ -1,0 +1,1 @@
+lib/boolfun/qmc.mli: Format Literal Truth_table

@@ -1,0 +1,1 @@
+lib/boolfun/spec.ml: Array Format Truth_table

@@ -1,0 +1,1 @@
+lib/boolfun/spec.mli: Format Truth_table

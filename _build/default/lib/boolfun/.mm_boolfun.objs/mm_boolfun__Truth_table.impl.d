@@ -1,0 +1,1 @@
+lib/boolfun/truth_table.ml: Array Format List Mm_bitvec Stdlib String

@@ -1,0 +1,1 @@
+lib/boolfun/truth_table.mli: Format Mm_bitvec

@@ -1,0 +1,83 @@
+let operand ~n ~width ~offset row =
+  let v = ref 0 in
+  for i = 0 to width - 1 do
+    let bit = if Truth_table.input_bit n row (offset + i + 1) then 1 else 0 in
+    v := (!v lsl 1) lor bit
+  done;
+  !v
+
+let adder_bits bits =
+  if bits < 1 then invalid_arg "Arith.adder_bits";
+  let n = (2 * bits) + 1 in
+  Spec.of_fun
+    ~name:(Printf.sprintf "%d-bit adder" bits)
+    ~arity:n ~outputs:(bits + 1)
+    (fun ~row ~output ->
+      let a = operand ~n ~width:bits ~offset:0 row in
+      let b = operand ~n ~width:bits ~offset:bits row in
+      let cin = if Truth_table.input_bit n row n then 1 else 0 in
+      let s = a + b + cin in
+      if output < bits then (s lsr (bits - 1 - output)) land 1 = 1
+      else (s lsr bits) land 1 = 1)
+
+let full_adder = adder_bits 1
+
+let majority n =
+  Spec.of_fun ~name:(Printf.sprintf "majority%d" n) ~arity:n ~outputs:1
+    (fun ~row ~output:_ ->
+      let ones = ref 0 in
+      for i = 1 to n do
+        if Truth_table.input_bit n row i then incr ones
+      done;
+      2 * !ones > n)
+
+let parity n =
+  Spec.of_fun ~name:(Printf.sprintf "parity%d" n) ~arity:n ~outputs:1
+    (fun ~row ~output:_ ->
+      let ones = ref 0 in
+      for i = 1 to n do
+        if Truth_table.input_bit n row i then incr ones
+      done;
+      !ones land 1 = 1)
+
+let mux21 =
+  Spec.of_fun ~name:"mux21" ~arity:3 ~outputs:1 (fun ~row ~output:_ ->
+      if Truth_table.input_bit 3 row 1 then Truth_table.input_bit 3 row 2
+      else Truth_table.input_bit 3 row 3)
+
+let comparator width =
+  let n = 2 * width in
+  Spec.of_fun
+    ~name:(Printf.sprintf "cmp%d" width)
+    ~arity:n ~outputs:2
+    (fun ~row ~output ->
+      let a = operand ~n ~width ~offset:0 row in
+      let b = operand ~n ~width ~offset:width row in
+      match output with 0 -> a < b | _ -> a = b)
+
+let multiplier width =
+  let n = 2 * width in
+  Spec.of_fun
+    ~name:(Printf.sprintf "mul%dx%d" width width)
+    ~arity:n ~outputs:(2 * width)
+    (fun ~row ~output ->
+      let a = operand ~n ~width ~offset:0 row in
+      let b = operand ~n ~width ~offset:width row in
+      let p = a * b in
+      (p lsr ((2 * width) - 1 - output)) land 1 = 1)
+
+let and_or_4 =
+  Spec.of_fun ~name:"x1x2+x3x4" ~arity:4 ~outputs:1 (fun ~row ~output:_ ->
+      let b i = Truth_table.input_bit 4 row i in
+      (b 1 && b 2) || (b 3 && b 4))
+
+let table2_spec =
+  Spec.of_fun ~name:"table2" ~arity:4 ~outputs:4 (fun ~row ~output ->
+      let b i = Truth_table.input_bit 4 row i in
+      let conj = b 1 && b 2 && b 3 && b 4 in
+      let disj = b 1 || b 2 || b 3 || b 4 in
+      match output with
+      | 0 -> conj
+      | 1 -> not conj
+      | 2 -> disj
+      | _ -> not disj)

@@ -1,0 +1,39 @@
+(** Arithmetic and benchmark function specs.
+
+    These are the workloads of the paper's Table IV/V plus a few extra
+    primitives used by examples and tests. Input convention: the first
+    operand occupies x1.. (MSB first), then the second operand, then a
+    carry-in where applicable. *)
+
+(** [adder_bits n]: ripple-sum of two [n]-bit operands plus carry-in;
+    [2n + 1] inputs, [n + 1] outputs (sum MSB..LSB, then carry-out). The
+    paper's 1/2/3-bit adders are [adder_bits 1/2/3]. *)
+val adder_bits : int -> Spec.t
+
+(** Full adder = [adder_bits 1] (3 inputs, sum + carry). *)
+val full_adder : Spec.t
+
+(** [majority n]: 1 output, true when more than half the inputs are true. *)
+val majority : int -> Spec.t
+
+(** [parity n]: XOR of all inputs — the canonical V-op-unrealizable
+    function. *)
+val parity : int -> Spec.t
+
+(** [mux21]: 3 inputs (select, a, b), output = if x1 then x2 else x3. *)
+val mux21 : Spec.t
+
+(** [comparator n]: 2n inputs (a, b), 2 outputs (a < b, a = b). *)
+val comparator : int -> Spec.t
+
+(** [multiplier n]: binary (not GF) [n x n] multiplier, [2n] inputs, [2n]
+    outputs, MSB first. *)
+val multiplier : int -> Spec.t
+
+(** The function family the paper proves V-op-unrealizable:
+    x1·x2 + x3·x4. *)
+val and_or_4 : Spec.t
+
+(** Table II's four functions as one 4-output spec:
+    (AND4, NAND4, OR4, NOR4). *)
+val table2_spec : Spec.t

@@ -1,0 +1,73 @@
+let supported = [ 2; 3; 4 ]
+
+let poly = function
+  | 2 -> 0b111
+  | 3 -> 0b1011
+  | 4 -> 0b10011
+  | k -> invalid_arg (Printf.sprintf "Gf: unsupported degree %d" k)
+
+let check_elt k a =
+  if a < 0 || a >= 1 lsl k then invalid_arg "Gf: element out of range"
+
+let add k a b =
+  check_elt k a;
+  check_elt k b;
+  a lxor b
+
+(* Carry-less multiply followed by reduction modulo the field polynomial. *)
+let mul k a b =
+  check_elt k a;
+  check_elt k b;
+  let p = poly k in
+  let prod = ref 0 in
+  for i = 0 to k - 1 do
+    if (b lsr i) land 1 = 1 then prod := !prod lxor (a lsl i)
+  done;
+  let r = ref !prod in
+  for bit = (2 * k) - 2 downto k do
+    if (!r lsr bit) land 1 = 1 then r := !r lxor (p lsl (bit - k))
+  done;
+  !r
+
+let pow k a e =
+  let rec go acc a e =
+    if e = 0 then acc
+    else go (if e land 1 = 1 then mul k acc a else acc) (mul k a a) (e lsr 1)
+  in
+  go 1 a e
+
+let inv k a =
+  check_elt k a;
+  if a = 0 then 0
+  else
+    (* a^(2^k - 2) = a^-1 in GF(2^k). *)
+    pow k a ((1 lsl k) - 2)
+
+(* Inputs use the paper's convention: x1 is the MSB of the first operand. *)
+let bits_of_row ~n ~width ~offset row =
+  let v = ref 0 in
+  for i = 0 to width - 1 do
+    let bit = if Truth_table.input_bit n row (offset + i + 1) then 1 else 0 in
+    v := (!v lsl 1) lor bit
+  done;
+  !v
+
+let mul_spec k =
+  let n = 2 * k in
+  Spec.of_fun
+    ~name:(Printf.sprintf "gf%d_mul" (1 lsl k))
+    ~arity:n ~outputs:k
+    (fun ~row ~output ->
+      let a = bits_of_row ~n ~width:k ~offset:0 row in
+      let b = bits_of_row ~n ~width:k ~offset:k row in
+      let p = mul k a b in
+      (p lsr (k - 1 - output)) land 1 = 1)
+
+let inv_spec k =
+  Spec.of_fun
+    ~name:(Printf.sprintf "gf%d_inv" (1 lsl k))
+    ~arity:k ~outputs:k
+    (fun ~row ~output ->
+      let a = bits_of_row ~n:k ~width:k ~offset:0 row in
+      let v = inv k a in
+      (v lsr (k - 1 - output)) land 1 = 1)

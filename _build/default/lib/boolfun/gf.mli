@@ -1,0 +1,32 @@
+(** Galois-field GF(2^k) arithmetic and the corresponding synthesis specs.
+
+    The paper's flagship circuit is the GF(2²) multiplier (Fig. 1) and Table
+    IV also synthesizes GF(2⁴) inversion. Field elements are ints in
+    [0 .. 2^k - 1], read as polynomials over GF(2) with bit [i] the
+    coefficient of [x^i]. Standard irreducible polynomials are used:
+    x²+x+1, x³+x+1, x⁴+x+1. *)
+
+(** Supported field degrees: 2, 3 and 4. *)
+val supported : int list
+
+(** [mul k a b] multiplies in GF(2^k). *)
+val mul : int -> int -> int -> int
+
+(** [add k a b] is carryless addition (XOR). *)
+val add : int -> int -> int -> int
+
+(** [inv k a] is the multiplicative inverse; [inv k 0 = 0] by the usual
+    convention for inversion circuits. *)
+val inv : int -> int -> int
+
+(** [pow k a e]. *)
+val pow : int -> int -> int -> int
+
+(** [mul_spec k]: [2k] inputs (x1..xk = operand a, MSB first; the rest
+    operand b), [k] outputs (output 0 = MSB of the product). For [k = 2] this
+    is the paper's f_GFMUL with 4 inputs and 2 outputs. *)
+val mul_spec : int -> Spec.t
+
+(** [inv_spec k]: [k] inputs, [k] outputs; Table IV's GF(2⁴) inversion is
+    [inv_spec 4]. *)
+val inv_spec : int -> Spec.t

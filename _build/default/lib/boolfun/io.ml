@@ -1,0 +1,137 @@
+let lines_of s =
+  String.split_on_char '\n' s
+  |> List.map String.trim
+  |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+
+(* --- PLA ---------------------------------------------------------------- *)
+
+type pla_acc = {
+  mutable inputs : int option;
+  mutable outputs : int option;
+  mutable cubes : (string * string) list; (* reversed *)
+}
+
+let parse_pla ?(name = "pla") s =
+  let acc = { inputs = None; outputs = None; cubes = [] } in
+  let error = ref None in
+  let fail msg = if !error = None then error := Some msg in
+  let fields l = String.split_on_char ' ' l |> List.filter (( <> ) "") in
+  List.iter
+    (fun line ->
+      if !error = None then
+        if line.[0] = '.' then begin
+          match fields line with
+          | [ ".i"; n ] -> (
+            match int_of_string_opt n with
+            | Some n when n >= 1 -> acc.inputs <- Some n
+            | Some _ | None -> fail "bad .i")
+          | [ ".o"; n ] -> (
+            match int_of_string_opt n with
+            | Some n when n >= 1 -> acc.outputs <- Some n
+            | Some _ | None -> fail "bad .o")
+          | ".p" :: _ | [ ".e" ] | ".ilb" :: _ | ".ob" :: _ -> ()
+          | _ -> fail (Printf.sprintf "unknown directive %S" line)
+        end
+        else
+          match fields line with
+          | [ cube; out ] -> acc.cubes <- (cube, out) :: acc.cubes
+          | _ -> fail (Printf.sprintf "bad cube line %S" line))
+    (lines_of s);
+  match !error, acc.inputs, acc.outputs with
+  | Some msg, _, _ -> Error msg
+  | None, None, _ -> Error "missing .i"
+  | None, _, None -> Error "missing .o"
+  | None, Some n, Some n_out ->
+    if n > 16 then Error ".i too large (max 16)"
+    else begin
+      let cubes = List.rev acc.cubes in
+      let bad =
+        List.find_opt
+          (fun (cube, out) ->
+            String.length cube <> n
+            || String.length out <> n_out
+            || String.exists (fun ch -> ch <> '0' && ch <> '1' && ch <> '-') cube
+            || String.exists (fun ch -> ch <> '0' && ch <> '1' && ch <> '-') out)
+          cubes
+      in
+      match bad with
+      | Some (cube, _) -> Error (Printf.sprintf "malformed cube %S" cube)
+      | None ->
+        let covers cube row =
+          let ok = ref true in
+          String.iteri
+            (fun i ch ->
+              (* character i constrains x_(i+1), the MSB-first convention *)
+              let bit = Truth_table.input_bit n row (i + 1) in
+              match ch with
+              | '0' -> if bit then ok := false
+              | '1' -> if not bit then ok := false
+              | _ -> ())
+            cube;
+          !ok
+        in
+        let spec =
+          Spec.of_fun ~name ~arity:n ~outputs:n_out (fun ~row ~output ->
+              List.exists
+                (fun (cube, out) -> out.[output] = '1' && covers cube row)
+                cubes)
+        in
+        Ok spec
+    end
+
+let read_pla path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+    let len = in_channel_length ic in
+    let s = really_input_string ic len in
+    close_in ic;
+    parse_pla ~name:(Filename.basename path) s
+
+let to_pla spec =
+  let n = Spec.arity spec in
+  let n_out = Spec.output_count spec in
+  let buf = Buffer.create 256 in
+  Printf.ksprintf (Buffer.add_string buf) ".i %d\n.o %d\n" n n_out;
+  for row = 0 to (1 lsl n) - 1 do
+    let word = Spec.eval spec row in
+    if word <> 0 then begin
+      for i = 1 to n do
+        Buffer.add_char buf (if Truth_table.input_bit n row i then '1' else '0')
+      done;
+      Buffer.add_char buf ' ';
+      for o = 0 to n_out - 1 do
+        Buffer.add_char buf (if (word lsr o) land 1 = 1 then '1' else '0')
+      done;
+      Buffer.add_char buf '\n'
+    end
+  done;
+  Buffer.add_string buf ".e\n";
+  Buffer.contents buf
+
+(* --- plain truth tables -------------------------------------------------- *)
+
+let parse_tables ?(name = "tables") s =
+  match lines_of s with
+  | [] -> Error "no truth tables"
+  | first :: _ as rows ->
+    let len = String.length first in
+    let n = ref 0 in
+    while 1 lsl !n < len do
+      incr n
+    done;
+    if 1 lsl !n <> len then Error "table length is not a power of two"
+    else if List.exists (fun r -> String.length r <> len) rows then
+      Error "tables have different lengths"
+    else if
+      List.exists (String.exists (fun ch -> ch <> '0' && ch <> '1')) rows
+    then Error "tables must be over 0/1"
+    else
+      Ok
+        (Spec.make ~name
+           (Array.of_list (List.map (Truth_table.of_string !n) rows)))
+
+let to_tables spec =
+  String.concat "\n"
+    (Array.to_list (Array.map Truth_table.to_string (Spec.outputs spec)))
+  ^ "\n"

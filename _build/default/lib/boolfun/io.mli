@@ -1,0 +1,24 @@
+(** Specification file I/O.
+
+    Two formats are supported:
+
+    - a minimal Berkeley PLA subset ([.i]/[.o]/[.p]/[.e] directives and
+      cube lines over [0], [1], [-] with output parts over [0], [1]), the
+      lingua franca of two-level synthesis tools;
+    - plain truth-table files: one line per output, each a [2^n]-character
+      string of [0]/[1] (row 0 leftmost, the paper's convention), blank
+      lines and [#] comments ignored. *)
+
+(** [parse_pla s] reads a PLA document from a string. Unspecified input
+    rows evaluate to 0 (the ON-set convention). *)
+val parse_pla : ?name:string -> string -> (Spec.t, string) result
+
+val read_pla : string -> (Spec.t, string) result
+
+(** [to_pla spec] writes the ON-set cubes (one minterm per line). *)
+val to_pla : Spec.t -> string
+
+(** [parse_tables ~name s] reads the plain truth-table format. *)
+val parse_tables : ?name:string -> string -> (Spec.t, string) result
+
+val to_tables : Spec.t -> string

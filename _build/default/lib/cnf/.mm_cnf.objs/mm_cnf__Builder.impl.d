@@ -1,0 +1,1 @@
+lib/cnf/builder.ml: Array List Mm_sat

@@ -1,0 +1,1 @@
+lib/cnf/builder.mli: Mm_sat

@@ -1,0 +1,1 @@
+lib/cnf/cardinality.ml: Array Builder List Mm_sat

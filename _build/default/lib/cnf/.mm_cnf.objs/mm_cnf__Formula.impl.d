@@ -1,0 +1,1 @@
+lib/cnf/formula.ml: Builder Format List Mm_sat

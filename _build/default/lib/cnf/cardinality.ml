@@ -1,0 +1,78 @@
+module Lit = Mm_sat.Lit
+
+type amo_encoding = Pairwise | Sequential
+
+let at_least_one b lits =
+  if lits = [] then invalid_arg "Cardinality.at_least_one: empty";
+  Builder.add b lits
+
+let at_most_one_pairwise b lits =
+  let arr = Array.of_list lits in
+  for i = 0 to Array.length arr - 1 do
+    for j = i + 1 to Array.length arr - 1 do
+      Builder.add b [ Lit.negate arr.(i); Lit.negate arr.(j) ]
+    done
+  done
+
+(* Sinz sequential counter for k = 1: registers s_i ≡ "some y_j with j <= i
+   is true"; forbids y_{i+1} when s_i. *)
+let at_most_one_sequential b lits =
+  match lits with
+  | [] | [ _ ] -> ()
+  | first :: rest ->
+    let s = ref first in
+    List.iteri
+      (fun idx y ->
+        let last = idx = List.length rest - 1 in
+        Builder.add b [ Lit.negate !s; Lit.negate y ];
+        if not last then begin
+          let s' = Builder.fresh_lit b in
+          Builder.add b [ Lit.negate !s; s' ];
+          Builder.add b [ Lit.negate y; s' ];
+          s := s'
+        end)
+      rest
+
+let at_most_one ?(encoding = Pairwise) b lits =
+  match encoding with
+  | Pairwise -> at_most_one_pairwise b lits
+  | Sequential ->
+    if List.length lits <= 5 then at_most_one_pairwise b lits
+    else at_most_one_sequential b lits
+
+let exactly_one ?encoding b lits =
+  at_least_one b lits;
+  at_most_one ?encoding b lits
+
+(* Sequential counter (Sinz 2005) for at-most-k. *)
+let at_most_k b k lits =
+  if k < 0 then invalid_arg "Cardinality.at_most_k";
+  let n = List.length lits in
+  if k = 0 then List.iter (fun l -> Builder.add b [ Lit.negate l ]) lits
+  else if n > k then begin
+    let ys = Array.of_list lits in
+    (* regs.(i).(j) = "at least j+1 of y_0..y_i are true" *)
+    let regs = Array.make_matrix n k (Lit.pos 0) in
+    for i = 0 to n - 1 do
+      for j = 0 to k - 1 do
+        regs.(i).(j) <- Builder.fresh_lit b
+      done
+    done;
+    for i = 0 to n - 1 do
+      (* y_i -> regs i 0 *)
+      Builder.add b [ Lit.negate ys.(i); regs.(i).(0) ];
+      if i > 0 then begin
+        for j = 0 to k - 1 do
+          (* carry: regs (i-1) j -> regs i j *)
+          Builder.add b [ Lit.negate regs.(i - 1).(j); regs.(i).(j) ]
+        done;
+        for j = 1 to k - 1 do
+          (* increment: y_i & regs (i-1) (j-1) -> regs i j *)
+          Builder.add b
+            [ Lit.negate ys.(i); Lit.negate regs.(i - 1).(j - 1); regs.(i).(j) ]
+        done;
+        (* overflow: y_i & regs (i-1) (k-1) -> false *)
+        Builder.add b [ Lit.negate ys.(i); Lit.negate regs.(i - 1).(k - 1) ]
+      end
+    done
+  end

@@ -1,0 +1,21 @@
+(** Cardinality constraints.
+
+    The synthesis formula Φ leans heavily on the mutex expression µ of the
+    paper's Eq. 3 (exactly-one). The pairwise encoding matches Eq. 3
+    literally and is used when reporting paper-comparable formula sizes; the
+    sequential (Sinz) encoding is smaller for wide selector buses and is
+    what the compact encoding uses. *)
+
+type amo_encoding = Pairwise | Sequential
+
+(** [at_least_one b lits]: a single clause. *)
+val at_least_one : Builder.t -> Builder.Lit.t list -> unit
+
+(** [at_most_one ~encoding b lits]. *)
+val at_most_one : ?encoding:amo_encoding -> Builder.t -> Builder.Lit.t list -> unit
+
+(** [exactly_one ~encoding b lits] — the paper's µ(y₁, …, y_k). *)
+val exactly_one : ?encoding:amo_encoding -> Builder.t -> Builder.Lit.t list -> unit
+
+(** [at_most_k b k lits] via a sequential counter. *)
+val at_most_k : Builder.t -> int -> Builder.Lit.t list -> unit

@@ -1,0 +1,75 @@
+module Lit = Mm_sat.Lit
+
+type t =
+  | True
+  | False
+  | Var of int
+  | Not of t
+  | And of t list
+  | Or of t list
+  | Xor of t * t
+  | Imp of t * t
+  | Iff of t * t
+
+let rec eval ~env = function
+  | True -> true
+  | False -> false
+  | Var v -> env v
+  | Not f -> not (eval ~env f)
+  | And fs -> List.for_all (eval ~env) fs
+  | Or fs -> List.exists (eval ~env) fs
+  | Xor (a, b) -> eval ~env a <> eval ~env b
+  | Imp (a, b) -> (not (eval ~env a)) || eval ~env b
+  | Iff (a, b) -> eval ~env a = eval ~env b
+
+let vars f =
+  let rec go acc = function
+    | True | False -> acc
+    | Var v -> v :: acc
+    | Not f -> go acc f
+    | And fs | Or fs -> List.fold_left go acc fs
+    | Xor (a, b) | Imp (a, b) | Iff (a, b) -> go (go acc a) b
+  in
+  List.sort_uniq compare (go [] f)
+
+let rec tseitin b ~lit = function
+  | True -> Builder.const_true b
+  | False -> Builder.const_false b
+  | Var v -> lit v
+  | Not f -> Lit.negate (tseitin b ~lit f)
+  | And fs -> Builder.define_andn b (List.map (tseitin b ~lit) fs)
+  | Or fs -> Builder.define_orn b (List.map (tseitin b ~lit) fs)
+  | Xor (a, b') -> Builder.define_xor b (tseitin b ~lit a) (tseitin b ~lit b')
+  | Imp (a, b') ->
+    Builder.define_or b (Lit.negate (tseitin b ~lit a)) (tseitin b ~lit b')
+  | Iff (a, b') ->
+    Lit.negate (Builder.define_xor b (tseitin b ~lit a) (tseitin b ~lit b'))
+
+let assert_formula b ~lit f =
+  match f with
+  | And fs -> List.iter (fun f -> Builder.add b [ tseitin b ~lit f ]) fs
+  | f -> Builder.add b [ tseitin b ~lit f ]
+
+let rec pp ppf = function
+  | True -> Format.pp_print_string ppf "1"
+  | False -> Format.pp_print_string ppf "0"
+  | Var v -> Format.fprintf ppf "v%d" v
+  | Not f -> Format.fprintf ppf "~%a" pp_atom f
+  | And fs -> pp_nary ppf "&" fs
+  | Or fs -> pp_nary ppf "|" fs
+  | Xor (a, b) -> Format.fprintf ppf "(%a ^ %a)" pp a pp b
+  | Imp (a, b) -> Format.fprintf ppf "(%a -> %a)" pp a pp b
+  | Iff (a, b) -> Format.fprintf ppf "(%a <-> %a)" pp a pp b
+
+and pp_atom ppf f =
+  match f with
+  | True | False | Var _ | Not _ -> pp ppf f
+  | And _ | Or _ | Xor _ | Imp _ | Iff _ -> Format.fprintf ppf "(%a)" pp f
+
+and pp_nary ppf op = function
+  | [] -> Format.pp_print_string ppf (if op = "&" then "1" else "0")
+  | [ f ] -> pp ppf f
+  | f :: fs ->
+    Format.fprintf ppf "(%a" pp f;
+    List.iter (fun g -> Format.fprintf ppf " %s %a" op pp g) fs;
+    Format.fprintf ppf ")"

@@ -1,0 +1,33 @@
+(** Propositional formulas with Tseitin translation.
+
+    A convenience layer over {!Builder} for constraints that are easier to
+    state as formulas than as clauses (used by tests and available to
+    encoder extensions). Variables are abstract ints mapped to solver
+    variables by the caller. *)
+
+type t =
+  | True
+  | False
+  | Var of int
+  | Not of t
+  | And of t list
+  | Or of t list
+  | Xor of t * t
+  | Imp of t * t
+  | Iff of t * t
+
+(** [eval ~env f] with [env v] the value of variable [v]. *)
+val eval : env:(int -> bool) -> t -> bool
+
+(** [vars f] — distinct variables, ascending. *)
+val vars : t -> int list
+
+(** [tseitin b ~lit f] emits defining clauses into [b] and returns a
+    literal equivalent to [f]; [lit v] maps formula variables to solver
+    literals. *)
+val tseitin : Builder.t -> lit:(int -> Builder.Lit.t) -> t -> Builder.Lit.t
+
+(** [assert_formula b ~lit f] constrains [f] to hold. *)
+val assert_formula : Builder.t -> lit:(int -> Builder.Lit.t) -> t -> unit
+
+val pp : Format.formatter -> t -> unit

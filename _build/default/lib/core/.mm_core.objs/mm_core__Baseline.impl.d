@@ -1,0 +1,1 @@
+lib/core/baseline.ml: Array Circuit Hashtbl List Mm_boolfun Printf Rop

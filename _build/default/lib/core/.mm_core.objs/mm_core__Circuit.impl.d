@@ -1,0 +1,1 @@
+lib/core/circuit.ml: Array Format Fun Hashtbl Int List Mm_boolfun Rop Set Stdlib Vop

@@ -1,0 +1,1 @@
+lib/core/circuit.mli: Format Mm_boolfun Rop

@@ -1,0 +1,1 @@
+lib/core/compose.ml: Array Circuit List Mm_boolfun

@@ -1,0 +1,1 @@
+lib/core/emit.ml: Array Buffer Circuit Format Mm_boolfun Printf Rop

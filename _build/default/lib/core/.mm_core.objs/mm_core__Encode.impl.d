@@ -1,0 +1,1 @@
+lib/core/encode.ml: Array Circuit List Mm_boolfun Mm_cnf Mm_sat Printf Rop

@@ -1,0 +1,1 @@
+lib/core/encode.mli: Circuit Mm_boolfun Mm_cnf Rop

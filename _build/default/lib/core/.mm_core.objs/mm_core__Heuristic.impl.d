@@ -1,0 +1,1 @@
+lib/core/heuristic.ml: Array Baseline Circuit Compose Encode Hashtbl List Mm_boolfun Printf Synth Universality

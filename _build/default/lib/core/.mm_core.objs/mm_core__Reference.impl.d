@@ -1,0 +1,1 @@
+lib/core/reference.ml: Array Circuit List Mm_boolfun

@@ -1,0 +1,1 @@
+lib/core/reliability.ml: Array Circuit List Mm_boolfun Mm_device Schedule

@@ -1,0 +1,1 @@
+lib/core/reliability.mli: Circuit Mm_boolfun Mm_device

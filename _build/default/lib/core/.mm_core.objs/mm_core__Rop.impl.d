@@ -1,0 +1,1 @@
+lib/core/rop.ml: Format Mm_boolfun

@@ -1,0 +1,1 @@
+lib/core/rop.mli: Format Mm_boolfun

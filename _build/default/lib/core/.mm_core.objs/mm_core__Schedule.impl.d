@@ -1,0 +1,1 @@
+lib/core/schedule.ml: Array Circuit Fun List Mm_boolfun Mm_device Printf Rop Set Stdlib

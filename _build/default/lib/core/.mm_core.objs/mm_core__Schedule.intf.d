@@ -1,0 +1,1 @@
+lib/core/schedule.mli: Circuit Mm_boolfun Mm_device

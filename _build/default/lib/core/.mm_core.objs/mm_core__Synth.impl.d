@@ -1,0 +1,1 @@
+lib/core/synth.ml: Baseline Circuit Encode Format List Mm_boolfun Mm_cnf Mm_sat Printf Rop Unix

@@ -1,0 +1,1 @@
+lib/core/synth.mli: Circuit Encode Format Mm_boolfun Mm_sat Rop

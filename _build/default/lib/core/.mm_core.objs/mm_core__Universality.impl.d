@@ -1,0 +1,1 @@
+lib/core/universality.ml: Array Hashtbl List Mm_bitvec Mm_boolfun Queue

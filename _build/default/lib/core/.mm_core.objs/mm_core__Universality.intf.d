@@ -1,0 +1,1 @@
+lib/core/universality.mli: Mm_bitvec Mm_boolfun

@@ -1,0 +1,1 @@
+lib/core/vop.ml: Bool List Mm_boolfun

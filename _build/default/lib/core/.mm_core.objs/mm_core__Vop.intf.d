@@ -1,0 +1,1 @@
+lib/core/vop.mli: Mm_boolfun

@@ -1,0 +1,1 @@
+lib/core/xbar_schedule.ml: Array Circuit List Mm_boolfun Mm_device Rop Set Stdlib

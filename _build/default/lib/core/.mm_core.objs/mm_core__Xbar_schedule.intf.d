@@ -1,0 +1,1 @@
+lib/core/xbar_schedule.mli: Circuit Mm_boolfun Mm_device

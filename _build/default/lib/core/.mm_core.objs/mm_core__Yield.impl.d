@@ -1,0 +1,1 @@
+lib/core/yield.ml: Baseline Circuit Encode List Mm_boolfun Synth

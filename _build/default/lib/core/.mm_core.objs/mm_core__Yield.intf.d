@@ -1,0 +1,1 @@
+lib/core/yield.mli: Circuit Mm_boolfun Synth

@@ -1,0 +1,96 @@
+module Spec = Mm_boolfun.Spec
+module Tt = Mm_boolfun.Truth_table
+module Literal = Mm_boolfun.Literal
+module Qmc = Mm_boolfun.Qmc
+
+(* Builder for R-only circuits with structural hashing: NOR(a,b) gates over
+   sources; NOT x = NOR(x, const-0). *)
+type builder = {
+  mutable rops : Circuit.rop list; (* reversed *)
+  mutable count : int;
+  cache : (Circuit.source * Circuit.source, Circuit.source) Hashtbl.t;
+}
+
+let new_builder () = { rops = []; count = 0; cache = Hashtbl.create 64 }
+
+let canon a b = if compare a b <= 0 then (a, b) else (b, a)
+
+let nor bld a b =
+  let key = canon a b in
+  match Hashtbl.find_opt bld.cache key with
+  | Some src -> src
+  | None ->
+    let in1, in2 = key in
+    bld.rops <- { Circuit.in1; in2 } :: bld.rops;
+    let src = Circuit.From_rop bld.count in
+    bld.count <- bld.count + 1;
+    Hashtbl.add bld.cache key src;
+    src
+
+let lit l = Circuit.From_literal l
+
+(* NOT with literal-level simplification. *)
+let negate bld = function
+  | Circuit.From_literal l -> lit (Literal.negate l)
+  | src -> nor bld src (lit Literal.Const0)
+
+(* Product of literals: NOR of the complements, then AND-extend. *)
+let cube_node bld lits =
+  match lits with
+  | [] -> lit Literal.Const1
+  | [ l ] -> lit l
+  | l1 :: l2 :: rest ->
+    let first = nor bld (lit (Literal.negate l1)) (lit (Literal.negate l2)) in
+    List.fold_left
+      (fun acc l -> nor bld (negate bld acc) (lit (Literal.negate l)))
+      first rest
+
+(* ¬(t1 + ... + tm), then negate at the end if needed. *)
+let nor_of_terms bld terms =
+  match terms with
+  | [] -> lit Literal.Const1 (* ¬(empty OR) = 1 *)
+  | [ t ] -> negate bld t
+  | t1 :: t2 :: rest ->
+    let first = nor bld t1 t2 in
+    List.fold_left (fun acc t -> nor bld (negate bld acc) t) first rest
+
+let output_node bld n tt =
+  (* choose the cheaper polarity: SOP of f needs a final NOT after the
+     NOR-sum; SOP of ¬f does not. *)
+  let cubes_pos = Qmc.minimize tt in
+  let cubes_neg = Qmc.minimize (Tt.lnot tt) in
+  let cost cubes =
+    List.fold_left (fun acc c -> acc + max 0 ((2 * Qmc.cube_size c) - 3)) 0 cubes
+    + (2 * List.length cubes)
+  in
+  let terms cubes = List.map (fun c -> cube_node bld (Qmc.cube_literals n c)) cubes in
+  match cubes_pos, cubes_neg with
+  | [], _ -> lit Literal.Const0
+  | _, [] -> lit Literal.Const1
+  | [ single ], _ when cost cubes_pos <= cost cubes_neg ->
+    (* one product term: no sum stage, no negation *)
+    cube_node bld (Qmc.cube_literals n single)
+  | _ ->
+    (* nor_of_terms computes ¬Σ, so the complement cover lands on f
+       directly while the positive cover needs one final inversion *)
+    if cost cubes_neg < cost cubes_pos then nor_of_terms bld (terms cubes_neg)
+    else negate bld (nor_of_terms bld (terms cubes_pos))
+
+let nor_network spec =
+  let n = Spec.arity spec in
+  let bld = new_builder () in
+  let outputs =
+    Array.map (fun tt -> output_node bld n tt) (Spec.outputs spec)
+  in
+  let circuit =
+    Circuit.make ~arity:n ~rop_kind:Rop.Nor ~legs:[||]
+      ~rops:(Array.of_list (List.rev bld.rops))
+      ~outputs ()
+  in
+  (match Circuit.realizes circuit spec with
+   | Ok () -> ()
+   | Error row ->
+     failwith (Printf.sprintf "Baseline.nor_network: wrong on row %d" row));
+  circuit
+
+let nor_count spec = Circuit.n_rops (nor_network spec)

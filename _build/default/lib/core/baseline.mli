@@ -1,0 +1,19 @@
+(** Gate-oriented NOR-network baseline.
+
+    The paper contrasts its monolithic SAT synthesis with classical
+    gate-oriented flows (BDD/AIG-based mapping to NOR gates). This module
+    implements such a flow: Quine–McCluskey two-level minimization followed
+    by structural mapping onto 2-input NOR gates (the R-op), with structural
+    hashing across outputs. It yields a valid R-only circuit whose gate
+    count upper-bounds the optimal N_R — used to seed the minimization
+    loops — and is itself a baseline in the benches. *)
+
+module Spec = Mm_boolfun.Spec
+
+(** [nor_network spec] returns an R-only circuit realizing [spec]
+    (verified internally). *)
+val nor_network : Spec.t -> Circuit.t
+
+(** Number of NOR gates the baseline needs (= [Circuit.n_rops] of
+    {!nor_network}). *)
+val nor_count : Spec.t -> int

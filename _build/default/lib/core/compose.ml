@@ -1,0 +1,158 @@
+module Literal = Mm_boolfun.Literal
+
+type remap = Circuit.source -> Circuit.source
+
+let merge_parallel circuits =
+  match circuits with
+  | [] -> invalid_arg "Compose.merge_parallel: empty"
+  | first :: _ ->
+    let arity = first.Circuit.arity in
+    let rop_kind = first.Circuit.rop_kind in
+    List.iter
+      (fun c ->
+        if c.Circuit.arity <> arity then
+          invalid_arg "Compose.merge_parallel: arity mismatch";
+        if c.Circuit.rop_kind <> rop_kind then
+          invalid_arg "Compose.merge_parallel: R-op kind mismatch")
+      circuits;
+    let total_steps =
+      List.fold_left (fun acc c -> acc + Circuit.steps_per_leg c) 0 circuits
+    in
+    (* per-step shared BE of the merged schedule: within circuit i's window
+       use its own BE (taken from its leg 0 when it has legs) *)
+    let merged_be = Array.make (max 1 total_steps) Literal.Const0 in
+    let offsets = ref [] in
+    let off = ref 0 in
+    List.iter
+      (fun c ->
+        offsets := !off :: !offsets;
+        let steps = Circuit.steps_per_leg c in
+        for s = 0 to steps - 1 do
+          merged_be.(!off + s) <-
+            (if Circuit.n_legs c > 0 then c.Circuit.legs.(0).(s).Circuit.be
+             else Literal.Const0)
+        done;
+        off := !off + steps)
+      circuits;
+    let offsets = List.rev !offsets in
+    (* build legs: each sub-leg becomes a full-length leg holding outside
+       its window (TE = shared BE of that step) *)
+    let legs = ref [] in
+    let leg_base = ref [] in
+    let base = ref 0 in
+    List.iter2
+      (fun c step_off ->
+        leg_base := !base :: !leg_base;
+        Array.iter
+          (fun sub_leg ->
+            let leg =
+              Array.init total_steps (fun s ->
+                  if s >= step_off && s < step_off + Array.length sub_leg then
+                    let op = sub_leg.(s - step_off) in
+                    (* the window keeps the sub-circuit's TE; its BE is the
+                       merged rail by construction *)
+                    { Circuit.te = op.Circuit.te; be = merged_be.(s) }
+                  else { Circuit.te = merged_be.(s); be = merged_be.(s) })
+            in
+            legs := leg :: !legs)
+          c.Circuit.legs;
+        base := !base + Circuit.n_legs c)
+      circuits offsets;
+    let leg_base = List.rev !leg_base in
+    (* concatenate R-ops with source remapping *)
+    let remaps = ref [] in
+    let rops = ref [] in
+    let rop_offset = ref 0 in
+    List.iter2
+      (fun c (step_off, lbase) ->
+        let rop_off = !rop_offset in
+        let remap = function
+          | Circuit.From_literal _ as src -> src
+          | Circuit.From_leg l ->
+            (* legs hold after their window, so window-final = merged-final *)
+            Circuit.From_leg (lbase + l)
+          | Circuit.From_vop (l, s) ->
+            if s = Circuit.steps_per_leg c - 1 then Circuit.From_leg (lbase + l)
+            else Circuit.From_vop (lbase + l, step_off + s)
+          | Circuit.From_rop r -> Circuit.From_rop (rop_off + r)
+        in
+        Array.iter
+          (fun { Circuit.in1; in2 } ->
+            rops := { Circuit.in1 = remap in1; in2 = remap in2 } :: !rops)
+          c.Circuit.rops;
+        rop_offset := rop_off + Circuit.n_rops c;
+        remaps := remap :: !remaps)
+      circuits
+      (List.combine offsets leg_base);
+    let shell =
+      {
+        Circuit.arity;
+        rop_kind;
+        legs = Array.of_list (List.rev !legs);
+        rops = Array.of_list (List.rev !rops);
+        outputs = [||];
+      }
+    in
+    (shell, List.rev !remaps)
+
+let with_outputs shell outputs =
+  Circuit.make ~arity:shell.Circuit.arity ~rop_kind:shell.Circuit.rop_kind
+    ~legs:shell.Circuit.legs ~rops:shell.Circuit.rops ~outputs ()
+
+let with_extra_rops shell extra outputs =
+  let base = Circuit.n_rops shell in
+  let resolve = function
+    | `Old src -> src
+    | `New i ->
+      if i < 0 || i >= List.length extra then
+        invalid_arg "Compose.with_extra_rops: bad new-rop index";
+      Circuit.From_rop (base + i)
+  in
+  let new_rops =
+    List.mapi
+      (fun i (a, b) ->
+        let check = function
+          | `New j when j >= i -> invalid_arg "Compose.with_extra_rops: forward ref"
+          | `New _ | `Old _ -> ()
+        in
+        check a;
+        check b;
+        { Circuit.in1 = resolve a; in2 = resolve b })
+      extra
+  in
+  Circuit.make ~arity:shell.Circuit.arity ~rop_kind:shell.Circuit.rop_kind
+    ~legs:shell.Circuit.legs
+    ~rops:(Array.append shell.Circuit.rops (Array.of_list new_rops))
+    ~outputs:(Array.map resolve outputs)
+    ()
+
+let rename_vars c ~arity ~mapping =
+  let rename_literal = function
+    | Literal.Const0 -> Literal.Const0
+    | Literal.Const1 -> Literal.Const1
+    | Literal.Pos i ->
+      if i < 1 || i > Array.length mapping then
+        invalid_arg "Compose.rename_vars: variable out of mapping";
+      Literal.Pos mapping.(i - 1)
+    | Literal.Neg i ->
+      if i < 1 || i > Array.length mapping then
+        invalid_arg "Compose.rename_vars: variable out of mapping";
+      Literal.Neg mapping.(i - 1)
+  in
+  let rename_source = function
+    | Circuit.From_literal l -> Circuit.From_literal (rename_literal l)
+    | (Circuit.From_leg _ | Circuit.From_vop _ | Circuit.From_rop _) as s -> s
+  in
+  Circuit.make ~arity ~rop_kind:c.Circuit.rop_kind
+    ~legs:
+      (Array.map
+         (Array.map (fun { Circuit.te; be } ->
+              { Circuit.te = rename_literal te; be = rename_literal be }))
+         c.Circuit.legs)
+    ~rops:
+      (Array.map
+         (fun { Circuit.in1; in2 } ->
+           { Circuit.in1 = rename_source in1; in2 = rename_source in2 })
+         c.Circuit.rops)
+    ~outputs:(Array.map rename_source c.Circuit.outputs)
+    ()

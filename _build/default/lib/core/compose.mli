@@ -1,0 +1,37 @@
+(** Structural combinators over mixed-mode circuits.
+
+    These underpin the scalable heuristic flow ({!Heuristic}): independently
+    synthesized sub-circuits are merged onto one line array by serializing
+    their V-op phases into disjoint step windows (legs outside their window
+    hold via TE = BE, which the shared rail always permits — the paper's
+    "dummy cycles") and concatenating their R-op sequences. *)
+
+(** Mapping from a sub-circuit's sources into the merged circuit's sources. *)
+type remap = Circuit.source -> Circuit.source
+
+(** [merge_parallel circuits] merges circuits of equal arity and R-op kind.
+    Returns the merged circuit shell — with the concatenated legs and R-ops
+    but {e no outputs} — and one remapping per input circuit. Use the
+    remappings to build outputs (or further gates) over the merged space via
+    {!with_outputs} / {!with_extra_rops}. *)
+val merge_parallel : Circuit.t list -> Circuit.t * remap list
+
+(** [with_outputs shell outputs] finalizes a merged shell. *)
+val with_outputs : Circuit.t -> Circuit.source array -> Circuit.t
+
+(** [with_extra_rops shell rops outputs] appends R-ops (whose sources must
+    already live in the merged space; [From_rop] indices are relative to the
+    appended list via [`New i], existing ones via [`Old src]) and sets the
+    outputs. *)
+val with_extra_rops :
+  Circuit.t ->
+  ([ `Old of Circuit.source | `New of int ] * [ `Old of Circuit.source | `New of int ])
+  list ->
+  [ `Old of Circuit.source | `New of int ] array ->
+  Circuit.t
+
+(** [rename_vars c ~arity ~mapping] re-embeds a circuit over variables
+    [x1..xk] into arity [arity], sending variable [i+1] (1-based) to
+    [mapping.(i)]. Used to lift support-projected sub-circuits back to the
+    full input space. *)
+val rename_vars : Circuit.t -> arity:int -> mapping:int array -> Circuit.t

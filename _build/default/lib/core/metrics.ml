@@ -1,0 +1,29 @@
+let steps ~n_vs ~n_rops = n_vs + n_rops
+
+let devices_paper ~n_rops ~n_outputs = (2 * n_rops) + n_outputs
+
+let devices = Circuit.n_devices
+
+let cycles_with_readout c = Circuit.n_steps c + Circuit.n_outputs c
+
+type adder_entry = { source : string; bits : int; n_st : int; n_dev : int }
+
+(* Table V of the paper, literature columns: N_St and N_Dev per design and
+   operand width. *)
+let literature_adders =
+  [
+    { source = "[16]"; bits = 1; n_st = 29; n_dev = 11 };
+    { source = "[16]"; bits = 2; n_st = 58; n_dev = 14 };
+    { source = "[16]"; bits = 3; n_st = 87; n_dev = 17 };
+    { source = "[17]"; bits = 1; n_st = 18; n_dev = 19 };
+    { source = "[17]"; bits = 2; n_st = 24; n_dev = 51 };
+    { source = "[18]"; bits = 1; n_st = 22; n_dev = 7 };
+    { source = "[18]"; bits = 2; n_st = 44; n_dev = 9 };
+    { source = "[18]"; bits = 3; n_st = 66; n_dev = 11 };
+    { source = "[19]"; bits = 1; n_st = 11; n_dev = 12 };
+    { source = "[19]"; bits = 2; n_st = 22; n_dev = 18 };
+    { source = "[19]"; bits = 3; n_st = 33; n_dev = 24 };
+    { source = "[20]"; bits = 1; n_st = 17; n_dev = 5 };
+    { source = "[20]"; bits = 2; n_st = 34; n_dev = 9 };
+    { source = "[20]"; bits = 3; n_st = 51; n_dev = 14 };
+  ]

@@ -1,0 +1,30 @@
+(** Closed-form metrics used by the paper's Tables IV and V.
+
+    These complement the structural counters on {!Circuit.t}: the paper
+    reports [N_St = N_VS + N_R] (V-ops execute in parallel, R-ops strictly
+    sequentially on a line array) and [N_Dev = 2·N_R + N_O]. *)
+
+(** [steps ~n_vs ~n_rops] = N_St. *)
+val steps : n_vs:int -> n_rops:int -> int
+
+(** [devices_paper ~n_rops ~n_outputs] = the paper's 2·N_R + N_O. *)
+val devices_paper : n_rops:int -> n_outputs:int -> int
+
+(** Structural count from an actual circuit (may be below the closed form
+    thanks to device sharing between cascaded R-ops). *)
+val devices : Circuit.t -> int
+
+(** Total cycles including per-output readout (Fig. 2 reports 9 for the
+    GF(2²) multiplier: 3 V-op + 4 R-op + 2 readout). *)
+val cycles_with_readout : Circuit.t -> int
+
+(** One literature adder design for Table V. *)
+type adder_entry = {
+  source : string;  (** citation tag, e.g. "[16]" *)
+  bits : int;  (** operand width n *)
+  n_st : int;
+  n_dev : int;
+}
+
+(** The published designs quoted in Table V ([16]–[20]). *)
+val literature_adders : adder_entry list

@@ -1,0 +1,75 @@
+module Literal = Mm_boolfun.Literal
+
+type table2_fn = And4 | Nand4 | Or4 | Nor4
+
+let table2_functions = [ And4; Nand4; Or4; Nor4 ]
+
+open Literal
+
+let table2_shared_be = [| Const0; Pos 3; Pos 1; Const0; Const1 |]
+
+let table2_te = function
+  | And4 -> [| Pos 4; Pos 2; Pos 3; Const0; Pos 1 |]
+  | Nand4 -> [| Neg 4; Pos 1; Pos 2; Neg 2; Const1 |]
+  | Or4 -> [| Pos 2; Pos 4; Pos 3; Pos 1; Const1 |]
+  | Nor4 -> [| Const0; Neg 2; Const0; Const0; Neg 4 |]
+
+let table2_circuit () =
+  let leg fn =
+    Array.init 5 (fun s ->
+        { Circuit.te = (table2_te fn).(s); be = table2_shared_be.(s) })
+  in
+  Circuit.make ~arity:4
+    ~legs:(Array.of_list (List.map leg table2_functions))
+    ~rops:[||]
+    ~outputs:[| Circuit.From_leg 0; From_leg 1; From_leg 2; From_leg 3 |]
+    ()
+
+(* Printed state rows of Table II that are internally consistent with the
+   paper's own worked example; strings list row 0 leftmost. *)
+let table2_expected_states =
+  [
+    (And4, 1, "0101010101010101");
+    (And4, 2, "0100110101001101");
+    (And4, 3, "0111111100000001");
+    (And4, 4, "0111111100000001");
+    (And4, 5, "0000000000000001");
+    (Nand4, 1, "1010101010101010");
+    (Nand4, 4, "1111111111111110");
+    (Nand4, 5, "1111111111111110");
+    (Or4, 1, "0000111100001111");
+    (Or4, 4, "0111111111111111");
+    (Or4, 5, "0111111111111111");
+    (Nor4, 1, "0000000000000000");
+    (Nor4, 2, "1100000011000000");
+    (Nor4, 3, "1100000000000000");
+    (Nor4, 4, "1100000000000000");
+    (Nor4, 5, "1000000000000000");
+  ]
+
+(* Synthesized by Synth.solve_instance on Gf.mul_spec 2 with the paper's
+   Fig. 1 dimensions (Any_vop taps); decoded and verified on all 16 rows.
+   Ten devices after physicalization — the paper's device count. *)
+let gf4_mul_circuit () =
+  let vop te be = { Circuit.te; be } in
+  let legs =
+    [|
+      [| vop (Neg 1) (Neg 3); vop (Neg 2) (Pos 3); vop (Neg 4) (Neg 3) |];
+      [| vop (Neg 1) (Neg 3); vop (Pos 4) (Pos 3); vop (Neg 3) (Neg 3) |];
+      [| vop (Pos 1) (Neg 3); vop (Neg 4) (Pos 3); vop (Neg 2) (Neg 3) |];
+      [| vop (Neg 2) (Neg 3); vop (Neg 1) (Pos 3); vop (Neg 3) (Neg 3) |];
+      [| vop (Pos 2) (Neg 3); vop (Pos 4) (Pos 3); vop (Neg 2) (Neg 3) |];
+      [| vop (Neg 4) (Neg 3); vop (Neg 2) (Pos 3); vop (Neg 1) (Neg 3) |];
+    |]
+  in
+  let rops =
+    [|
+      { Circuit.in1 = Circuit.From_vop (5, 2); in2 = Circuit.From_vop (4, 1) };
+      { Circuit.in1 = Circuit.From_vop (2, 2); in2 = Circuit.From_vop (1, 2) };
+      { Circuit.in1 = Circuit.From_rop 0; in2 = Circuit.From_vop (3, 2) };
+      { Circuit.in1 = Circuit.From_rop 1; in2 = Circuit.From_vop (0, 1) };
+    |]
+  in
+  Circuit.make ~arity:4 ~legs ~rops
+    ~outputs:[| Circuit.From_rop 2; Circuit.From_rop 3 |]
+    ()

@@ -1,0 +1,41 @@
+(** Reference circuits transcribed from the paper.
+
+    Table II prints, cycle by cycle, complete V-op schedules realizing the
+    4-input AND/NAND/OR/NOR on four parallel legs with a shared BE — the
+    only fully-disclosed circuits in the paper, which makes them the gold
+    standard for validating the V-op evaluator and the electrical
+    simulator against published data.
+
+    Transcription note: the printed truth-table strings are authoritative.
+    The paper's own worked example ((x₁..x₄) = (0,0,1,0) giving BE = 1 under
+    the label "x̄₃") shows that BE labels are displayed as the {e logical
+    factor} they contribute (Eq. 1 multiplies by the complement of the BE
+    literal), so label "x̄ᵢ" on a BE row denotes the electrical literal xᵢ.
+    The literals below follow the printed tables. *)
+
+module Literal = Mm_boolfun.Literal
+
+type table2_fn = And4 | Nand4 | Or4 | Nor4
+
+val table2_functions : table2_fn list
+
+(** The shared BE rail of Table II: const-0, x₃, x₁, const-0, const-1. *)
+val table2_shared_be : Literal.t array
+
+(** The 5-step TE sequence of one column. *)
+val table2_te : table2_fn -> Literal.t array
+
+(** The four columns as one 4-leg, 0-R-op circuit with outputs
+    (AND4, NAND4, OR4, NOR4); realizes {!Mm_boolfun.Arith.table2_spec}. *)
+val table2_circuit : unit -> Circuit.t
+
+(** Intermediate states printed in the paper (row strings of length 16,
+    row 0 leftmost): [(fn, step, state)] with step 1..5 meaning the state
+    after that V-op. Only entries whose printed strings are internally
+    consistent are included. *)
+val table2_expected_states : (table2_fn * int * string) list
+
+(** A mixed-mode GF(2²) multiplier with the paper's Fig. 1 dimensions
+    (N_R = 4, N_L = 6, N_VS = 3), synthesized by this repository's own
+    pipeline and verified against {!Mm_boolfun.Gf.mul_spec}[ 2]. *)
+val gf4_mul_circuit : unit -> Circuit.t

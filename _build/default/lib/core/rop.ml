@@ -1,0 +1,21 @@
+module Tt = Mm_boolfun.Truth_table
+
+type kind = Nor | Nimp
+
+let all_kinds = [ Nor; Nimp ]
+
+let eval kind a b =
+  match kind with Nor -> not (a || b) | Nimp -> a && not b
+
+let apply kind a b =
+  match kind with Nor -> Tt.nor a b | Nimp -> Tt.nimp a b
+
+(* MAGIC NOR presets the output to LRS and conditionally RESETs it; the
+   IMPLY-style NIMP flow presets the work device to HRS and conditionally
+   SETs it. *)
+let output_preset = function Nor -> true | Nimp -> false
+
+let commutative = function Nor -> true | Nimp -> false
+
+let to_string = function Nor -> "NOR" | Nimp -> "NIMP"
+let pp ppf k = Format.pp_print_string ppf (to_string k)

@@ -1,0 +1,28 @@
+(** Resistance-input (stateful) operations.
+
+    R-ops are technology dependent: BiFeO₃ devices realize the MAGIC NOR
+    gate, Ta₂O₅ devices the negated implication (NIMP) of the IMPLY family.
+    An R-op consumes the *states* of two input devices and deposits the
+    result in a dedicated output device (preset to the operation's neutral
+    initial state). *)
+
+type kind = Nor | Nimp
+
+val all_kinds : kind list
+
+(** Two-bit semantics. *)
+val eval : kind -> bool -> bool -> bool
+
+(** Truth-table semantics. *)
+val apply : kind -> Mm_boolfun.Truth_table.t -> Mm_boolfun.Truth_table.t -> Mm_boolfun.Truth_table.t
+
+(** Preset value of the output device before the operation fires
+    (LRS/1 for MAGIC NOR, HRS/0 for the IMPLY-style NIMP flow). *)
+val output_preset : kind -> bool
+
+(** [commutative Nor = true], [commutative Nimp = false] — drives the
+    input-ordering symmetry breaking in the encoder. *)
+val commutative : kind -> bool
+
+val to_string : kind -> string
+val pp : Format.formatter -> kind -> unit

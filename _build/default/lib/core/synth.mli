@@ -1,0 +1,67 @@
+(** Optimal synthesis driver — Section III's outer loop.
+
+    One [solve_instance] call builds Φ(f, N_V, N_R) for fixed dimensions and
+    answers SAT (with a decoded, re-verified circuit), UNSAT (an optimality
+    certificate for these dimensions) or TIMEOUT (budget exhausted, like the
+    "≤" rows of Table IV). [minimize] iterates the paper's strategy: find the
+    smallest N_R admitting a solution, then the smallest N_VS for that
+    N_R. *)
+
+module Spec = Mm_boolfun.Spec
+
+type verdict =
+  | Sat of Circuit.t
+  | Unsat
+  | Timeout
+
+type attempt = {
+  n_legs : int;
+  steps_per_leg : int;
+  n_rops : int;
+  verdict : verdict;
+  vars : int;  (** solver-facing (compact) formula variables *)
+  clauses : int;
+  time_s : float;
+  solver_stats : Mm_sat.Solver.stats;
+}
+
+(** The paper sets N_L = N_R + N_O (N_R + N_O − 1 for adders, whose carry
+    comes from a V-leg). [default_legs] implements N_R + N_O; pass
+    [~adder:true] for the adder variant. *)
+val default_legs : ?adder:bool -> Spec.t -> n_rops:int -> int
+
+(** [solve_instance cfg spec] encodes (compact style recommended), solves
+    under [timeout] seconds, decodes and re-verifies any model against
+    [spec] on all rows (raising [Failure] on an encoder/decoder
+    inconsistency — this never fires in the test suite). *)
+val solve_instance : ?timeout:float -> Encode.config -> Spec.t -> attempt
+
+type report = {
+  best : (Circuit.t * attempt) option;
+  attempts : attempt list;  (** chronological *)
+  rops_proven_minimal : bool;  (** all smaller N_R proved UNSAT in budget *)
+  steps_proven_minimal : bool;
+}
+
+(** Mixed-mode minimization. [max_rops]/[max_steps] bound the search
+    (defaults: [max_rops] from the NOR-network baseline via {!Baseline},
+    [max_steps = arity + 2]); [legs_of n_rops] sets N_L (default
+    {!default_legs}); [taps] defaults to the paper-faithful
+    {!Encode.Any_vop} (pass {!Encode.Final_only} for directly schedulable
+    results — the paper's dimension claims are only reachable with
+    [Any_vop]). *)
+val minimize :
+  ?timeout_per_call:float ->
+  ?max_rops:int ->
+  ?max_steps:int ->
+  ?legs_of:(int -> int) ->
+  ?rop_kind:Rop.kind ->
+  ?taps:Encode.taps ->
+  Spec.t ->
+  report
+
+(** R-only minimization (N_V = 0): decrease N_R from the baseline bound. *)
+val minimize_r_only :
+  ?timeout_per_call:float -> ?max_rops:int -> ?rop_kind:Rop.kind -> Spec.t -> report
+
+val pp_attempt : Format.formatter -> attempt -> unit

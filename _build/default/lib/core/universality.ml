@@ -1,0 +1,163 @@
+module Bitset = Mm_bitvec.Bitset
+module Tt = Mm_boolfun.Truth_table
+module Literal = Mm_boolfun.Literal
+
+let check_n n =
+  if n < 1 || n > 4 then invalid_arg "Universality: n must be 1..4"
+
+let nt n = 1 lsl n
+let space n = 1 lsl nt n
+let mask n = space n - 1
+
+let literal_functions ~n =
+  check_n n;
+  List.map
+    (fun l -> Tt.to_int (Literal.table n l))
+    (Literal.all n)
+
+let nor ~n f g = lnot (f lor g) land mask n
+
+(* One synchronous NOR layer with incremental pairing: NORs of pairs wholly
+   inside the previous layer's input set are already present, so only pairs
+   touching fresh elements are enumerated. Exits early when the whole
+   function space is reached. *)
+let nor_layer_set ~n set fresh =
+  let additions = ref [] in
+  let full = space n in
+  (try
+     let all = Bitset.to_list set in
+     List.iter
+       (fun f ->
+         List.iter
+           (fun g ->
+             let h = nor ~n f g in
+             if Bitset.add set h then begin
+               additions := h :: !additions;
+               if Bitset.cardinal set = full then raise Exit
+             end)
+           all)
+       fresh
+   with Exit -> ());
+  !additions
+
+let nor_layer ~n fs =
+  check_n n;
+  let set = Bitset.create (space n) in
+  List.iter (fun f -> ignore (Bitset.add set f)) fs;
+  ignore (nor_layer_set ~n set (Bitset.to_list set));
+  Bitset.to_list set
+
+(* V-ops as (set-mask, keep-mask) pairs: V(f, te, be) = a ∨ (f ∧ b) with
+   a = te ∧ ¬be and b = ¬(te ⊕ be). Deduplicating (a, b) collapses the
+   quadratic electrode-pair space into the far smaller operator space. *)
+let vop_ops ~n electrodes =
+  let seen = Hashtbl.create 1024 in
+  let ops = ref [] in
+  List.iter
+    (fun te ->
+      List.iter
+        (fun be ->
+          let a = te land lnot be land mask n in
+          let b = lnot (te lxor be) land mask n in
+          let key = (a * (space n)) + b in
+          if not (Hashtbl.mem seen key) then begin
+            Hashtbl.add seen key ();
+            ops := (a, b) :: !ops
+          end)
+        electrodes)
+    electrodes;
+  !ops
+
+let vop_closure ~n ~electrodes start =
+  check_n n;
+  let ops = Array.of_list (vop_ops ~n electrodes) in
+  let set = Bitset.create (space n) in
+  let queue = Queue.create () in
+  List.iter
+    (fun f -> if Bitset.add set f then Queue.add f queue)
+    start;
+  let full = space n in
+  (try
+     while not (Queue.is_empty queue) do
+       let f = Queue.pop queue in
+       Array.iter
+         (fun (a, b) ->
+           let f' = a lor (f land b) in
+           if Bitset.add set f' then begin
+             Queue.add f' queue;
+             if Bitset.cardinal set = full then raise Exit
+           end)
+         ops
+     done
+   with Exit -> ());
+  set
+
+let rec nor_layers ~n k fs =
+  if k <= 0 then fs
+  else begin
+    let set = Bitset.create (space n) in
+    List.iter (fun f -> ignore (Bitset.add set f)) fs;
+    ignore (nor_layer_set ~n set fs);
+    if Bitset.cardinal set = space n then Bitset.to_list set
+    else nor_layers ~n (k - 1) (Bitset.to_list set)
+  end
+
+let count ~n ~k_pre ~k_post ~k_tebe =
+  check_n n;
+  if k_pre < 0 || k_post < 0 || k_tebe < 0 then invalid_arg "Universality.count";
+  let lits = literal_functions ~n in
+  let start = nor_layers ~n k_pre lits in
+  let electrodes = nor_layers ~n k_tebe lits in
+  let closure = vop_closure ~n ~electrodes start in
+  (* the paper's k_post = k corresponds to k − 1 post layers *)
+  let final = nor_layers ~n (max 0 (k_post - 1)) (Bitset.to_list closure) in
+  List.length final
+
+let vop_closure_size ~n =
+  Bitset.cardinal
+    (vop_closure ~n ~electrodes:(literal_functions ~n) (literal_functions ~n))
+
+let base_closure_cache : (int, Bitset.t) Hashtbl.t = Hashtbl.create 4
+
+let vop_realizable tt =
+  let n = Tt.arity tt in
+  check_n n;
+  let closure =
+    match Hashtbl.find_opt base_closure_cache n with
+    | Some c -> c
+    | None ->
+      let lits = literal_functions ~n in
+      let c = vop_closure ~n ~electrodes:lits lits in
+      Hashtbl.add base_closure_cache n c;
+      c
+  in
+  Bitset.mem closure (Tt.to_int tt)
+
+let paper_rows =
+  [
+    (0, 0, 0); (1, 0, 0); (2, 0, 0); (3, 0, 0); (4, 0, 0); (5, 0, 0);
+    (0, 1, 0); (0, 2, 0); (0, 3, 0);
+    (1, 1, 0); (2, 1, 0); (3, 1, 0);
+    (1, 2, 0); (1, 3, 0); (2, 2, 0);
+    (0, 0, 1); (0, 0, 2);
+  ]
+
+let paper_expected = function
+  | 0, 0, 0 -> (104, 1850)
+  | 1, 0, 0 -> (104, 1850)
+  | 2, 0, 0 -> (158, 3590)
+  | 3, 0, 0 -> (186, 6170)
+  | 4, 0, 0 -> (256, 63424)
+  | 5, 0, 0 -> (256, 65536)
+  | 0, 1, 0 -> (104, 1850)
+  | 0, 2, 0 -> (246, 32178)
+  | 0, 3, 0 -> (256, 65536)
+  | 1, 1, 0 -> (104, 1850)
+  | 2, 1, 0 -> (158, 3590)
+  | 3, 1, 0 -> (186, 6170)
+  | 1, 2, 0 -> (246, 32178)
+  | 1, 3, 0 -> (256, 65536)
+  | 2, 2, 0 -> (256, 53278)
+  | 0, 0, 1 -> (254, 57558)
+  | 0, 0, 2 -> (256, 65534)
+  | _ -> invalid_arg "Universality.paper_expected: not a Table III row"

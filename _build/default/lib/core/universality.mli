@@ -1,0 +1,46 @@
+(** Exhaustive universality analysis — the paper's Table III.
+
+    Counts how many [n]-input Boolean functions (n = 3 or 4) are realizable
+    by the pipeline: literals → [k_pre] layers of NOR R-ops → V-ops to a
+    fixed point → [k_post] further R-ops, optionally allowing electrode
+    values computed by up to [k_TEBE] R-ops (the costly readout-to-TE/BE
+    feature).
+
+    Pipeline calibration (validated against every N₃ entry of Table III):
+    [k_pre] counts NOR layers directly; [k_post = k] corresponds to
+    [k − 1] NOR layers after the V-op fixed point (the first post R-op adds
+    nothing because NOR of two V-realizable functions with a V-realizable
+    result is already in the fixed point); [k_TEBE = d] makes the electrode
+    set the depth-[d] NOR closure of the literals.
+
+    Functions are encoded as ints: bit [q] is the value on row [q]
+    (n ≤ 4, so at most 65536 functions of 16 bits each). *)
+
+(** [vop_closure ~n ~electrodes start] marks every function reachable from
+    [start] by V-ops whose TE/BE values come from [electrodes]. *)
+val vop_closure :
+  n:int -> electrodes:int list -> int list -> Mm_bitvec.Bitset.t
+
+(** Truth-table ints of the literal set L_n. *)
+val literal_functions : n:int -> int list
+
+(** [nor_layer ~n fs] = [fs ∪ {NOR(f, g) | f, g ∈ fs}]. *)
+val nor_layer : n:int -> int list -> int list
+
+(** Size of the plain V-op closure of the literals (paper: N₃ = 104,
+    N₄ = 1850). *)
+val vop_closure_size : n:int -> int
+
+(** [count ~n ~k_pre ~k_post ~k_tebe] — one cell of Table III. *)
+val count : n:int -> k_pre:int -> k_post:int -> k_tebe:int -> int
+
+(** [vop_realizable tt] — membership of a function (arity ≤ 4) in the plain
+    V-op closure; cross-validated against SAT-based V-only synthesis. *)
+val vop_realizable : Mm_boolfun.Truth_table.t -> bool
+
+(** The (k_pre, k_post, k_TEBE) combinations of Table III, in the paper's
+    order. *)
+val paper_rows : (int * int * int) list
+
+(** Published (N₃, N₄) for a paper row. *)
+val paper_expected : int * int * int -> int * int

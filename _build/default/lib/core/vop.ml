@@ -1,0 +1,22 @@
+module Tt = Mm_boolfun.Truth_table
+module Literal = Mm_boolfun.Literal
+
+let next s ~te ~be = (te && not be) || (s && Bool.equal te be)
+
+let table1 =
+  let bools = [ false; true ] in
+  List.concat_map
+    (fun s ->
+      List.concat_map
+        (fun te -> List.map (fun be -> (s, te, be, next s ~te ~be)) bools)
+        bools)
+    bools
+
+let apply_fn s ~te ~be =
+  Tt.(te &&& lnot be ||| (s &&& lnot (te ^^^ be)))
+
+let apply ~n s ~te ~be =
+  apply_fn s ~te:(Literal.table n te) ~be:(Literal.table n be)
+
+let conj ~n f l = apply ~n f ~te:l ~be:Literal.Const1
+let disj ~n f l = apply ~n f ~te:l ~be:Literal.Const0

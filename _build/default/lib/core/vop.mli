@@ -1,0 +1,36 @@
+(** Voltage-input operation (V-op) semantics — the paper's Table I.
+
+    A V-op drives a device's top and bottom electrodes with write pulses
+    (logical 1 = pulse present). The state evolves as:
+
+    - TE=1, BE=0 → SET: next state 1;
+    - TE=0, BE=1 → RESET: next state 0;
+    - TE=BE → hold: next state = current state.
+
+    Equivalently [next s te be = (te ∧ ¬be) ∨ (s ∧ (te ≡ be))], and in the
+    implicant form used by the CNF encoding,
+    [next = (te ∧ ¬be) ∨ (s ∧ te) ∨ (s ∧ ¬be)]. *)
+
+module Tt = Mm_boolfun.Truth_table
+module Literal = Mm_boolfun.Literal
+
+(** Single-bit semantics (Table I). *)
+val next : bool -> te:bool -> be:bool -> bool
+
+(** Table I as the list of all 8 [(s, te, be, next)] rows. *)
+val table1 : (bool * bool * bool * bool) list
+
+(** Whole-truth-table semantics: apply one V-op with literal-driven
+    electrodes to an [n]-input function. *)
+val apply : n:int -> Tt.t -> te:Literal.t -> be:Literal.t -> Tt.t
+
+(** Generalized form with arbitrary functions on the electrodes (the CRS-R
+    scheme needing readout — used by the universality engine's k_TEBE
+    mode). *)
+val apply_fn : Tt.t -> te:Tt.t -> be:Tt.t -> Tt.t
+
+(** Eq. (1): [conj f l = f·l = V(f, l, const-1) = V(f, const-0, ¬l)]. *)
+val conj : n:int -> Tt.t -> Literal.t -> Tt.t
+
+(** Eq. (2): [disj f l = f + l = V(f, l, const-0) = V(f, const-1, ¬l)]. *)
+val disj : n:int -> Tt.t -> Literal.t -> Tt.t

@@ -1,0 +1,62 @@
+module Spec = Mm_boolfun.Spec
+
+type fit = {
+  circuit : Circuit.t;
+  devices_used : int;
+  attempts : Synth.attempt list;
+}
+
+let healthy_cells ~size ~broken =
+  let distinct =
+    List.sort_uniq compare (List.filter (fun c -> c >= 0 && c < size) broken)
+  in
+  size - List.length distinct
+
+let fit ?(timeout_per_call = 30.) ?max_rops ?max_steps spec ~healthy_cells =
+  if healthy_cells < 1 then invalid_arg "Yield.fit: no healthy cells";
+  let max_rops =
+    match max_rops with Some m -> m | None -> Baseline.nor_count spec
+  in
+  let max_steps =
+    match max_steps with Some s -> s | None -> Spec.arity spec + 2
+  in
+  let attempts = ref [] in
+  (* every output must have a source and every R-op needs its output
+     device, so N_R is bounded by the budget as well *)
+  let rec search n_rops =
+    if n_rops > max_rops || n_rops > healthy_cells then None
+    else begin
+      let n_legs = healthy_cells - n_rops in
+      if n_legs < 0 then None
+      else begin
+        (* leg-final taps: the device count is exactly N_L + N_R, so the
+           budget is honoured without physicalization surprises *)
+        let cfg =
+          Encode.config ~taps:Encode.Final_only ~allow_literal_rop_inputs:false
+            ~n_legs
+            ~steps_per_leg:(if n_legs = 0 then 0 else max_steps)
+            ~n_rops ()
+        in
+        (* legs = 0 with literal inputs disabled leaves R-ops without
+           candidates; the encoder rejects that combination *)
+        let a =
+          try Some (Synth.solve_instance ~timeout:timeout_per_call cfg spec)
+          with Invalid_argument _ -> None
+        in
+        match a with
+        | None -> search (n_rops + 1)
+        | Some a -> (
+          attempts := a :: !attempts;
+          match a.Synth.verdict with
+          | Synth.Sat c ->
+            (* physicalization may replicate multi-tapped legs; re-check
+               the real device count against the budget *)
+            let used = Circuit.n_devices c in
+            if used <= healthy_cells then
+              Some { circuit = c; devices_used = used; attempts = List.rev !attempts }
+            else search (n_rops + 1)
+          | Synth.Unsat | Synth.Timeout -> search (n_rops + 1))
+      end
+    end
+  in
+  search 0

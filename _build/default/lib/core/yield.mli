@@ -1,0 +1,34 @@
+(** Yield-aware fitting: synthesize under a device budget.
+
+    The paper motivates 1D line arrays with yield ("the choice of N_R can
+    be driven by the number of available devices, considering that not all
+    of them may be functional"). This module turns that sentence into a
+    flow: given the number of {e healthy} cells on an array, find a
+    mixed-mode circuit that fits. Literal R-op inputs are disabled and taps
+    are leg-final, so the device count is exactly [N_L + N_R] and the
+    budget is honoured by construction. *)
+
+module Spec = Mm_boolfun.Spec
+
+type fit = {
+  circuit : Circuit.t;
+  devices_used : int;
+  attempts : Synth.attempt list;
+}
+
+(** [fit spec ~healthy_cells] searches N_R upward (V-heavy first, since
+    V-ops don't consume extra devices), giving each trial the largest leg
+    count the budget allows. Returns [None] when nothing fits within
+    [max_rops] (default: the NOR-network baseline size) and the budget.
+    @param timeout_per_call SAT budget per attempt (default 30 s) *)
+val fit :
+  ?timeout_per_call:float ->
+  ?max_rops:int ->
+  ?max_steps:int ->
+  Spec.t ->
+  healthy_cells:int ->
+  fit option
+
+(** [healthy_cells ~size ~broken] — convenience: cells of an array of
+    [size] that are not in [broken] (duplicates ignored). *)
+val healthy_cells : size:int -> broken:int list -> int

@@ -1,0 +1,1 @@
+lib/device/crossbar.ml: Array Device Hashtbl Line_array List

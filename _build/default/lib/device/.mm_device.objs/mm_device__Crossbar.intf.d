@@ -1,0 +1,1 @@
+lib/device/crossbar.mli: Device Rng

@@ -1,0 +1,1 @@
+lib/device/line_array.ml: Array Device Float List

@@ -1,0 +1,1 @@
+lib/device/line_array.mli: Device Rng

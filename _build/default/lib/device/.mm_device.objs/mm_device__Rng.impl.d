@@ -1,0 +1,1 @@
+lib/device/rng.ml: Float Int64

@@ -1,0 +1,1 @@
+lib/device/variation.ml: Device

@@ -1,0 +1,1 @@
+lib/device/waveform.ml: Array Device Format Line_array List Printf

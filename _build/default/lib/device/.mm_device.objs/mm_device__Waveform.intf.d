@@ -1,0 +1,1 @@
+lib/device/waveform.mli: Device Format Line_array

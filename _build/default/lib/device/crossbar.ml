@@ -1,0 +1,62 @@
+(* Each row is electrically a line array; the crossbar adds row-parallel
+   R-ops and peripheral transfers between rows. *)
+
+type t = { row_arrays : Line_array.t array; cols : int }
+
+let create ~rng ~rows ~cols ?(params = Device.default_params) ?(v0 = 9.0) () =
+  if rows <= 0 || cols <= 0 then invalid_arg "Crossbar.create";
+  {
+    row_arrays =
+      Array.init rows (fun _ -> Line_array.create ~rng ~n:cols ~params ~v0 ());
+    cols;
+  }
+
+let rows t = Array.length t.row_arrays
+let cols t = t.cols
+
+let check t ~row ~col =
+  if row < 0 || row >= rows t then invalid_arg "Crossbar: row out of range";
+  if col < 0 || col >= t.cols then invalid_arg "Crossbar: col out of range"
+
+let device t ~row ~col =
+  check t ~row ~col;
+  Line_array.device t.row_arrays.(row) col
+
+let states t = Array.map Line_array.states t.row_arrays
+
+let set_state t ~row ~col b =
+  check t ~row ~col;
+  Line_array.set_states t.row_arrays.(row) [ (col, b) ]
+
+let vop_cycle_row t ~row ~te ~be =
+  check t ~row ~col:0;
+  ignore (Line_array.vop_cycle t.row_arrays.(row) ~te ~be)
+
+let parallel_magic_nor t gates =
+  let seen_rows = Hashtbl.create 8 in
+  List.iter
+    (fun (row, in1, in2, out) ->
+      check t ~row ~col:in1;
+      check t ~row ~col:in2;
+      check t ~row ~col:out;
+      if Hashtbl.mem seen_rows row then
+        invalid_arg "Crossbar.parallel_magic_nor: two gates share a row";
+      Hashtbl.add seen_rows row ())
+    gates;
+  List.iter
+    (fun (row, in1, in2, out) ->
+      ignore (Line_array.magic_nor t.row_arrays.(row) ~in1 ~in2 ~out))
+    gates
+
+let transfer t ~src:(sr, sc) ~dst:(dr, dc) =
+  check t ~row:sr ~col:sc;
+  check t ~row:dr ~col:dc;
+  let value = Device.state (device t ~row:sr ~col:sc) in
+  Device.set_state (device t ~row:dr ~col:dc) value
+
+let read t ~row ~col =
+  check t ~row ~col;
+  Line_array.read t.row_arrays.(row) col
+
+let total_switches t =
+  Array.fold_left (fun acc r -> acc + Line_array.total_switches r) 0 t.row_arrays

@@ -1,0 +1,53 @@
+(** 2D memristive crossbar — the topology the paper's conclusions point to
+    ("2D memristive crossbars offer new possibilities (e.g., potentially
+    parallel R-ops) but also new complexities").
+
+    The crossbar is modeled as [rows] word lines by [cols] bit lines with a
+    device at every junction. Rows act as independent line arrays for V-op
+    cycles (one shared BE rail per row); MAGIC NOR gates execute {e within a
+    row} and gates on {e distinct rows} may fire in the same cycle —
+    precisely the parallelism a 1D array lacks. A peripheral-assisted
+    [transfer] (readout + rewrite, the costly operation the paper mentions
+    for R-ops feeding TE/BE) moves values between rows. *)
+
+type t
+
+val create :
+  rng:Rng.t ->
+  rows:int ->
+  cols:int ->
+  ?params:Device.params ->
+  ?v0:float ->
+  unit ->
+  t
+
+val rows : t -> int
+val cols : t -> int
+val device : t -> row:int -> col:int -> Device.t
+
+(** Logical states, [states t].(row).(col). *)
+val states : t -> bool array array
+
+val set_state : t -> row:int -> col:int -> bool -> unit
+
+(** One V-op cycle on a single row (other rows idle): per-column TE pulses
+    against the row's BE rail, [None] meaning the dummy TE = BE. *)
+val vop_cycle_row : t -> row:int -> te:(int -> bool option) -> be:bool -> unit
+
+(** [parallel_magic_nor t gates] fires one NOR per listed row in a single
+    cycle. Each gate is [(row, in1_col, in2_col, out_col)]; rows must be
+    pairwise distinct and the output column distinct from the inputs
+    ([in1 = in2] degenerates to MAGIC NOT). Raises [Invalid_argument] on a
+    row clash — that is exactly the restriction that makes R-ops sequential
+    on a 1D array. *)
+val parallel_magic_nor : t -> (int * int * int * int) list -> unit
+
+(** [transfer t ~src ~dst] copies a state between junctions via readout and
+    rewrite (counts as one peripheral cycle; both cells' coordinates are
+    (row, col)). *)
+val transfer : t -> src:int * int -> dst:int * int -> unit
+
+(** Read one junction: (logical value, |I| at read voltage). *)
+val read : t -> row:int -> col:int -> bool * float
+
+val total_switches : t -> int

@@ -1,0 +1,97 @@
+type params = {
+  r_lrs : float;
+  r_hrs : float;
+  v_set : float;
+  v_reset : float;
+  v_write : float;
+  v_read : float;
+  sigma_d2d : float;
+  sigma_c2c : float;
+  endurance : int option;
+}
+
+let default_params =
+  {
+    r_lrs = 1e6;
+    r_hrs = 1e8;
+    v_set = 4.0;
+    v_reset = 4.0;
+    v_write = 7.0;
+    v_read = 2.0;
+    sigma_d2d = 0.0;
+    sigma_c2c = 0.0;
+    endurance = None;
+  }
+
+type fault = Stuck_at of bool
+
+type t = {
+  params : params;
+  rng : Rng.t;
+  d2d_lrs : float; (* per-device multiplicative spread *)
+  d2d_hrs : float;
+  mutable resistance : float;
+  mutable switches : int;
+  mutable fault : fault option;
+}
+
+let lrs_of t = t.params.r_lrs *. t.d2d_lrs
+let hrs_of t = t.params.r_hrs *. t.d2d_hrs
+
+let create ~rng params =
+  if params.r_lrs >= params.r_hrs then invalid_arg "Device.create: r_lrs >= r_hrs";
+  let rng = Rng.split rng in
+  let d2d_lrs = Rng.lognormal rng ~sigma:params.sigma_d2d in
+  let d2d_hrs = Rng.lognormal rng ~sigma:params.sigma_d2d in
+  let t =
+    { params; rng; d2d_lrs; d2d_hrs; resistance = 0.; switches = 0; fault = None }
+  in
+  t.resistance <- hrs_of t;
+  t
+
+let params t = t.params
+let resistance t = t.resistance
+
+let state t = t.resistance < sqrt (lrs_of t *. hrs_of t)
+
+let set_state t b = t.resistance <- (if b then lrs_of t else hrs_of t)
+
+let stuck t =
+  match t.fault with
+  | Some (Stuck_at b) ->
+    set_state t b;
+    true
+  | None -> (
+    match t.params.endurance with
+    | Some limit when t.switches >= limit -> true
+    | Some _ | None -> false)
+
+(* A switching event lands on the target state's nominal resistance times a
+   fresh C2C factor, capturing that no two SET/RESET events give identical
+   resistance values. *)
+let switch_to t target =
+  if not (stuck t) then begin
+    let noise = Rng.lognormal t.rng ~sigma:t.params.sigma_c2c in
+    t.resistance <- (if target then lrs_of t else hrs_of t) *. noise;
+    t.switches <- t.switches + 1
+  end
+
+let apply_across t v =
+  if v >= t.params.v_set then begin
+    if not (state t) then switch_to t true
+  end
+  else if v <= -.t.params.v_reset then if state t then switch_to t false
+
+let apply t ~v_te ~v_be =
+  let v = v_te -. v_be in
+  apply_across t v;
+  v
+
+let read_current t = t.params.v_read /. t.resistance
+
+let switch_count t = t.switches
+
+let inject_fault t f =
+  t.fault <- Some f;
+  match f with Stuck_at b -> set_state t b
+let fault t = t.fault

@@ -1,0 +1,65 @@
+(** Behavioral model of a bipolar memristive device (BiFeO₃-flavoured).
+
+    The device has a continuous resistance that switches between a
+    low-resistance state (LRS, logical 1) and a high-resistance state (HRS,
+    logical 0) when the top-electrode-to-bottom-electrode voltage crosses the
+    SET (positive) or RESET (negative) threshold — exactly the behaviour the
+    paper's Table I abstracts into the V-op. Device-to-device (D2D) spread
+    perturbs the nominal LRS/HRS resistances once per device; cycle-to-cycle
+    (C2C) noise perturbs every switching event. *)
+
+type params = {
+  r_lrs : float;  (** nominal LRS resistance (Ω) *)
+  r_hrs : float;  (** nominal HRS resistance (Ω) *)
+  v_set : float;  (** SET threshold, TE−BE ≥ v_set switches to LRS *)
+  v_reset : float;  (** RESET threshold, TE−BE ≤ −v_reset switches to HRS *)
+  v_write : float;  (** amplitude of a logical write pulse *)
+  v_read : float;  (** small read voltage (must not disturb the state) *)
+  sigma_d2d : float;  (** lognormal shape of per-device spread *)
+  sigma_c2c : float;  (** lognormal shape of per-event noise *)
+  endurance : int option;  (** switching events before the device sticks *)
+}
+
+(** BFO-flavoured defaults with comfortable MAGIC margins and no variation:
+    R_LRS = 1 MΩ, R_HRS = 100 MΩ, thresholds 4 V, write 7 V, read 2 V. *)
+val default_params : params
+
+type fault = Stuck_at of bool
+
+type t
+
+(** [create ~rng params] draws the D2D factors from [rng]. *)
+val create : rng:Rng.t -> params -> t
+
+val params : t -> params
+
+(** Present analog resistance (Ω). *)
+val resistance : t -> float
+
+(** Logical state: LRS = [true]. The boundary is the geometric mean of the
+    device's own LRS/HRS resistances. *)
+val state : t -> bool
+
+(** [set_state d b] forces a state (initialization phase); bypasses
+    endurance accounting and faults. *)
+val set_state : t -> bool -> unit
+
+(** [apply d ~v_te ~v_be] applies one voltage pulse across the device and
+    performs threshold switching with C2C noise. Returns the TE−BE voltage
+    seen. *)
+val apply : t -> v_te:float -> v_be:float -> float
+
+(** [apply_across d v] is [apply] with the TE−BE difference given directly
+    (used inside the MAGIC voltage divider). *)
+val apply_across : t -> float -> unit
+
+(** [read_current d] is the current drawn at [v_read]. *)
+val read_current : t -> float
+
+(** Number of switching events so far. *)
+val switch_count : t -> int
+
+(** [inject_fault d f] breaks the device: the state immediately assumes the
+    stuck value and no further switching occurs. *)
+val inject_fault : t -> fault -> unit
+val fault : t -> fault option

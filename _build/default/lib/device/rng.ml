@@ -1,0 +1,40 @@
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = mix (Int64.of_int seed) }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden;
+  mix t.state
+
+let split t = { state = bits64 t }
+
+let float t =
+  (* 53 random bits scaled to [0,1) *)
+  let b = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float b /. 9007199254740992.0
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int";
+  let b = Int64.shift_right_logical (bits64 t) 1 in
+  Int64.to_int (Int64.rem b (Int64.of_int bound))
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let gaussian t =
+  let rec draw () =
+    let u = float t in
+    if u <= 1e-12 then draw () else u
+  in
+  let u1 = draw () and u2 = float t in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
+let lognormal t ~sigma =
+  if sigma < 0. then invalid_arg "Rng.lognormal";
+  if sigma = 0. then 1.0 else exp (sigma *. gaussian t)

@@ -1,0 +1,29 @@
+(** Deterministic splittable random numbers (splitmix64).
+
+    Every stochastic component of the simulator (device-to-device spread,
+    cycle-to-cycle noise, Monte-Carlo workloads) draws from an explicit
+    [Rng.t] so that experiments are exactly reproducible run-to-run. *)
+
+type t
+
+val create : int -> t
+
+(** [split t] derives an independent stream (e.g. one per device). *)
+val split : t -> t
+
+(** Uniform in [0, bound). *)
+val int : t -> int -> int
+
+val bits64 : t -> int64
+
+(** Uniform in [0, 1). *)
+val float : t -> float
+
+val bool : t -> bool
+
+(** Standard normal via Box–Muller. *)
+val gaussian : t -> float
+
+(** [lognormal t ~sigma] has median 1 and shape [sigma] (sigma = 0 returns
+    exactly 1). *)
+val lognormal : t -> sigma:float -> float

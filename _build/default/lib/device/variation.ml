@@ -1,0 +1,20 @@
+type t = { label : string; sigma_d2d : float; sigma_c2c : float }
+
+let ideal = { label = "ideal"; sigma_d2d = 0.0; sigma_c2c = 0.0 }
+let low = { label = "low"; sigma_d2d = 0.05; sigma_c2c = 0.05 }
+let moderate = { label = "moderate"; sigma_d2d = 0.15; sigma_c2c = 0.15 }
+let harsh = { label = "harsh"; sigma_d2d = 0.35; sigma_c2c = 0.35 }
+
+let sweep =
+  [
+    ideal;
+    low;
+    { label = "mid-1"; sigma_d2d = 0.10; sigma_c2c = 0.10 };
+    moderate;
+    { label = "mid-2"; sigma_d2d = 0.25; sigma_c2c = 0.25 };
+    harsh;
+    { label = "extreme"; sigma_d2d = 0.50; sigma_c2c = 0.50 };
+  ]
+
+let apply v (p : Device.params) =
+  { p with Device.sigma_d2d = v.sigma_d2d; sigma_c2c = v.sigma_c2c }

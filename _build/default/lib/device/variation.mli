@@ -1,0 +1,19 @@
+(** Named variation regimes for reliability studies.
+
+    The paper argues that R-ops "suffer from high sensitivity to non-ideal
+    electrical behavior, especially device-to-device (D2D) and
+    cycle-to-cycle (C2C) variations during the voltage divider operation".
+    These presets parameterize that argument for the Monte-Carlo ablation. *)
+
+type t = { label : string; sigma_d2d : float; sigma_c2c : float }
+
+val ideal : t
+val low : t
+val moderate : t
+val harsh : t
+
+(** The sweep used by the reliability ablation bench. *)
+val sweep : t list
+
+(** [apply v params] overrides the variation fields of device parameters. *)
+val apply : t -> Device.params -> Device.params

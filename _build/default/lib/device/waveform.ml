@@ -1,0 +1,59 @@
+type row = { cycle : int; label : string; cells : Line_array.cell_obs array }
+
+type t = { mutable rev_rows : row list; mutable next_cycle : int }
+
+let create () = { rev_rows = []; next_cycle = 1 }
+
+let record t ~label cells =
+  t.rev_rows <- { cycle = t.next_cycle; label; cells } :: t.rev_rows;
+  t.next_cycle <- t.next_cycle + 1
+
+let rows t = List.rev t.rev_rows
+let length t = List.length t.rev_rows
+
+let pp ppf t =
+  let rows = rows t in
+  match rows with
+  | [] -> Format.fprintf ppf "(empty waveform)"
+  | first :: _ ->
+    let n = Array.length first.cells in
+    let line name value_of =
+      Format.fprintf ppf "%-22s" name;
+      List.iter
+        (fun r -> Format.fprintf ppf "| %s " (value_of r))
+        rows;
+      Format.fprintf ppf "@,"
+    in
+    Format.fprintf ppf "@[<v>";
+    line "cycle" (fun r -> Printf.sprintf "%8d" r.cycle);
+    line "phase" (fun r -> Printf.sprintf "%8s" r.label);
+    for cell = 0 to n - 1 do
+      line
+        (Printf.sprintf "R[cell %d] (MOhm)" (cell + 1))
+        (fun r ->
+          Printf.sprintf "%8.2f" (r.cells.(cell).Line_array.resistance /. 1e6))
+    done;
+    for cell = 0 to n - 1 do
+      line
+        (Printf.sprintf "V_TE[cell %d] (V)" (cell + 1))
+        (fun r -> Printf.sprintf "%8.2f" r.cells.(cell).Line_array.v_te)
+    done;
+    line "V_BE shared (V)" (fun r ->
+        Printf.sprintf "%8.2f" r.cells.(0).Line_array.v_be);
+    for cell = 0 to n - 1 do
+      line
+        (Printf.sprintf "|I|[cell %d] (uA)" (cell + 1))
+        (fun r ->
+          Printf.sprintf "%8.3f" (r.cells.(cell).Line_array.current *. 1e6))
+    done;
+    Format.fprintf ppf "@]"
+
+let final_states ~params t =
+  match t.rev_rows with
+  | [] -> None
+  | last :: _ ->
+    let mid = sqrt (params.Device.r_lrs *. params.Device.r_hrs) in
+    Some
+      (Array.map
+         (fun c -> c.Line_array.resistance < mid)
+         last.cells)

@@ -1,0 +1,72 @@
+type align = Left | Right
+
+type row = Cells of string list | Separator
+
+type t = {
+  headers : string list;
+  aligns : align list;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ?aligns headers =
+  let aligns =
+    match aligns with
+    | Some a ->
+      if List.length a <> List.length headers then
+        invalid_arg "Table.create: aligns/headers mismatch";
+      a
+    | None -> List.map (fun _ -> Right) headers
+  in
+  { headers; aligns; rows = [] }
+
+let add_row t cells = t.rows <- Cells cells :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let render t =
+  let ncols = List.length t.headers in
+  let pad_row cells =
+    let len = List.length cells in
+    if len > ncols then invalid_arg "Table: too many cells"
+    else cells @ List.init (ncols - len) (fun _ -> "")
+  in
+  let rows = List.rev_map (function Cells c -> Cells (pad_row c) | Separator -> Separator) t.rows in
+  let widths = Array.of_list (List.map String.length t.headers) in
+  List.iter
+    (function
+      | Separator -> ()
+      | Cells cells ->
+        List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) cells)
+    rows;
+  let buf = Buffer.create 1024 in
+  let fmt_cell i align c =
+    let w = widths.(i) in
+    let pad = String.make (w - String.length c) ' ' in
+    match align with Left -> c ^ pad | Right -> pad ^ c
+  in
+  let emit_cells cells =
+    Buffer.add_string buf "| ";
+    List.iteri
+      (fun i c ->
+        if i > 0 then Buffer.add_string buf " | ";
+        Buffer.add_string buf (fmt_cell i (List.nth t.aligns i) c))
+      cells;
+    Buffer.add_string buf " |\n"
+  in
+  let sep () =
+    Buffer.add_char buf '+';
+    Array.iter
+      (fun w ->
+        Buffer.add_string buf (String.make (w + 2) '-');
+        Buffer.add_char buf '+')
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  sep ();
+  emit_cells t.headers;
+  sep ();
+  List.iter (function Separator -> sep () | Cells c -> emit_cells c) rows;
+  sep ();
+  Buffer.contents buf
+
+let print t = print_string (render t)

@@ -1,0 +1,18 @@
+(** Minimal ASCII table rendering for the benchmark harness, so the output
+    rows mirror the paper's tables. *)
+
+type align = Left | Right
+
+type t
+
+(** [create headers] — one column per header, default right-aligned. *)
+val create : ?aligns:align list -> string list -> t
+
+(** [add_row t cells]; short rows are padded with empty cells. *)
+val add_row : t -> string list -> unit
+
+(** A horizontal separator line between row groups. *)
+val add_separator : t -> unit
+
+val render : t -> string
+val print : t -> unit

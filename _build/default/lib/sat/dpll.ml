@@ -1,0 +1,81 @@
+type result = Sat of bool array | Unsat | Limit
+
+exception Out_of_budget
+
+(* assignment: 0 unknown, 1 true, -1 false *)
+let solve ?(limit = 1_000_000) ~num_vars clauses =
+  List.iter
+    (List.iter (fun d ->
+         if d = 0 || abs d > num_vars then invalid_arg "Dpll.solve: bad literal"))
+    clauses;
+  let assign = Array.make num_vars 0 in
+  let budget = ref limit in
+  let value d =
+    let a = assign.(abs d - 1) in
+    if a = 0 then 0 else if d > 0 then a else -a
+  in
+  (* returns [`Conflict | `Ok of trail of newly assigned vars] *)
+  let rec propagate trail =
+    let changed = ref false in
+    let conflict = ref false in
+    let trail = ref trail in
+    List.iter
+      (fun clause ->
+        if not !conflict then begin
+          let unassigned = ref [] in
+          let satisfied = ref false in
+          List.iter
+            (fun d ->
+              match value d with
+              | 1 -> satisfied := true
+              | 0 -> unassigned := d :: !unassigned
+              | _ -> ())
+            clause;
+          if not !satisfied then
+            match !unassigned with
+            | [] -> conflict := true
+            | [ d ] ->
+              assign.(abs d - 1) <- (if d > 0 then 1 else -1);
+              trail := (abs d - 1) :: !trail;
+              changed := true
+            | _ :: _ :: _ -> ()
+        end)
+      clauses;
+    if !conflict then `Conflict !trail
+    else if !changed then propagate !trail
+    else `Ok !trail
+  in
+  let undo trail = List.iter (fun v -> assign.(v) <- 0) trail in
+  let rec decide () =
+    let rec first_unassigned v =
+      if v >= num_vars then None
+      else if assign.(v) = 0 then Some v
+      else first_unassigned (v + 1)
+    in
+    match propagate [] with
+    | `Conflict trail ->
+      undo trail;
+      false
+    | `Ok trail -> (
+      match first_unassigned 0 with
+      | None -> true
+      | Some v ->
+        if !budget <= 0 then raise Out_of_budget;
+        decr budget;
+        let try_value b =
+          assign.(v) <- (if b then 1 else -1);
+          let ok = decide () in
+          if not ok then assign.(v) <- 0;
+          ok
+        in
+        if try_value true then true
+        else if try_value false then true
+        else begin
+          undo trail;
+          false
+        end)
+  in
+  match decide () with
+  | true -> Sat (Array.map (fun a -> a >= 0) assign)
+  | false -> Unsat
+  | exception Out_of_budget -> Limit

@@ -1,0 +1,13 @@
+(** A tiny DPLL reference solver.
+
+    Deliberately simple (unit propagation + first-unassigned branching, no
+    learning), it serves as an independent oracle for cross-checking the
+    CDCL solver on instances too large for brute-force enumeration. Not for
+    production solving. *)
+
+type result = Sat of bool array | Unsat | Limit
+
+(** [solve ~num_vars clauses] over DIMACS-style clauses (non-zero ints,
+    variable [v] is index [v-1] in the model). [limit] bounds the number of
+    branching decisions (default 1_000_000). *)
+val solve : ?limit:int -> num_vars:int -> int list list -> result

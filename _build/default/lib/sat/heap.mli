@@ -1,0 +1,26 @@
+(** Indexed binary heap over variables, ordered by a caller-supplied
+    priority relation (VSIDS activity). Supports O(log n) insert/removal and
+    priority increase notification. *)
+
+type t
+
+(** [create ~prio] orders variables by decreasing [prio]; [prio] is read at
+    comparison time, so callers may mutate the underlying activity array and
+    then call {!notify_increased}. *)
+val create : prio:(int -> float) -> t
+
+(** [ensure t v] makes room for variables up to [v]. *)
+val ensure : t -> int -> unit
+
+val in_heap : t -> int -> bool
+val insert : t -> int -> unit
+
+(** [notify_increased t v] restores the heap property after [prio v] grew. *)
+val notify_increased : t -> int -> unit
+
+(** Extract the variable with the largest priority. Raises [Not_found] when
+    empty. *)
+val remove_max : t -> int
+
+val is_empty : t -> bool
+val size : t -> int

@@ -1,0 +1,587 @@
+(* Conflict-driven clause learning in the MiniSat lineage. The comments
+   flag the invariants that are easy to break:
+   - a clause's watched literals are lits.(0) and lits.(1); the clause is
+     registered in watches.(negate lits.(0)) and watches.(negate lits.(1));
+   - when a clause is the reason of an assignment, the asserted literal is
+     lits.(0);
+   - assigns.(v) is 0 for unassigned, 1 for true, -1 for false. *)
+
+type clause = {
+  mutable lits : int array;
+  learnt : bool;
+  mutable activity : float;
+  mutable lbd : int;
+  mutable removed : bool;
+}
+
+let dummy_clause =
+  { lits = [||]; learnt = false; activity = 0.; lbd = 0; removed = true }
+
+type result = Sat | Unsat | Unknown
+
+type stats = {
+  conflicts : int;
+  decisions : int;
+  propagations : int;
+  restarts : int;
+  learnt_clauses : int;
+}
+
+type t = {
+  mutable nvars : int;
+  mutable assigns : int array;
+  mutable level : int array;
+  mutable reason : clause array; (* dummy_clause = no reason *)
+  mutable var_act : float array;
+  mutable phase : bool array;
+  mutable seen : bool array;
+  mutable heap : Heap.t;
+  clauses : clause Vec.t;
+  learnts : clause Vec.t;
+  mutable watches : clause Vec.t array;
+  trail : int Vec.t;
+  trail_lim : int Vec.t;
+  mutable qhead : int;
+  mutable var_inc : float;
+  var_decay : float;
+  mutable cla_inc : float;
+  cla_decay : float;
+  mutable ok : bool;
+  mutable conflicts : int;
+  mutable decisions : int;
+  mutable propagations : int;
+  mutable restarts : int;
+  mutable max_learnts : float;
+  mutable model : int array; (* copy of assigns at last Sat *)
+  mutable has_model : bool;
+  to_clear : int Vec.t;
+}
+
+let create () =
+  let t =
+    {
+      nvars = 0;
+      assigns = [||];
+      level = [||];
+      reason = [||];
+      var_act = [||];
+      phase = [||];
+      seen = [||];
+      heap = Heap.create ~prio:(fun _ -> 0.);
+      clauses = Vec.create ~dummy:dummy_clause;
+      learnts = Vec.create ~dummy:dummy_clause;
+      watches = [||];
+      trail = Vec.create ~dummy:(-1);
+      trail_lim = Vec.create ~dummy:(-1);
+      qhead = 0;
+      var_inc = 1.0;
+      var_decay = 0.95;
+      cla_inc = 1.0;
+      cla_decay = 0.999;
+      ok = true;
+      conflicts = 0;
+      decisions = 0;
+      propagations = 0;
+      restarts = 0;
+      max_learnts = 0.;
+      model = [||];
+      has_model = false;
+      to_clear = Vec.create ~dummy:(-1);
+    }
+  in
+  t.heap <- Heap.create ~prio:(fun v -> t.var_act.(v));
+  t
+
+let nvars t = t.nvars
+let nclauses t = Vec.size t.clauses
+let ok t = t.ok
+
+let grow_arrays t cap =
+  let grow_int a = Array.append a (Array.make (cap - Array.length a) 0) in
+  let grow_bool a = Array.append a (Array.make (cap - Array.length a) false) in
+  let grow_float a = Array.append a (Array.make (cap - Array.length a) 0.) in
+  let grow_clause a = Array.append a (Array.make (cap - Array.length a) dummy_clause) in
+  t.assigns <- grow_int t.assigns;
+  t.level <- grow_int t.level;
+  t.reason <- grow_clause t.reason;
+  t.var_act <- grow_float t.var_act;
+  t.phase <- grow_bool t.phase;
+  t.seen <- grow_bool t.seen;
+  let w = Array.init (2 * cap) (fun i ->
+      if i < Array.length t.watches then t.watches.(i)
+      else Vec.create ~dummy:dummy_clause)
+  in
+  t.watches <- w
+
+let new_var t =
+  let v = t.nvars in
+  t.nvars <- v + 1;
+  if v >= Array.length t.assigns then
+    grow_arrays t (max 16 (2 * Array.length t.assigns + 1));
+  Heap.ensure t.heap v;
+  Heap.insert t.heap v;
+  v
+
+let new_vars t k =
+  if k <= 0 then invalid_arg "Solver.new_vars";
+  let first = new_var t in
+  for _ = 2 to k do
+    ignore (new_var t)
+  done;
+  first
+
+(* --- assignment primitives --------------------------------------------- *)
+
+let value_lit t l =
+  let a = t.assigns.(Lit.var l) in
+  if Lit.sign l then -a else a
+
+let decision_level t = Vec.size t.trail_lim
+
+let enqueue t l reason =
+  let v = Lit.var l in
+  t.assigns.(v) <- (if Lit.sign l then -1 else 1);
+  t.level.(v) <- decision_level t;
+  t.reason.(v) <- reason;
+  Vec.push t.trail l
+
+let new_decision_level t = Vec.push t.trail_lim (Vec.size t.trail)
+
+let cancel_until t target =
+  if decision_level t > target then begin
+    let bound = Vec.get t.trail_lim target in
+    for i = Vec.size t.trail - 1 downto bound do
+      let l = Vec.get t.trail i in
+      let v = Lit.var l in
+      t.assigns.(v) <- 0;
+      t.phase.(v) <- not (Lit.sign l);
+      t.reason.(v) <- dummy_clause;
+      if not (Heap.in_heap t.heap v) then Heap.insert t.heap v
+    done;
+    Vec.shrink t.trail bound;
+    Vec.shrink t.trail_lim target;
+    t.qhead <- bound
+  end
+
+(* --- clause attachment -------------------------------------------------- *)
+
+let attach t c =
+  Vec.push t.watches.(Lit.negate c.lits.(0)) c;
+  Vec.push t.watches.(Lit.negate c.lits.(1)) c
+
+let add_clause_a t lits =
+  if t.ok then begin
+    (* Root-level simplification: drop false literals, detect tautologies
+       and duplicates. Callers only add clauses at decision level 0. *)
+    let lits = Array.copy lits in
+    Array.sort compare lits;
+    let keep = ref [] in
+    let taut = ref false in
+    Array.iter
+      (fun l ->
+        if Lit.var l >= t.nvars then invalid_arg "Solver.add_clause: unknown var";
+        match !keep with
+        | prev :: _ when prev = l -> ()
+        | prev :: _ when prev = Lit.negate l -> taut := true
+        | _ -> if value_lit t l <> -1 || t.level.(Lit.var l) > 0 then keep := l :: !keep)
+      lits;
+    let sat_already =
+      List.exists (fun l -> value_lit t l = 1 && t.level.(Lit.var l) = 0) !keep
+    in
+    if not (!taut || sat_already) then begin
+      match !keep with
+      | [] -> t.ok <- false
+      | [ l ] ->
+        if value_lit t l = 0 then enqueue t l dummy_clause
+        else if value_lit t l = -1 then t.ok <- false
+      | l ->
+        let c =
+          { lits = Array.of_list l; learnt = false; activity = 0.; lbd = 0; removed = false }
+        in
+        Vec.push t.clauses c;
+        attach t c
+    end
+  end
+
+let add_clause t lits = add_clause_a t (Array.of_list lits)
+
+(* --- propagation --------------------------------------------------------- *)
+
+let propagate t =
+  let conflict = ref dummy_clause in
+  (try
+     while t.qhead < Vec.size t.trail do
+       let p = Vec.get t.trail t.qhead in
+       t.qhead <- t.qhead + 1;
+       t.propagations <- t.propagations + 1;
+       let not_p = Lit.negate p in
+       let ws = t.watches.(p) in
+       let i = ref 0 and j = ref 0 in
+       (try
+          while !i < Vec.size ws do
+            let c = Vec.get ws !i in
+            incr i;
+            if not c.removed then begin
+              (* ensure the false literal (¬p) sits at lits.(1) *)
+              if c.lits.(0) = not_p then begin
+                c.lits.(0) <- c.lits.(1);
+                c.lits.(1) <- not_p
+              end;
+              if value_lit t c.lits.(0) = 1 then begin
+                Vec.set ws !j c;
+                incr j
+              end
+              else begin
+                let len = Array.length c.lits in
+                let k = ref 2 in
+                while !k < len && value_lit t c.lits.(!k) = -1 do
+                  incr k
+                done;
+                if !k < len then begin
+                  (* new watch found: move it to slot 1 *)
+                  c.lits.(1) <- c.lits.(!k);
+                  c.lits.(!k) <- not_p;
+                  Vec.push t.watches.(Lit.negate c.lits.(1)) c
+                end
+                else begin
+                  Vec.set ws !j c;
+                  incr j;
+                  if value_lit t c.lits.(0) = -1 then begin
+                    (* conflict: keep remaining watchers, stop *)
+                    while !i < Vec.size ws do
+                      Vec.set ws !j (Vec.get ws !i);
+                      incr i;
+                      incr j
+                    done;
+                    Vec.shrink ws !j;
+                    conflict := c;
+                    raise Exit
+                  end
+                  else enqueue t c.lits.(0) c
+                end
+              end
+            end
+          done;
+          Vec.shrink ws !j
+        with Exit ->
+          t.qhead <- Vec.size t.trail;
+          raise Exit)
+     done
+   with Exit -> ());
+  !conflict
+
+(* --- activities ---------------------------------------------------------- *)
+
+let var_bump t v =
+  t.var_act.(v) <- t.var_act.(v) +. t.var_inc;
+  if t.var_act.(v) > 1e100 then begin
+    for i = 0 to t.nvars - 1 do
+      t.var_act.(i) <- t.var_act.(i) *. 1e-100
+    done;
+    t.var_inc <- t.var_inc *. 1e-100
+  end;
+  Heap.notify_increased t.heap v
+
+let var_decay_activity t = t.var_inc <- t.var_inc /. t.var_decay
+
+let cla_bump t c =
+  c.activity <- c.activity +. t.cla_inc;
+  if c.activity > 1e20 then begin
+    Vec.iter (fun c -> c.activity <- c.activity *. 1e-20) t.learnts;
+    t.cla_inc <- t.cla_inc *. 1e-20
+  end
+
+let cla_decay_activity t = t.cla_inc <- t.cla_inc /. t.cla_decay
+
+(* --- conflict analysis --------------------------------------------------- *)
+
+(* Exact recursive redundancy check (self-subsumption through reasons):
+   a literal is redundant when every path through its reason graph ends in a
+   literal already in the learnt clause or at level 0. *)
+let lit_redundant t l =
+  let undo = Vec.create ~dummy:(-1) in
+  let stack = ref [ l ] in
+  let failed = ref false in
+  while (not !failed) && !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | q :: rest ->
+      stack := rest;
+      let c = t.reason.(Lit.var q) in
+      if c == dummy_clause then failed := true
+      else
+        Array.iteri
+          (fun idx l' ->
+            if idx > 0 then begin
+              let v = Lit.var l' in
+              if (not t.seen.(v)) && t.level.(v) > 0 then
+                if t.reason.(v) != dummy_clause then begin
+                  t.seen.(v) <- true;
+                  Vec.push undo v;
+                  stack := l' :: !stack
+                end
+                else failed := true
+            end)
+          c.lits
+  done;
+  if !failed then Vec.iter (fun v -> t.seen.(v) <- false) undo
+  else Vec.iter (fun v -> Vec.push t.to_clear v) undo;
+  not !failed
+
+let analyze t confl =
+  let out = Vec.create ~dummy:(-1) in
+  Vec.push out (-1); (* slot for the asserting literal *)
+  let path_c = ref 0 in
+  let p = ref (-1) in
+  let index = ref (Vec.size t.trail - 1) in
+  let confl = ref confl in
+  let continue = ref true in
+  while !continue do
+    let c = !confl in
+    if c.learnt then cla_bump t c;
+    let start = if !p = -1 then 0 else 1 in
+    for j = start to Array.length c.lits - 1 do
+      let q = c.lits.(j) in
+      let v = Lit.var q in
+      if (not t.seen.(v)) && t.level.(v) > 0 then begin
+        var_bump t v;
+        t.seen.(v) <- true;
+        if t.level.(v) >= decision_level t then incr path_c
+        else Vec.push out q
+      end
+    done;
+    (* walk the trail back to the next marked literal *)
+    while not t.seen.(Lit.var (Vec.get t.trail !index)) do
+      decr index
+    done;
+    p := Vec.get t.trail !index;
+    decr index;
+    confl := t.reason.(Lit.var !p);
+    t.seen.(Lit.var !p) <- false;
+    decr path_c;
+    if !path_c = 0 then continue := false
+  done;
+  Vec.set out 0 (Lit.negate !p);
+  (* record marked vars for cleanup *)
+  Vec.iter (fun l -> if l >= 0 then Vec.push t.to_clear (Lit.var l)) out;
+  (* minimize: drop redundant literals from the tail *)
+  let minimized = Vec.create ~dummy:(-1) in
+  Vec.push minimized (Vec.get out 0);
+  for i = 1 to Vec.size out - 1 do
+    let l = Vec.get out i in
+    if t.reason.(Lit.var l) == dummy_clause || not (lit_redundant t l) then
+      Vec.push minimized l
+  done;
+  Vec.iter (fun v -> t.seen.(v) <- false) t.to_clear;
+  Vec.clear t.to_clear;
+  (* compute backtrack level; move the highest-level tail literal to slot 1 *)
+  let bt_level = ref 0 in
+  if Vec.size minimized > 1 then begin
+    let max_i = ref 1 in
+    for i = 2 to Vec.size minimized - 1 do
+      if t.level.(Lit.var (Vec.get minimized i))
+         > t.level.(Lit.var (Vec.get minimized !max_i))
+      then max_i := i
+    done;
+    let tmp = Vec.get minimized 1 in
+    Vec.set minimized 1 (Vec.get minimized !max_i);
+    Vec.set minimized !max_i tmp;
+    bt_level := t.level.(Lit.var (Vec.get minimized 1))
+  end;
+  (* LBD = number of distinct decision levels *)
+  let levels = Hashtbl.create 8 in
+  Vec.iter (fun l -> Hashtbl.replace levels t.level.(Lit.var l) ()) minimized;
+  (Array.init (Vec.size minimized) (Vec.get minimized), !bt_level, Hashtbl.length levels)
+
+let record_learnt t lits lbd =
+  if Array.length lits = 1 then enqueue t lits.(0) dummy_clause
+  else begin
+    let c = { lits; learnt = true; activity = 0.; lbd; removed = false } in
+    Vec.push t.learnts c;
+    attach t c;
+    cla_bump t c;
+    enqueue t lits.(0) c
+  end
+
+(* --- learnt DB reduction -------------------------------------------------- *)
+
+let locked t c =
+  Array.length c.lits > 0
+  && t.reason.(Lit.var c.lits.(0)) == c
+  && value_lit t c.lits.(0) = 1
+
+let reduce_db t =
+  (* Glucose-flavoured: drop the worse half (high LBD, low activity), keep
+     locked clauses and glue clauses (lbd <= 2). *)
+  Vec.sort
+    (fun a b ->
+      if a.lbd <> b.lbd then compare a.lbd b.lbd else compare b.activity a.activity)
+    t.learnts;
+  let keep_count = Vec.size t.learnts / 2 in
+  let kept = Vec.create ~dummy:dummy_clause in
+  for i = 0 to Vec.size t.learnts - 1 do
+    let c = Vec.get t.learnts i in
+    if i < keep_count || c.lbd <= 2 || locked t c then Vec.push kept c
+    else c.removed <- true
+  done;
+  Vec.clear t.learnts;
+  Vec.iter (fun c -> Vec.push t.learnts c) kept
+
+(* --- search --------------------------------------------------------------- *)
+
+let pick_branch_var t =
+  let rec go () =
+    if Heap.is_empty t.heap then -1
+    else
+      let v = Heap.remove_max t.heap in
+      if t.assigns.(v) = 0 then v else go ()
+  in
+  go ()
+
+exception Found of result
+
+let luby y x =
+  let size = ref 1 and seq = ref 0 in
+  while !size < x + 1 do
+    incr seq;
+    size := (2 * !size) + 1
+  done;
+  let x = ref x in
+  while !size - 1 <> !x do
+    size := (!size - 1) / 2;
+    decr seq;
+    x := !x mod !size
+  done;
+  y ** float_of_int !seq
+
+let search t ~assumptions ~conflict_budget ~deadline ~global_conflicts =
+  let local_conflicts = ref 0 in
+  let result = ref Unknown in
+  (try
+     while true do
+       let confl = propagate t in
+       if confl != dummy_clause then begin
+         t.conflicts <- t.conflicts + 1;
+         incr local_conflicts;
+         if decision_level t = 0 then begin
+           t.ok <- false;
+           raise (Found Unsat)
+         end;
+         let lits, bt_level, lbd = analyze t confl in
+         cancel_until t bt_level;
+         record_learnt t lits lbd;
+         var_decay_activity t;
+         cla_decay_activity t
+       end
+       else begin
+         (* budget checks *)
+         (match deadline with
+          | Some d when Unix.gettimeofday () > d -> raise (Found Unknown)
+          | _ -> ());
+         (match global_conflicts with
+          | Some g when t.conflicts >= g -> raise (Found Unknown)
+          | _ -> ());
+         if !local_conflicts >= conflict_budget then begin
+           (* restart *)
+           cancel_until t 0;
+           raise Exit
+         end;
+         if float_of_int (Vec.size t.learnts) -. float_of_int (Vec.size t.trail)
+            >= t.max_learnts
+         then reduce_db t;
+         (* assumptions become pseudo-decisions on the first levels *)
+         if decision_level t < Array.length assumptions then begin
+           let p = assumptions.(decision_level t) in
+           match value_lit t p with
+           | 1 -> new_decision_level t
+           | -1 -> raise (Found Unsat)
+           | _ ->
+             new_decision_level t;
+             enqueue t p dummy_clause
+         end
+         else begin
+           let v = pick_branch_var t in
+           if v = -1 then begin
+             (* model found *)
+             t.model <- Array.copy t.assigns;
+             t.has_model <- true;
+             raise (Found Sat)
+           end;
+           t.decisions <- t.decisions + 1;
+           new_decision_level t;
+           enqueue t (Lit.make v (not t.phase.(v))) dummy_clause
+         end
+       end
+     done;
+     Unknown
+   with
+   | Found r ->
+     result := r;
+     !result
+   | Exit -> Unknown)
+
+let solve ?(assumptions = []) ?max_conflicts ?timeout t =
+  if not t.ok then Unsat
+  else begin
+    t.has_model <- false;
+    let assumptions = Array.of_list assumptions in
+    let deadline = Option.map (fun s -> Unix.gettimeofday () +. s) timeout in
+    let base_conflicts = t.conflicts in
+    let global_conflicts = Option.map (fun m -> base_conflicts + m) max_conflicts in
+    t.max_learnts <-
+      max 1000. (float_of_int (Vec.size t.clauses) /. 3.);
+    let result = ref Unknown in
+    let restart = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let budget = int_of_float (luby 2.0 !restart *. 100.) in
+      t.restarts <- t.restarts + (if !restart > 0 then 1 else 0);
+      (match search t ~assumptions ~conflict_budget:budget ~deadline ~global_conflicts with
+       | Sat ->
+         result := Sat;
+         continue := false
+       | Unsat ->
+         result := Unsat;
+         continue := false
+       | Unknown ->
+         (* restart unless a budget ran out *)
+         let out_of_time =
+           match deadline with Some d -> Unix.gettimeofday () > d | None -> false
+         in
+         let out_of_conflicts =
+           match global_conflicts with Some g -> t.conflicts >= g | None -> false
+         in
+         if out_of_time || out_of_conflicts then begin
+           result := Unknown;
+           continue := false
+         end
+         else begin
+           incr restart;
+           t.max_learnts <- t.max_learnts *. 1.05
+         end);
+      ()
+    done;
+    cancel_until t 0;
+    !result
+  end
+
+let value t l =
+  if not t.has_model then invalid_arg "Solver.value: no model";
+  let a = t.model.(Lit.var l) in
+  if Lit.sign l then a < 0 else a > 0
+
+let value_var t v = value t (Lit.pos v)
+
+let stats t =
+  {
+    conflicts = t.conflicts;
+    decisions = t.decisions;
+    propagations = t.propagations;
+    restarts = t.restarts;
+    learnt_clauses = Vec.size t.learnts;
+  }
+
+let pp_stats ppf (s : stats) =
+  Format.fprintf ppf
+    "conflicts=%d decisions=%d propagations=%d restarts=%d learnt=%d"
+    s.conflicts s.decisions s.propagations s.restarts s.learnt_clauses

@@ -1,0 +1,62 @@
+(** A complete CDCL SAT solver.
+
+    The paper runs its synthesis formulas through SLIME 5; this module plays
+    that role here. It is a conventional conflict-driven clause-learning
+    solver in the MiniSat/Glucose lineage: two-watched-literal propagation,
+    first-UIP conflict analysis with recursive clause minimization, VSIDS
+    branching with phase saving, Luby restarts and LBD-guided learnt-clause
+    database reduction. Solving is incremental: clauses may be added between
+    [solve] calls, and [solve] accepts assumptions.
+
+    Resource budgets (wall-clock seconds and/or conflicts) turn the answer
+    into {!Unknown} instead of blocking forever — the synthesis driver maps
+    that to the "optimality proof timed out" markers of the paper's
+    Table IV. *)
+
+type t
+
+type result = Sat | Unsat | Unknown
+
+val create : unit -> t
+
+(** Allocate a fresh variable. *)
+val new_var : t -> int
+
+(** [new_vars t k] allocates [k] consecutive variables and returns the first. *)
+val new_vars : t -> int -> int
+
+val nvars : t -> int
+val nclauses : t -> int
+
+(** [add_clause t lits] adds a clause. Tautologies are dropped; duplicates
+    within the clause are merged; an empty (or root-falsified) clause makes
+    the solver permanently UNSAT. *)
+val add_clause : t -> Lit.t list -> unit
+
+val add_clause_a : t -> Lit.t array -> unit
+
+(** [solve t] under optional [assumptions]. [Unknown] is returned only when
+    a [timeout] (seconds) or [max_conflicts] budget is exhausted. *)
+val solve :
+  ?assumptions:Lit.t list -> ?max_conflicts:int -> ?timeout:float -> t -> result
+
+(** [value t l]: the literal's value in the model of the last [Sat] answer.
+    Raises [Invalid_argument] if the last call did not return [Sat]. *)
+val value : t -> Lit.t -> bool
+
+(** Model value of a variable (see {!value}). *)
+val value_var : t -> int -> bool
+
+(** [false] once the clause set is known UNSAT at root level. *)
+val ok : t -> bool
+
+type stats = {
+  conflicts : int;
+  decisions : int;
+  propagations : int;
+  restarts : int;
+  learnt_clauses : int;
+}
+
+val stats : t -> stats
+val pp_stats : Format.formatter -> stats -> unit

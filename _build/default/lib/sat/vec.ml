@@ -1,0 +1,71 @@
+type 'a t = { mutable data : 'a array; mutable size : int; dummy : 'a }
+
+let create ~dummy = { data = [||]; size = 0; dummy }
+
+let size t = t.size
+let is_empty t = t.size = 0
+
+let check t i = if i < 0 || i >= t.size then invalid_arg "Vec: out of range"
+
+let get t i =
+  check t i;
+  Array.unsafe_get t.data i
+
+let set t i x =
+  check t i;
+  Array.unsafe_set t.data i x
+
+let grow t =
+  let cap = Array.length t.data in
+  let cap' = max 8 (2 * cap) in
+  let data = Array.make cap' t.dummy in
+  Array.blit t.data 0 data 0 t.size;
+  t.data <- data
+
+let push t x =
+  if t.size = Array.length t.data then grow t;
+  Array.unsafe_set t.data t.size x;
+  t.size <- t.size + 1
+
+let pop t =
+  if t.size = 0 then invalid_arg "Vec.pop: empty";
+  t.size <- t.size - 1;
+  let x = Array.unsafe_get t.data t.size in
+  Array.unsafe_set t.data t.size t.dummy;
+  x
+
+let shrink t n =
+  if n < 0 || n > t.size then invalid_arg "Vec.shrink";
+  for i = n to t.size - 1 do
+    Array.unsafe_set t.data i t.dummy
+  done;
+  t.size <- n
+
+let clear t = shrink t 0
+
+let iter f t =
+  for i = 0 to t.size - 1 do
+    f (Array.unsafe_get t.data i)
+  done
+
+let exists p t =
+  let rec go i = i < t.size && (p (Array.unsafe_get t.data i) || go (i + 1)) in
+  go 0
+
+let to_list t = List.init t.size (fun i -> t.data.(i))
+
+let of_list ~dummy l =
+  let t = create ~dummy in
+  List.iter (push t) l;
+  t
+
+let swap_remove t i =
+  check t i;
+  t.data.(i) <- t.data.(t.size - 1);
+  t.size <- t.size - 1;
+  t.data.(t.size) <- t.dummy
+
+let sort cmp t =
+  let live = Array.sub t.data 0 t.size in
+  Array.sort cmp live;
+  Array.blit live 0 t.data 0 t.size

@@ -1,0 +1,29 @@
+(** Growable arrays (MiniSat-style), used throughout the solver hot path. *)
+
+type 'a t
+
+(** [create ~dummy] makes an empty vector; [dummy] fills unused slots. *)
+val create : dummy:'a -> 'a t
+
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+val get : 'a t -> int -> 'a
+val set : 'a t -> int -> 'a -> unit
+val push : 'a t -> 'a -> unit
+val pop : 'a t -> 'a
+
+(** [shrink t n] keeps the first [n] elements. *)
+val shrink : 'a t -> int -> unit
+
+val clear : 'a t -> unit
+val iter : ('a -> unit) -> 'a t -> unit
+val exists : ('a -> bool) -> 'a t -> bool
+val to_list : 'a t -> 'a list
+val of_list : dummy:'a -> 'a list -> 'a t
+
+(** [swap_remove t i] replaces element [i] with the last element and pops;
+    O(1), order not preserved. *)
+val swap_remove : 'a t -> int -> unit
+
+(** In-place sort of the live prefix. *)
+val sort : ('a -> 'a -> int) -> 'a t -> unit

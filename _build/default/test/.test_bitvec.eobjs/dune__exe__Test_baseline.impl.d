@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Array List Mm_boolfun Mm_core Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_bitvec.ml: Alcotest Int List Mm_bitvec QCheck QCheck_alcotest Set

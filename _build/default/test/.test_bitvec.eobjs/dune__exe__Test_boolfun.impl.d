@@ -1,0 +1,1 @@
+test/test_boolfun.ml: Alcotest List Mm_boolfun Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_circuit.ml: Alcotest Array List Mm_boolfun Mm_core Printf String

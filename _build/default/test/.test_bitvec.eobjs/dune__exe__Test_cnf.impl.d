@@ -1,0 +1,1 @@
+test/test_cnf.ml: Alcotest Array Fun List Mm_cnf Mm_sat Printf

@@ -1,0 +1,1 @@
+test/test_compose.ml: Alcotest Array Mm_boolfun Mm_core QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_device.ml: Alcotest Array Float Format List Mm_core Mm_device Printf QCheck QCheck_alcotest String

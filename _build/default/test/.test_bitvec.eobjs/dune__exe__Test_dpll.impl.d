@@ -1,0 +1,1 @@
+test/test_dpll.ml: Alcotest Array Fun List Mm_sat Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_encode.ml: Alcotest Array List Mm_boolfun Mm_core Printf QCheck QCheck_alcotest

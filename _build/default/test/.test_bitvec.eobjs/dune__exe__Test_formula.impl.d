@@ -1,0 +1,1 @@
+test/test_formula.ml: Alcotest Array Format Mm_cnf Mm_sat QCheck QCheck_alcotest

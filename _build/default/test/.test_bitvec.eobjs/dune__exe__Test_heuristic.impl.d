@@ -1,0 +1,1 @@
+test/test_heuristic.ml: Alcotest Mm_boolfun Mm_core QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_io.ml: Alcotest Array Filename List Mm_boolfun Printf QCheck QCheck_alcotest String Sys

@@ -1,0 +1,1 @@
+test/test_sat.ml: Alcotest Format List Mm_sat Printf QCheck QCheck_alcotest String

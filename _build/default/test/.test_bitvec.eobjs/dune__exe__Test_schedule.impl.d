@@ -1,0 +1,1 @@
+test/test_schedule.ml: Alcotest Array List Mm_boolfun Mm_core Mm_device

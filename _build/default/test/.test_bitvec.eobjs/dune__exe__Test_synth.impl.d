@@ -1,0 +1,1 @@
+test/test_synth.ml: Alcotest Format List Mm_boolfun Mm_core Printf String

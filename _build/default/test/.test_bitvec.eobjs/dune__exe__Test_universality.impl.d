@@ -1,0 +1,1 @@
+test/test_universality.ml: Alcotest List Mm_boolfun Mm_core Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_vop.ml: Alcotest Fun List Mm_boolfun Mm_core Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_xbar.ml: Alcotest Array Mm_boolfun Mm_core Mm_device Printf

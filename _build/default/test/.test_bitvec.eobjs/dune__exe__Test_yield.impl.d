@@ -1,0 +1,1 @@
+test/test_yield.ml: Alcotest List Mm_boolfun Mm_core

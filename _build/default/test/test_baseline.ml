@@ -1,0 +1,97 @@
+module B = Mm_core.Baseline
+module C = Mm_core.Circuit
+module Spec = Mm_boolfun.Spec
+module Tt = Mm_boolfun.Truth_table
+module Arith = Mm_boolfun.Arith
+module Gf = Mm_boolfun.Gf
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let check_realizes name spec =
+  let c = B.nor_network spec in
+  (match C.realizes c spec with
+   | Ok () -> ()
+   | Error row -> Alcotest.failf "%s wrong on row %d" name row);
+  Alcotest.(check int) (name ^ " r-only") 0 (C.n_legs c);
+  Alcotest.(check bool) (name ^ " has final taps") true (C.final_taps_only c);
+  c
+
+let test_named_specs () =
+  List.iter
+    (fun spec -> ignore (check_realizes (Spec.name spec) spec))
+    [
+      Arith.full_adder;
+      Arith.adder_bits 2;
+      Arith.parity 4;
+      Arith.majority 5;
+      Arith.comparator 2;
+      Arith.mux21;
+      Arith.and_or_4;
+      Gf.mul_spec 2;
+      Gf.inv_spec 3;
+    ]
+
+let test_constant_outputs () =
+  let zero = Spec.make ~name:"zero" [| Tt.const 3 false |] in
+  let one = Spec.make ~name:"one" [| Tt.const 3 true |] in
+  let c0 = check_realizes "const0" zero in
+  let c1 = check_realizes "const1" one in
+  Alcotest.(check int) "const0 free" 0 (C.n_rops c0);
+  Alcotest.(check int) "const1 free" 0 (C.n_rops c1)
+
+let test_single_literal () =
+  let spec = Spec.make ~name:"lit" [| Tt.var 3 2 |] in
+  let c = check_realizes "literal" spec in
+  Alcotest.(check int) "no gates for a projection" 0 (C.n_rops c)
+
+let test_structural_sharing () =
+  (* two identical outputs must not double the gate count *)
+  let f = Tt.(var 3 1 ^^^ var 3 2) in
+  let once = B.nor_count (Spec.make ~name:"single" [| f |]) in
+  let twice = B.nor_count (Spec.make ~name:"double" [| f; f |]) in
+  Alcotest.(check int) "shared" once twice
+
+let test_and2_cost () =
+  (* AND2 = NOR(~x1, ~x2): exactly one gate *)
+  let spec = Spec.make ~name:"and2" [| Tt.(var 2 1 &&& var 2 2) |] in
+  Alcotest.(check int) "one gate" 1 (B.nor_count spec)
+
+let test_reasonable_bounds () =
+  (* the baseline should be within a small factor of the paper's R-only
+     upper bounds: 1-bit adder <= 9 optimal, allow 3x for two-level *)
+  let fa = B.nor_count Arith.full_adder in
+  Alcotest.(check bool) (Printf.sprintf "full adder %d gates" fa) true (fa <= 27);
+  let gfm = B.nor_count (Gf.mul_spec 2) in
+  Alcotest.(check bool) (Printf.sprintf "gf mul %d gates" gfm) true (gfm <= 42)
+
+let prop_random_specs =
+  QCheck.Test.make ~name:"random multi-output specs realize" ~count:60
+    (QCheck.make
+       ~print:(fun (n, vs) ->
+         Printf.sprintf "n=%d [%s]" n (String.concat ";" (List.map string_of_int vs)))
+       QCheck.Gen.(
+         let* n = int_range 1 4 in
+         let* outs = int_range 1 3 in
+         let* vs = list_repeat outs (int_range 0 ((1 lsl (1 lsl n)) - 1)) in
+         return (n, vs)))
+    (fun (n, vs) ->
+      let spec =
+        Spec.make ~name:"rand" (Array.of_list (List.map (Tt.of_int n) vs))
+      in
+      let c = B.nor_network spec in
+      match C.realizes c spec with Ok () -> true | Error _ -> false)
+
+let () =
+  Alcotest.run "baseline"
+    [
+      ( "nor_network",
+        [
+          Alcotest.test_case "named specs" `Quick test_named_specs;
+          Alcotest.test_case "constants" `Quick test_constant_outputs;
+          Alcotest.test_case "single literal" `Quick test_single_literal;
+          Alcotest.test_case "structural sharing" `Quick test_structural_sharing;
+          Alcotest.test_case "and2 cost" `Quick test_and2_cost;
+          Alcotest.test_case "bounds" `Quick test_reasonable_bounds;
+          qtest prop_random_specs;
+        ] );
+    ]

@@ -1,0 +1,181 @@
+module Bitvec = Mm_bitvec.Bitvec
+module Bitset = Mm_bitvec.Bitset
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* random vectors as (length, seeds) pairs *)
+let gen_bitvec =
+  QCheck.Gen.(
+    let* len = int_range 1 200 in
+    let* bits = list_repeat len bool in
+    return (Bitvec.init len (List.nth bits)))
+
+let arb_bitvec =
+  QCheck.make ~print:(fun v -> Bitvec.to_string v) gen_bitvec
+
+let arb_pair =
+  QCheck.make
+    ~print:(fun (a, b) -> Bitvec.to_string a ^ "/" ^ Bitvec.to_string b)
+    QCheck.Gen.(
+      let* len = int_range 1 200 in
+      let* bits1 = list_repeat len bool in
+      let* bits2 = list_repeat len bool in
+      return (Bitvec.init len (List.nth bits1), Bitvec.init len (List.nth bits2)))
+
+let test_create_zero () =
+  let v = Bitvec.create 10 in
+  Alcotest.(check int) "length" 10 (Bitvec.length v);
+  for i = 0 to 9 do
+    Alcotest.(check bool) "zero" false (Bitvec.get v i)
+  done;
+  Alcotest.(check bool) "is_zero" true (Bitvec.is_zero v)
+
+let test_set_get () =
+  let v = Bitvec.create 130 in
+  Bitvec.set v 0 true;
+  Bitvec.set v 64 true;
+  Bitvec.set v 129 true;
+  Alcotest.(check bool) "bit 0" true (Bitvec.get v 0);
+  Alcotest.(check bool) "bit 1" false (Bitvec.get v 1);
+  Alcotest.(check bool) "bit 64" true (Bitvec.get v 64);
+  Alcotest.(check bool) "bit 129" true (Bitvec.get v 129);
+  Alcotest.(check int) "popcount" 3 (Bitvec.popcount v);
+  Bitvec.set v 64 false;
+  Alcotest.(check int) "popcount after clear" 2 (Bitvec.popcount v)
+
+let test_bounds () =
+  let v = Bitvec.create 8 in
+  Alcotest.check_raises "get -1" (Invalid_argument "Bitvec: index out of range")
+    (fun () -> ignore (Bitvec.get v (-1)));
+  Alcotest.check_raises "get 8" (Invalid_argument "Bitvec: index out of range")
+    (fun () -> ignore (Bitvec.get v 8))
+
+let test_of_string () =
+  let v = Bitvec.of_string "0101" in
+  Alcotest.(check string) "roundtrip" "0101" (Bitvec.to_string v);
+  Alcotest.(check bool) "bit0" false (Bitvec.get v 0);
+  Alcotest.(check bool) "bit1" true (Bitvec.get v 1);
+  Alcotest.check_raises "bad char" (Invalid_argument "Bitvec.of_string: 'x'")
+    (fun () -> ignore (Bitvec.of_string "01x1"))
+
+let test_of_int () =
+  let v = Bitvec.of_int 8 0b1101 in
+  Alcotest.(check string) "bits" "10110000" (Bitvec.to_string v);
+  Alcotest.(check int) "roundtrip" 0b1101 (Bitvec.to_int v)
+
+let test_lognot_masked () =
+  (* complement of a 130-bit vector must not leak above the length *)
+  let v = Bitvec.create 130 in
+  let nv = Bitvec.lognot v in
+  Alcotest.(check int) "popcount" 130 (Bitvec.popcount nv);
+  Alcotest.(check bool) "is_ones" true (Bitvec.is_ones nv)
+
+let test_length_mismatch () =
+  Alcotest.check_raises "and" (Invalid_argument "Bitvec: length mismatch")
+    (fun () ->
+      ignore (Bitvec.logand (Bitvec.create 3) (Bitvec.create 4)))
+
+let prop_double_negation =
+  QCheck.Test.make ~name:"lognot involutive" arb_bitvec (fun v ->
+      Bitvec.equal v (Bitvec.lognot (Bitvec.lognot v)))
+
+let prop_de_morgan =
+  QCheck.Test.make ~name:"de morgan" arb_pair (fun (a, b) ->
+      Bitvec.equal
+        (Bitvec.lognot (Bitvec.logand a b))
+        (Bitvec.logor (Bitvec.lognot a) (Bitvec.lognot b)))
+
+let prop_xor_self =
+  QCheck.Test.make ~name:"xor self is zero" arb_bitvec (fun v ->
+      Bitvec.is_zero (Bitvec.logxor v v))
+
+let prop_equiv =
+  QCheck.Test.make ~name:"equiv = not xor" arb_pair (fun (a, b) ->
+      Bitvec.equal (Bitvec.equiv a b) (Bitvec.lognot (Bitvec.logxor a b)))
+
+let prop_andnot =
+  QCheck.Test.make ~name:"andnot" arb_pair (fun (a, b) ->
+      Bitvec.equal (Bitvec.andnot a b) (Bitvec.logand a (Bitvec.lognot b)))
+
+let prop_string_roundtrip =
+  QCheck.Test.make ~name:"string roundtrip" arb_bitvec (fun v ->
+      Bitvec.equal v (Bitvec.of_string (Bitvec.to_string v)))
+
+let prop_popcount =
+  QCheck.Test.make ~name:"popcount = folded count" arb_bitvec (fun v ->
+      Bitvec.popcount v = Bitvec.fold (fun acc b -> if b then acc + 1 else acc) 0 v)
+
+(* --- Bitset vs a reference implementation --- *)
+
+module IS = Set.Make (Int)
+
+let prop_bitset_model =
+  let gen =
+    QCheck.Gen.(list_size (int_range 0 200) (int_range 0 99))
+  in
+  QCheck.Test.make ~name:"bitset matches Set.Make(Int)"
+    (QCheck.make gen)
+    (fun ops ->
+      let s = Bitset.create 100 in
+      let reference =
+        List.fold_left
+          (fun acc x ->
+            let added = Bitset.add s x in
+            let was_absent = not (IS.mem x acc) in
+            if added <> was_absent then raise Exit;
+            IS.add x acc)
+          IS.empty ops
+      in
+      Bitset.cardinal s = IS.cardinal reference
+      && IS.for_all (Bitset.mem s) reference
+      && Bitset.to_list s = IS.elements reference)
+
+let test_bitset_basics () =
+  let s = Bitset.create 10 in
+  Alcotest.(check bool) "add fresh" true (Bitset.add s 3);
+  Alcotest.(check bool) "add dup" false (Bitset.add s 3);
+  Alcotest.(check bool) "mem" true (Bitset.mem s 3);
+  Alcotest.(check int) "cardinal" 1 (Bitset.cardinal s);
+  Bitset.remove s 3;
+  Alcotest.(check bool) "removed" false (Bitset.mem s 3);
+  Alcotest.(check int) "cardinal 0" 0 (Bitset.cardinal s);
+  Alcotest.check_raises "out of range" (Invalid_argument "Bitset: out of range")
+    (fun () -> ignore (Bitset.mem s 10))
+
+let test_bitset_copy_clear () =
+  let s = Bitset.create 50 in
+  ignore (Bitset.add s 7);
+  let c = Bitset.copy s in
+  ignore (Bitset.add c 8);
+  Alcotest.(check bool) "copy independent" false (Bitset.mem s 8);
+  Bitset.clear c;
+  Alcotest.(check int) "cleared" 0 (Bitset.cardinal c);
+  Alcotest.(check int) "original intact" 1 (Bitset.cardinal s)
+
+let () =
+  Alcotest.run "bitvec"
+    [
+      ( "bitvec",
+        [
+          Alcotest.test_case "create zero" `Quick test_create_zero;
+          Alcotest.test_case "set/get multi-limb" `Quick test_set_get;
+          Alcotest.test_case "bounds" `Quick test_bounds;
+          Alcotest.test_case "of_string" `Quick test_of_string;
+          Alcotest.test_case "of_int" `Quick test_of_int;
+          Alcotest.test_case "lognot masked" `Quick test_lognot_masked;
+          Alcotest.test_case "length mismatch" `Quick test_length_mismatch;
+          qtest prop_double_negation;
+          qtest prop_de_morgan;
+          qtest prop_xor_self;
+          qtest prop_equiv;
+          qtest prop_andnot;
+          qtest prop_string_roundtrip;
+          qtest prop_popcount;
+        ] );
+      ( "bitset",
+        [
+          Alcotest.test_case "basics" `Quick test_bitset_basics;
+          Alcotest.test_case "copy/clear" `Quick test_bitset_copy_clear;
+          qtest prop_bitset_model;
+        ] );
+    ]

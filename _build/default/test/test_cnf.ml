@@ -1,0 +1,177 @@
+module Builder = Mm_cnf.Builder
+module Cardinality = Mm_cnf.Cardinality
+module Solver = Mm_sat.Solver
+module Lit = Mm_sat.Lit
+
+(* Count the models of the formula in [solver] projected onto [vars] by
+   iterative blocking-clause enumeration. *)
+let count_models solver vars =
+  let rec go n =
+    match Solver.solve solver with
+    | Solver.Sat ->
+      let blocking =
+        List.map
+          (fun v ->
+            if Solver.value_var solver v then Lit.neg_of v else Lit.pos v)
+          vars
+      in
+      Solver.add_clause solver blocking;
+      go (n + 1)
+    | Solver.Unsat -> n
+    | Solver.Unknown -> Alcotest.fail "unexpected Unknown"
+  in
+  go 0
+
+let with_builder f =
+  let solver = Solver.create () in
+  let b = Builder.create ~solver () in
+  f solver b
+
+let test_fresh_and_counts () =
+  let b = Builder.create () in
+  let v1 = Builder.fresh_var b in
+  let v2 = Builder.fresh_var b in
+  Alcotest.(check bool) "distinct" true (v1 <> v2);
+  Builder.add b [ Lit.pos v1 ];
+  Builder.add b [ Lit.pos v2; Lit.neg_of v1 ];
+  Alcotest.(check int) "vars" 2 (Builder.num_vars b);
+  Alcotest.(check int) "clauses" 2 (Builder.num_clauses b)
+
+let test_to_dimacs () =
+  let b = Builder.create ~keep_clauses:true () in
+  let v = Builder.fresh_var b in
+  Builder.add b [ Lit.pos v ];
+  let p = Builder.to_dimacs b in
+  Alcotest.(check int) "vars" 1 p.Mm_sat.Dimacs.num_vars;
+  Alcotest.(check (list (list int))) "clauses" [ [ 1 ] ] p.Mm_sat.Dimacs.clauses;
+  let b2 = Builder.create () in
+  Alcotest.check_raises "keep_clauses unset"
+    (Invalid_argument "Builder.to_dimacs: keep_clauses not set") (fun () ->
+      ignore (Builder.to_dimacs b2))
+
+let test_const_true () =
+  with_builder (fun solver b ->
+      let t = Builder.const_true b in
+      let t' = Builder.const_true b in
+      Alcotest.(check bool) "cached" true (t = t');
+      ignore (Solver.solve solver);
+      Alcotest.(check bool) "true" true (Solver.value solver t);
+      Alcotest.(check bool) "false" false
+        (Solver.value solver (Builder.const_false b)))
+
+(* check a gate definition against its boolean function by enumerating all
+   input assignments with assumptions *)
+let check_gate name define semantics =
+  with_builder (fun solver b ->
+      let a = Builder.fresh_lit b and bb = Builder.fresh_lit b in
+      let z = define b a bb in
+      List.iter
+        (fun (va, vb) ->
+          let assumptions =
+            [
+              (if va then a else Lit.negate a);
+              (if vb then bb else Lit.negate bb);
+            ]
+          in
+          (match Solver.solve ~assumptions solver with
+           | Solver.Sat ->
+             Alcotest.(check bool)
+               (Printf.sprintf "%s(%b,%b)" name va vb)
+               (semantics va vb) (Solver.value solver z)
+           | Solver.Unsat | Solver.Unknown -> Alcotest.fail "gate must be satisfiable"))
+        [ (false, false); (false, true); (true, false); (true, true) ])
+
+let test_gates () =
+  check_gate "and" Builder.define_and ( && );
+  check_gate "or" Builder.define_or ( || );
+  check_gate "xor" Builder.define_xor ( <> );
+  check_gate "nor" Builder.define_nor (fun a b -> not (a || b))
+
+let test_andn () =
+  with_builder (fun solver b ->
+      let inputs = Array.to_list (Builder.fresh_lits b 4) in
+      let z = Builder.define_andn b inputs in
+      (* force all true *)
+      List.iter (fun l -> Builder.add b [ l ]) inputs;
+      ignore (Solver.solve solver);
+      Alcotest.(check bool) "all true" true (Solver.value solver z));
+  with_builder (fun solver b ->
+      let inputs = Array.to_list (Builder.fresh_lits b 4) in
+      let z = Builder.define_andn b inputs in
+      Builder.add b [ Lit.negate (List.nth inputs 2) ];
+      List.iteri (fun i l -> if i <> 2 then Builder.add b [ l ]) inputs;
+      ignore (Solver.solve solver);
+      Alcotest.(check bool) "one false" false (Solver.value solver z))
+
+let test_implies_equiv () =
+  with_builder (fun solver b ->
+      let g = Builder.fresh_lit b in
+      let x = Builder.fresh_lit b and y = Builder.fresh_lit b in
+      Builder.implies_equiv b [ g ] x y;
+      Builder.add b [ g ];
+      Builder.add b [ x ];
+      ignore (Solver.solve solver);
+      Alcotest.(check bool) "propagated" true (Solver.value solver y))
+
+(* exactly-one: number of models over k selector vars must be exactly k *)
+let models_of_eo encoding k =
+  with_builder (fun solver b ->
+      let vars = List.init k (fun _ -> Builder.fresh_var b) in
+      Cardinality.exactly_one ~encoding b (List.map Lit.pos vars);
+      count_models solver vars)
+
+let test_exactly_one () =
+  List.iter
+    (fun k ->
+      Alcotest.(check int)
+        (Printf.sprintf "pairwise k=%d" k)
+        k
+        (models_of_eo Cardinality.Pairwise k);
+      Alcotest.(check int)
+        (Printf.sprintf "sequential k=%d" k)
+        k
+        (models_of_eo Cardinality.Sequential k))
+    [ 1; 2; 3; 5; 8; 12 ]
+
+let binomial n k =
+  let rec go acc i = if i > k then acc else go (acc * (n - i + 1) / i) (i + 1) in
+  go 1 1
+
+let test_at_most_k () =
+  List.iter
+    (fun (n, k) ->
+      let expected = List.fold_left (fun acc i -> acc + binomial n i) 0
+          (List.init (k + 1) Fun.id) in
+      let got =
+        with_builder (fun solver b ->
+            let vars = List.init n (fun _ -> Builder.fresh_var b) in
+            Cardinality.at_most_k b k (List.map Lit.pos vars);
+            count_models solver vars)
+      in
+      Alcotest.(check int) (Printf.sprintf "amk n=%d k=%d" n k) expected got)
+    [ (4, 0); (4, 1); (5, 2); (6, 3) ]
+
+let test_at_least_one_empty () =
+  let b = Builder.create () in
+  Alcotest.check_raises "empty" (Invalid_argument "Cardinality.at_least_one: empty")
+    (fun () -> Cardinality.at_least_one b [])
+
+let () =
+  Alcotest.run "cnf"
+    [
+      ( "builder",
+        [
+          Alcotest.test_case "fresh/counts" `Quick test_fresh_and_counts;
+          Alcotest.test_case "dimacs export" `Quick test_to_dimacs;
+          Alcotest.test_case "const_true" `Quick test_const_true;
+          Alcotest.test_case "gates" `Quick test_gates;
+          Alcotest.test_case "andn" `Quick test_andn;
+          Alcotest.test_case "implies_equiv" `Quick test_implies_equiv;
+        ] );
+      ( "cardinality",
+        [
+          Alcotest.test_case "exactly one" `Quick test_exactly_one;
+          Alcotest.test_case "at most k" `Quick test_at_most_k;
+          Alcotest.test_case "empty ALO" `Quick test_at_least_one_empty;
+        ] );
+    ]

@@ -1,0 +1,193 @@
+module Compose = Mm_core.Compose
+module C = Mm_core.Circuit
+module Reference = Mm_core.Reference
+module Tt = Mm_boolfun.Truth_table
+module Literal = Mm_boolfun.Literal
+module Spec = Mm_boolfun.Spec
+module Arith = Mm_boolfun.Arith
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let vop te be = { C.te; be }
+
+(* single-output building blocks over arity 3 *)
+let and_leg_circuit v1 v2 =
+  C.make ~arity:3
+    ~legs:
+      [| [| vop (Literal.Pos v1) Literal.Const0; vop (Literal.Pos v2) Literal.Const1 |] |]
+    ~rops:[||]
+    ~outputs:[| C.From_leg 0 |]
+    ()
+
+let nor_circuit v1 v2 =
+  C.make ~arity:3 ~legs:[||]
+    ~rops:
+      [| { C.in1 = C.From_literal (Literal.Pos v1);
+           in2 = C.From_literal (Literal.Pos v2) } |]
+    ~outputs:[| C.From_rop 0 |]
+    ()
+
+let test_merge_two () =
+  let c1 = and_leg_circuit 1 2 in
+  let c2 = nor_circuit 2 3 in
+  let shell, remaps = Compose.merge_parallel [ c1; c2 ] in
+  let r1, r2 = match remaps with [ a; b ] -> (a, b) | _ -> assert false in
+  let merged =
+    Compose.with_outputs shell
+      [| r1 c1.C.outputs.(0); r2 c2.C.outputs.(0) |]
+  in
+  let tables = C.output_tables merged in
+  Alcotest.(check string) "and preserved"
+    (Tt.to_string Tt.(var 3 1 &&& var 3 2))
+    (Tt.to_string tables.(0));
+  Alcotest.(check string) "nor preserved"
+    (Tt.to_string (Tt.nor (Tt.var 3 2) (Tt.var 3 3)))
+    (Tt.to_string tables.(1));
+  (* steps are concatenated windows *)
+  Alcotest.(check int) "steps = sum" 2 (C.steps_per_leg merged)
+
+let test_merge_window_isolation () =
+  (* both sub-circuits have legs with different BE schedules: merging must
+     keep them both correct by serializing the windows *)
+  let c1 = and_leg_circuit 1 2 in
+  let c2 = and_leg_circuit 3 1 in
+  let shell, remaps = Compose.merge_parallel [ c1; c2 ] in
+  let r1, r2 = match remaps with [ a; b ] -> (a, b) | _ -> assert false in
+  let merged =
+    Compose.with_outputs shell [| r1 c1.C.outputs.(0); r2 c2.C.outputs.(0) |]
+  in
+  let tables = C.output_tables merged in
+  Alcotest.(check bool) "first ok" true
+    (Tt.equal tables.(0) Tt.(var 3 1 &&& var 3 2));
+  Alcotest.(check bool) "second ok" true
+    (Tt.equal tables.(1) Tt.(var 3 3 &&& var 3 1));
+  (* shared-BE rail well defined per step across all merged legs *)
+  for s = 0 to C.steps_per_leg merged - 1 do
+    let be = merged.C.legs.(0).(s).C.be in
+    Array.iter
+      (fun leg ->
+        Alcotest.(check bool) "shared BE" true (Literal.equal leg.(s).C.be be))
+      merged.C.legs
+  done
+
+let test_with_extra_rops () =
+  let c1 = and_leg_circuit 1 2 in
+  let c2 = and_leg_circuit 1 3 in
+  let shell, remaps = Compose.merge_parallel [ c1; c2 ] in
+  let r1, r2 = match remaps with [ a; b ] -> (a, b) | _ -> assert false in
+  let merged =
+    Compose.with_extra_rops shell
+      [ (`Old (r1 c1.C.outputs.(0)), `Old (r2 c2.C.outputs.(0))) ]
+      [| `New 0 |]
+  in
+  let expect = Tt.nor Tt.(var 3 1 &&& var 3 2) Tt.(var 3 1 &&& var 3 3) in
+  Alcotest.(check bool) "nor of merged outputs" true
+    (Tt.equal (C.output_tables merged).(0) expect)
+
+let test_extra_rops_forward_ref () =
+  let c1 = and_leg_circuit 1 2 in
+  let shell, _ = Compose.merge_parallel [ c1 ] in
+  Alcotest.check_raises "forward"
+    (Invalid_argument "Compose.with_extra_rops: forward ref") (fun () ->
+      ignore (Compose.with_extra_rops shell [ (`New 0, `New 0) ] [| `New 0 |]))
+
+let test_merge_mismatch () =
+  let c1 = and_leg_circuit 1 2 in
+  let c2 =
+    C.make ~arity:2 ~legs:[||] ~rops:[||]
+      ~outputs:[| C.From_literal (Literal.Pos 1) |] ()
+  in
+  Alcotest.check_raises "arity"
+    (Invalid_argument "Compose.merge_parallel: arity mismatch") (fun () ->
+      ignore (Compose.merge_parallel [ c1; c2 ]))
+
+let test_merge_with_rops_and_gf () =
+  (* merge the full GF multiplier with a small NOR block; both functions
+     must survive intact, including the multiplier's intermediate taps *)
+  let gf = Reference.gf4_mul_circuit () in
+  let small =
+    C.make ~arity:4 ~legs:[||]
+      ~rops:
+        [| { C.in1 = C.From_literal (Literal.Pos 1);
+             in2 = C.From_literal (Literal.Pos 4) } |]
+      ~outputs:[| C.From_rop 0 |]
+      ()
+  in
+  let shell, remaps = Compose.merge_parallel [ gf; small ] in
+  let rg, rs = match remaps with [ a; b ] -> (a, b) | _ -> assert false in
+  let merged =
+    Compose.with_outputs shell
+      [| rg gf.C.outputs.(0); rg gf.C.outputs.(1); rs small.C.outputs.(0) |]
+  in
+  let gf_spec = Mm_boolfun.Gf.mul_spec 2 in
+  let tables = C.output_tables merged in
+  Alcotest.(check bool) "gf out1" true
+    (Tt.equal tables.(0) (Spec.output gf_spec 0));
+  Alcotest.(check bool) "gf out2" true
+    (Tt.equal tables.(1) (Spec.output gf_spec 1));
+  Alcotest.(check bool) "nor out" true
+    (Tt.equal tables.(2) (Tt.nor (Tt.var 4 1) (Tt.var 4 4)))
+
+let test_rename_vars () =
+  (* x1 & x2 over arity 2, re-embedded as x3 & x1 over arity 3 *)
+  let c =
+    C.make ~arity:2
+      ~legs:
+        [| [| vop (Literal.Pos 1) Literal.Const0;
+              vop (Literal.Pos 2) Literal.Const1 |] |]
+      ~rops:[||]
+      ~outputs:[| C.From_leg 0 |]
+      ()
+  in
+  let renamed = Compose.rename_vars c ~arity:3 ~mapping:[| 3; 1 |] in
+  Alcotest.(check bool) "x3 & x1" true
+    (Tt.equal (C.output_tables renamed).(0) Tt.(var 3 3 &&& var 3 1));
+  Alcotest.check_raises "mapping range"
+    (Invalid_argument "Compose.rename_vars: variable out of mapping") (fun () ->
+      ignore (Compose.rename_vars c ~arity:3 ~mapping:[| 3 |]))
+
+let prop_merge_preserves_random_pairs =
+  (* random leg-only circuits: merging never changes either function *)
+  let gen =
+    QCheck.Gen.(
+      let lit = map (Mm_boolfun.Literal.of_index 3) (int_range 0 7) in
+      let vop_g = map2 (fun te be -> { C.te; be }) lit lit in
+      let leg = map Array.of_list (list_size (int_range 1 3) vop_g) in
+      let circ =
+        map
+          (fun legs0 ->
+            let steps = Array.length legs0 in
+            ignore steps;
+            C.make ~arity:3 ~legs:[| legs0 |] ~rops:[||]
+              ~outputs:[| C.From_leg 0 |] ())
+          leg
+      in
+      pair circ circ)
+  in
+  QCheck.Test.make ~name:"merge preserves sub-circuit functions" ~count:100
+    (QCheck.make gen)
+    (fun (c1, c2) ->
+      let shell, remaps = Compose.merge_parallel [ c1; c2 ] in
+      let r1, r2 = match remaps with [ a; b ] -> (a, b) | _ -> assert false in
+      let merged =
+        Compose.with_outputs shell [| r1 c1.C.outputs.(0); r2 c2.C.outputs.(0) |]
+      in
+      let tables = C.output_tables merged in
+      Tt.equal tables.(0) (C.output_tables c1).(0)
+      && Tt.equal tables.(1) (C.output_tables c2).(0))
+
+let () =
+  Alcotest.run "compose"
+    [
+      ( "merge",
+        [
+          Alcotest.test_case "two blocks" `Quick test_merge_two;
+          Alcotest.test_case "window isolation" `Quick test_merge_window_isolation;
+          Alcotest.test_case "extra rops" `Quick test_with_extra_rops;
+          Alcotest.test_case "forward ref" `Quick test_extra_rops_forward_ref;
+          Alcotest.test_case "mismatch" `Quick test_merge_mismatch;
+          Alcotest.test_case "gf + block" `Quick test_merge_with_rops_and_gf;
+          qtest prop_merge_preserves_random_pairs;
+        ] );
+      ("rename", [ Alcotest.test_case "rename vars" `Quick test_rename_vars ]);
+    ]

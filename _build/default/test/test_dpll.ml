@@ -1,0 +1,111 @@
+module Dpll = Mm_sat.Dpll
+module Solver = Mm_sat.Solver
+module Lit = Mm_sat.Lit
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let satisfies model clauses =
+  List.for_all
+    (List.exists (fun d ->
+         let v = model.(abs d - 1) in
+         if d > 0 then v else not v))
+    clauses
+
+let test_basics () =
+  (match Dpll.solve ~num_vars:2 [ [ 1; 2 ]; [ -1 ] ] with
+   | Dpll.Sat m ->
+     Alcotest.(check bool) "x1 false" false m.(0);
+     Alcotest.(check bool) "x2 true" true m.(1)
+   | Dpll.Unsat | Dpll.Limit -> Alcotest.fail "expected SAT");
+  (match Dpll.solve ~num_vars:1 [ [ 1 ]; [ -1 ] ] with
+   | Dpll.Unsat -> ()
+   | Dpll.Sat _ | Dpll.Limit -> Alcotest.fail "expected UNSAT");
+  Alcotest.check_raises "bad literal" (Invalid_argument "Dpll.solve: bad literal")
+    (fun () -> ignore (Dpll.solve ~num_vars:1 [ [ 2 ] ]))
+
+let test_limit () =
+  (* php(7,6) with a budget of 1 decision cannot finish *)
+  let holes = 6 and pigeons = 7 in
+  let var p h = (p * holes) + h + 1 in
+  let clauses =
+    List.init pigeons (fun p -> List.init holes (fun h -> var p h))
+    @ List.concat_map
+        (fun h ->
+          List.concat_map
+            (fun p1 ->
+              List.filter_map
+                (fun p2 ->
+                  if p2 > p1 then Some [ -var p1 h; -var p2 h ] else None)
+                (List.init pigeons Fun.id))
+            (List.init pigeons Fun.id))
+        (List.init holes Fun.id)
+  in
+  match Dpll.solve ~limit:1 ~num_vars:(pigeons * holes) clauses with
+  | Dpll.Limit -> ()
+  | Dpll.Sat _ | Dpll.Unsat -> Alcotest.fail "expected Limit"
+
+let test_php_54 () =
+  let holes = 4 and pigeons = 5 in
+  let var p h = (p * holes) + h + 1 in
+  let clauses =
+    List.init pigeons (fun p -> List.init holes (fun h -> var p h))
+    @ List.concat_map
+        (fun h ->
+          List.concat_map
+            (fun p1 ->
+              List.filter_map
+                (fun p2 ->
+                  if p2 > p1 then Some [ -var p1 h; -var p2 h ] else None)
+                (List.init pigeons Fun.id))
+            (List.init pigeons Fun.id))
+        (List.init holes Fun.id)
+  in
+  match Dpll.solve ~num_vars:(pigeons * holes) clauses with
+  | Dpll.Unsat -> ()
+  | Dpll.Sat _ | Dpll.Limit -> Alcotest.fail "expected UNSAT"
+
+(* the whole point: DPLL as an oracle for the CDCL solver on instances
+   beyond brute-force enumeration (here up to 25 variables) *)
+let gen_cnf =
+  QCheck.Gen.(
+    let* num_vars = int_range 5 25 in
+    let* num_clauses = int_range 5 (4 * num_vars) in
+    let gen_clause =
+      let* width = int_range 1 3 in
+      list_repeat width
+        (let* v = int_range 1 num_vars in
+         let* s = bool in
+         return (if s then v else -v))
+    in
+    let* clauses = list_repeat num_clauses gen_clause in
+    return (num_vars, clauses))
+
+let prop_cdcl_vs_dpll =
+  QCheck.Test.make ~name:"CDCL agrees with DPLL up to 25 vars" ~count:200
+    (QCheck.make
+       ~print:(fun (n, cs) ->
+         Printf.sprintf "n=%d m=%d" n (List.length cs))
+       gen_cnf)
+    (fun (num_vars, clauses) ->
+      let s = Solver.create () in
+      ignore (Solver.new_vars s num_vars);
+      List.iter (fun c -> Solver.add_clause s (List.map Lit.of_dimacs c)) clauses;
+      let cdcl = Solver.solve s in
+      match Dpll.solve ~num_vars clauses, cdcl with
+      | Dpll.Sat m, Solver.Sat -> satisfies m clauses
+      | Dpll.Unsat, Solver.Unsat -> true
+      | Dpll.Limit, _ -> QCheck.assume_fail ()
+      | Dpll.Sat _, (Solver.Unsat | Solver.Unknown)
+      | Dpll.Unsat, (Solver.Sat | Solver.Unknown) -> false)
+
+let () =
+  Alcotest.run "dpll"
+    [
+      ( "dpll",
+        [
+          Alcotest.test_case "basics" `Quick test_basics;
+          Alcotest.test_case "limit" `Quick test_limit;
+          Alcotest.test_case "php(5,4)" `Quick test_php_54;
+          qtest prop_cdcl_vs_dpll;
+        ] );
+    ]

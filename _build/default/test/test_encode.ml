@@ -1,0 +1,242 @@
+module E = Mm_core.Encode
+module S = Mm_core.Synth
+module C = Mm_core.Circuit
+module Rop = Mm_core.Rop
+module Spec = Mm_boolfun.Spec
+module Expr = Mm_boolfun.Expr
+module Literal = Mm_boolfun.Literal
+module Arith = Mm_boolfun.Arith
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let spec_of ?n name exprs =
+  Expr.spec ~name ?n (List.map Expr.parse_exn exprs)
+
+let solve ?(timeout = 30.) cfg spec = S.solve_instance ~timeout cfg spec
+
+let is_sat a = match a.S.verdict with S.Sat _ -> true | S.Unsat | S.Timeout -> false
+let is_unsat a = match a.S.verdict with S.Unsat -> true | S.Sat _ | S.Timeout -> false
+let circuit_of a =
+  match a.S.verdict with
+  | S.Sat c -> c
+  | S.Unsat | S.Timeout -> Alcotest.fail "expected SAT"
+
+let test_identity_v_only () =
+  (* f = x1 with one leg, one step *)
+  let spec = spec_of "id" [ "x1" ] in
+  let a = solve (E.config ~n_legs:1 ~steps_per_leg:1 ~n_rops:0 ()) spec in
+  Alcotest.(check bool) "sat" true (is_sat a);
+  let c = circuit_of a in
+  Alcotest.(check int) "one leg" 1 (C.n_legs c)
+
+let test_const_output () =
+  (* constant output can come straight from a literal; works even with no
+     legs at all... outputs need at least one candidate, so keep one leg *)
+  let spec = spec_of ~n:2 "const1" [ "1" ] in
+  let a = solve (E.config ~n_legs:1 ~steps_per_leg:1 ~n_rops:0 ()) spec in
+  Alcotest.(check bool) "sat" true (is_sat a)
+
+let test_and2_v_only_needs_two_steps () =
+  let spec = spec_of "and2" [ "x1 & x2" ] in
+  let sat2 = solve (E.config ~n_legs:1 ~steps_per_leg:2 ~n_rops:0 ()) spec in
+  Alcotest.(check bool) "2 steps SAT" true (is_sat sat2)
+
+let test_xor_not_v_realizable () =
+  (* Section II-C: x1x2 + x3x4 (and XOR) are not realizable by V-ops alone,
+     no matter the number of steps. *)
+  let xor = spec_of "xor2" [ "x1 ^ x2" ] in
+  let a = solve (E.config ~n_legs:2 ~steps_per_leg:5 ~n_rops:0 ()) xor in
+  Alcotest.(check bool) "xor V-only UNSAT" true (is_unsat a);
+  let aa = solve (E.config ~n_legs:2 ~steps_per_leg:4 ~n_rops:0 ()) Arith.and_or_4 in
+  Alcotest.(check bool) "x1x2+x3x4 V-only UNSAT" true (is_unsat aa)
+
+let test_xor_with_one_rop () =
+  let xor = spec_of "xor2" [ "x1 ^ x2" ] in
+  let a = solve (E.config ~n_legs:2 ~steps_per_leg:2 ~n_rops:1 ()) xor in
+  Alcotest.(check bool) "sat" true (is_sat a);
+  let c = circuit_of a in
+  Alcotest.(check int) "one NOR" 1 (C.n_rops c)
+
+let test_shared_be_in_decoded () =
+  let spec = spec_of "pair" [ "x1 & x2"; "x1 | x2" ] in
+  let a = solve (E.config ~n_legs:2 ~steps_per_leg:2 ~n_rops:0 ()) spec in
+  let c = circuit_of a in
+  for s = 0 to C.steps_per_leg c - 1 do
+    let be0 = c.C.legs.(0).(s).C.be in
+    Array.iter
+      (fun leg ->
+        Alcotest.(check bool) "same BE" true (Literal.equal leg.(s).C.be be0))
+      c.C.legs
+  done
+
+let test_unshared_be_config () =
+  let spec = spec_of "pair" [ "x1 & x2"; "x1 | x2" ] in
+  let a =
+    solve (E.config ~shared_be:false ~n_legs:2 ~steps_per_leg:2 ~n_rops:0 ()) spec
+  in
+  Alcotest.(check bool) "sat" true (is_sat a)
+
+let test_forced_te () =
+  let spec = spec_of "and2" [ "x1 & x2" ] in
+  let forced = [ (0, 0, Literal.Pos 2) ] in
+  let a =
+    solve (E.config ~forced_te:forced ~n_legs:1 ~steps_per_leg:2 ~n_rops:0 ()) spec
+  in
+  let c = circuit_of a in
+  Alcotest.(check string) "TE pinned" "x2" (Literal.to_string c.C.legs.(0).(0).C.te)
+
+let test_forced_be () =
+  let spec = spec_of "and2" [ "x1 & x2" ] in
+  let a =
+    solve
+      (E.config ~forced_be:[ (1, Literal.Const1) ] ~n_legs:1 ~steps_per_leg:2
+         ~n_rops:0 ())
+      spec
+  in
+  let c = circuit_of a in
+  Alcotest.(check string) "BE pinned" "const-1"
+    (Literal.to_string c.C.legs.(0).(1).C.be)
+
+let test_forced_te_out_of_range () =
+  let spec = spec_of "and2" [ "x1 & x2" ] in
+  Alcotest.check_raises "range"
+    (Invalid_argument "Encode.build: forced_te out of range") (fun () ->
+      ignore
+        (solve
+           (E.config ~forced_te:[ (3, 0, Literal.Pos 1) ] ~n_legs:1
+              ~steps_per_leg:2 ~n_rops:0 ())
+           spec))
+
+let test_no_literal_rop_inputs () =
+  (* NOT(x1) as a single R-op normally uses literal inputs; forbidding them
+     with no legs leaves the R-op without candidates *)
+  let spec = spec_of "not" [ "~x1" ] in
+  Alcotest.check_raises "no candidates"
+    (Invalid_argument "Encode.build: R-op has no candidates") (fun () ->
+      ignore
+        (solve
+           (E.config ~allow_literal_rop_inputs:false ~n_legs:0 ~steps_per_leg:0
+              ~n_rops:1 ())
+           spec))
+
+let test_r_only_not () =
+  let spec = spec_of "not" [ "~x1" ] in
+  let a = solve (E.config ~n_legs:0 ~steps_per_leg:0 ~n_rops:1 ()) spec in
+  Alcotest.(check bool) "NOT = 1 NOR of literals" true (is_sat a);
+  let c = circuit_of a in
+  Alcotest.(check int) "no legs" 0 (C.n_legs c)
+
+let test_direct_equisatisfiable () =
+  (* the paper-faithful encoding and the compact one must agree *)
+  let cases =
+    [
+      (spec_of "and2" [ "x1 & x2" ], 1, 2, 0, true);
+      (spec_of "xor2" [ "x1 ^ x2" ], 2, 3, 0, false);
+      (spec_of "xor2" [ "x1 ^ x2" ], 2, 2, 1, true);
+      (spec_of "or3" [ "x1 | x2 | x3" ], 1, 3, 0, true);
+    ]
+  in
+  List.iter
+    (fun (spec, legs, steps, rops, expect_sat) ->
+      List.iter
+        (fun style ->
+          let a =
+            solve
+              (E.config ~style ~n_legs:legs ~steps_per_leg:steps ~n_rops:rops ())
+              spec
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s %s" (Spec.name spec)
+               (match style with E.Direct -> "direct" | E.Compact -> "compact"))
+            expect_sat (is_sat a))
+        [ E.Direct; E.Compact ])
+    cases
+
+let test_direct_bigger_than_compact () =
+  let spec = Mm_boolfun.Gf.mul_spec 2 in
+  let dims ~style ~taps =
+    E.size (E.config ~style ~taps ~n_legs:6 ~steps_per_leg:3 ~n_rops:4 ()) spec
+  in
+  let dv, dc = dims ~style:E.Direct ~taps:E.Any_vop in
+  let cv, cc = dims ~style:E.Compact ~taps:E.Any_vop in
+  Alcotest.(check bool) "direct has more clauses" true (dc > 2 * cc);
+  Alcotest.(check bool) "vars counted" true (dv > 0 && cv > 0)
+
+let test_symmetry_preserves_verdict () =
+  let specs =
+    [
+      (spec_of "maj3" [ "x1 & x2 | x1 & x3 | x2 & x3" ], 2, 3, 1);
+      (spec_of "xor2" [ "x1 ^ x2" ], 2, 2, 1);
+      (spec_of "impl" [ "~x1 | x2" ], 1, 2, 0);
+    ]
+  in
+  List.iter
+    (fun (spec, legs, steps, rops) ->
+      let verdict sym =
+        is_sat
+          (solve
+             (E.config ~symmetry_breaking:sym ~n_legs:legs ~steps_per_leg:steps
+                ~n_rops:rops ())
+             spec)
+      in
+      Alcotest.(check bool) (Spec.name spec) (verdict false) (verdict true))
+    specs
+
+let test_any_vop_superset () =
+  (* Any_vop admits at least everything Final_only does: the 1-bit adder at
+     the paper's dimensions is the separating example. *)
+  let fa = Arith.full_adder in
+  let run taps =
+    is_sat (solve ~timeout:60. (E.config ~taps ~n_legs:3 ~steps_per_leg:3 ~n_rops:2 ()) fa)
+  in
+  Alcotest.(check bool) "final-only UNSAT at paper dims" false (run E.Final_only);
+  Alcotest.(check bool) "any-vop SAT at paper dims" true (run E.Any_vop)
+
+let prop_random_single_output =
+  (* random 3-input functions: MM synthesis with generous budget always
+     succeeds and the decoded circuit is verified by solve_instance *)
+  QCheck.Test.make ~name:"random 3-input functions synthesize" ~count:15
+    (QCheck.make
+       ~print:string_of_int
+       QCheck.Gen.(int_range 1 254))
+    (fun v ->
+      let tt = Mm_boolfun.Truth_table.of_int 3 v in
+      let spec = Spec.make ~name:"rand" [| tt |] in
+      let a =
+        solve ~timeout:60.
+          (E.config ~taps:E.Any_vop ~n_legs:3 ~steps_per_leg:4 ~n_rops:3 ())
+          spec
+      in
+      is_sat a)
+
+let () =
+  Alcotest.run "encode"
+    [
+      ( "basic",
+        [
+          Alcotest.test_case "identity" `Quick test_identity_v_only;
+          Alcotest.test_case "const output" `Quick test_const_output;
+          Alcotest.test_case "and2 two steps" `Quick test_and2_v_only_needs_two_steps;
+          Alcotest.test_case "xor not V-realizable" `Quick test_xor_not_v_realizable;
+          Alcotest.test_case "xor with 1 R-op" `Quick test_xor_with_one_rop;
+          Alcotest.test_case "r-only NOT" `Quick test_r_only_not;
+        ] );
+      ( "constraints",
+        [
+          Alcotest.test_case "shared BE decoded" `Quick test_shared_be_in_decoded;
+          Alcotest.test_case "unshared BE" `Quick test_unshared_be_config;
+          Alcotest.test_case "forced TE" `Quick test_forced_te;
+          Alcotest.test_case "forced BE" `Quick test_forced_be;
+          Alcotest.test_case "forced TE range" `Quick test_forced_te_out_of_range;
+          Alcotest.test_case "no literal R inputs" `Quick test_no_literal_rop_inputs;
+        ] );
+      ( "styles",
+        [
+          Alcotest.test_case "direct equisatisfiable" `Slow test_direct_equisatisfiable;
+          Alcotest.test_case "direct larger" `Quick test_direct_bigger_than_compact;
+          Alcotest.test_case "symmetry preserves verdict" `Slow
+            test_symmetry_preserves_verdict;
+          Alcotest.test_case "Any_vop strictly stronger" `Slow test_any_vop_superset;
+          qtest prop_random_single_output;
+        ] );
+    ]

@@ -1,0 +1,119 @@
+module F = Mm_cnf.Formula
+module Builder = Mm_cnf.Builder
+module Solver = Mm_sat.Solver
+module Lit = Mm_sat.Lit
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let test_eval () =
+  let env v = v = 1 in
+  Alcotest.(check bool) "and" false (F.eval ~env (F.And [ F.Var 1; F.Var 2 ]));
+  Alcotest.(check bool) "or" true (F.eval ~env (F.Or [ F.Var 2; F.Var 1 ]));
+  Alcotest.(check bool) "imp" true (F.eval ~env (F.Imp (F.Var 2, F.Var 1)));
+  Alcotest.(check bool) "iff" false (F.eval ~env (F.Iff (F.Var 1, F.Var 2)));
+  Alcotest.(check bool) "xor" true (F.eval ~env (F.Xor (F.Var 1, F.Var 2)));
+  Alcotest.(check bool) "empty and" true (F.eval ~env (F.And []));
+  Alcotest.(check bool) "empty or" false (F.eval ~env (F.Or []))
+
+let test_vars () =
+  Alcotest.(check (list int)) "vars" [ 1; 2; 5 ]
+    (F.vars (F.Imp (F.Var 5, F.And [ F.Var 2; F.Not (F.Var 1); F.Var 2 ])))
+
+let test_pp () =
+  let s = Format.asprintf "%a" F.pp (F.Imp (F.Var 1, F.Or [ F.Var 2; F.True ])) in
+  Alcotest.(check string) "pp" "(v1 -> (v2 | 1))" s
+
+(* semantic check: assert_formula is satisfied exactly by the models of
+   the formula (model counting vs truth-table counting) *)
+let count_models_formula f num_vars =
+  let count = ref 0 in
+  for m = 0 to (1 lsl num_vars) - 1 do
+    if F.eval ~env:(fun v -> (m lsr (v - 1)) land 1 = 1) f then incr count
+  done;
+  !count
+
+let count_models_sat f num_vars =
+  let solver = Solver.create () in
+  let b = Builder.create ~solver () in
+  let vars = Array.init num_vars (fun _ -> Builder.fresh_var b) in
+  F.assert_formula b ~lit:(fun v -> Lit.pos vars.(v - 1)) f;
+  let rec loop n =
+    match Solver.solve solver with
+    | Solver.Sat ->
+      let blocking =
+        Array.to_list
+          (Array.map
+             (fun v ->
+               if Solver.value_var solver v then Lit.neg_of v else Lit.pos v)
+             vars)
+      in
+      Solver.add_clause solver blocking;
+      loop (n + 1)
+    | Solver.Unsat -> n
+    | Solver.Unknown -> Alcotest.fail "unknown"
+  in
+  loop 0
+
+let gen_formula num_vars =
+  let open QCheck.Gen in
+  sized (fun size ->
+      fix
+        (fun self size ->
+          if size <= 1 then
+            oneof [ map (fun v -> F.Var v) (int_range 1 num_vars);
+                    return F.True; return F.False ]
+          else
+            let sub = self (size / 2) in
+            oneof
+              [
+                map (fun f -> F.Not f) (self (size - 1));
+                map (fun fs -> F.And fs) (list_size (int_range 0 3) sub);
+                map (fun fs -> F.Or fs) (list_size (int_range 0 3) sub);
+                map2 (fun a b -> F.Xor (a, b)) sub sub;
+                map2 (fun a b -> F.Imp (a, b)) sub sub;
+                map2 (fun a b -> F.Iff (a, b)) sub sub;
+              ])
+        (min size 12))
+
+let prop_tseitin_model_count =
+  QCheck.Test.make ~name:"Tseitin preserves the model count" ~count:120
+    (QCheck.make ~print:(Format.asprintf "%a" F.pp) (gen_formula 4))
+    (fun f -> count_models_formula f 4 = count_models_sat f 4)
+
+let prop_tseitin_equisat =
+  QCheck.Test.make ~name:"tseitin literal equals formula value" ~count:120
+    (QCheck.make ~print:(Format.asprintf "%a" F.pp) (gen_formula 3))
+    (fun f ->
+      (* force each of the 8 assignments and compare the root literal *)
+      let ok = ref true in
+      for m = 0 to 7 do
+        let solver = Solver.create () in
+        let b = Builder.create ~solver () in
+        let vars = Array.init 3 (fun _ -> Builder.fresh_var b) in
+        let root = F.tseitin b ~lit:(fun v -> Lit.pos vars.(v - 1)) f in
+        Array.iteri
+          (fun i v ->
+            Builder.fix b (Lit.pos v) ((m lsr i) land 1 = 1))
+          vars;
+        (match Solver.solve solver with
+         | Solver.Sat ->
+           let expected =
+             F.eval ~env:(fun v -> (m lsr (v - 1)) land 1 = 1) f
+           in
+           if Solver.value solver root <> expected then ok := false
+         | Solver.Unsat | Solver.Unknown -> ok := false)
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "formula"
+    [
+      ( "formula",
+        [
+          Alcotest.test_case "eval" `Quick test_eval;
+          Alcotest.test_case "vars" `Quick test_vars;
+          Alcotest.test_case "pp" `Quick test_pp;
+          qtest prop_tseitin_model_count;
+          qtest prop_tseitin_equisat;
+        ] );
+    ]

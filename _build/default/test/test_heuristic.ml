@@ -1,0 +1,91 @@
+module H = Mm_core.Heuristic
+module C = Mm_core.Circuit
+module Sch = Mm_core.Schedule
+module Spec = Mm_boolfun.Spec
+module Tt = Mm_boolfun.Truth_table
+module Arith = Mm_boolfun.Arith
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let check_spec ?(block_arity = 3) ?(timeout = 5.) spec =
+  let c, stats = H.synthesize ~block_arity ~timeout_per_block:timeout spec in
+  (* Heuristic.synthesize verifies internally; re-check independently *)
+  (match C.realizes c spec with
+   | Ok () -> ()
+   | Error row -> Alcotest.failf "%s wrong on row %d" (Spec.name spec) row);
+  (c, stats)
+
+let test_small_is_exact_path () =
+  (* a 3-input function with block_arity 4 is one exact block, no muxes *)
+  let spec = Arith.majority 3 in
+  let _, stats = check_spec ~block_arity:4 spec in
+  Alcotest.(check int) "one block" 1 stats.H.blocks;
+  Alcotest.(check int) "no mux" 0 stats.H.mux_nors;
+  Alcotest.(check int) "exact" 1 stats.H.exact_blocks
+
+let test_decomposition_happens () =
+  (* 5-input majority with 3-input blocks must Shannon-split *)
+  let spec = Arith.majority 5 in
+  let _, stats = check_spec ~block_arity:3 spec in
+  Alcotest.(check bool) "several blocks" true (stats.H.blocks > 1);
+  Alcotest.(check bool) "muxes spent" true (stats.H.mux_nors > 0)
+
+let test_cache_shares_cofactors () =
+  (* parity's two cofactors complement each other; deeper levels repeat
+     tables, so the cache must fire on multi-level decompositions *)
+  let spec = Arith.parity 5 in
+  let _, stats = check_spec ~block_arity:2 ~timeout:3. spec in
+  Alcotest.(check bool) "cache hits" true (stats.H.cache_hits > 0)
+
+let test_multi_output () =
+  let spec = Arith.adder_bits 2 in
+  let c, _ = check_spec ~block_arity:3 spec in
+  Alcotest.(check int) "outputs" 3 (C.n_outputs c)
+
+let test_constant_output () =
+  let spec =
+    Spec.make ~name:"consts" [| Tt.const 5 true; Tt.const 5 false; Tt.var 5 3 |]
+  in
+  let c, _ = check_spec spec in
+  Alcotest.(check int) "no gates for constants/literals" 0 (C.n_rops c)
+
+let test_schedulable_end_to_end () =
+  (* heuristic circuits must execute on the electrical simulator *)
+  let spec = Arith.comparator 2 in
+  let c, _ = check_spec ~block_arity:3 spec in
+  let plan = Sch.plan c in
+  Alcotest.(check (list int)) "electrically clean" [] (Sch.verify plan spec)
+
+let test_bad_block_arity () =
+  Alcotest.check_raises "block_arity"
+    (Invalid_argument "Heuristic.synthesize: block_arity < 1") (fun () ->
+      ignore (H.synthesize ~block_arity:0 (Arith.majority 3)))
+
+let prop_random_5in =
+  QCheck.Test.make ~name:"random 5-input functions" ~count:8
+    (QCheck.make ~print:string_of_int QCheck.Gen.(int_range 1 1000000))
+    (fun seed ->
+      (* derive a pseudo-random 32-bit truth table from the seed *)
+      let tt =
+        Tt.of_fun 5 (fun row -> (seed * (row + 17) * 2654435761) land 64 <> 0)
+      in
+      QCheck.assume (not (Tt.is_const tt));
+      let spec = Spec.make ~name:"rand5" [| tt |] in
+      let c, _ = H.synthesize ~block_arity:3 ~timeout_per_block:3. spec in
+      match C.realizes c spec with Ok () -> true | Error _ -> false)
+
+let () =
+  Alcotest.run "heuristic"
+    [
+      ( "heuristic",
+        [
+          Alcotest.test_case "small exact" `Slow test_small_is_exact_path;
+          Alcotest.test_case "decomposition" `Slow test_decomposition_happens;
+          Alcotest.test_case "cofactor cache" `Slow test_cache_shares_cofactors;
+          Alcotest.test_case "multi output" `Slow test_multi_output;
+          Alcotest.test_case "constants" `Quick test_constant_output;
+          Alcotest.test_case "end to end" `Slow test_schedulable_end_to_end;
+          Alcotest.test_case "bad block arity" `Quick test_bad_block_arity;
+          qtest prop_random_5in;
+        ] );
+    ]

@@ -1,0 +1,118 @@
+module Io = Mm_boolfun.Io
+module Spec = Mm_boolfun.Spec
+module Tt = Mm_boolfun.Truth_table
+module Arith = Mm_boolfun.Arith
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let ok = function
+  | Ok v -> v
+  | Error msg -> Alcotest.failf "unexpected error: %s" msg
+
+let test_pla_parse () =
+  let doc = "# full adder sum output\n.i 3\n.o 1\n001 1\n010 1\n100 1\n111 1\n.e\n" in
+  let spec = ok (Io.parse_pla doc) in
+  Alcotest.(check int) "arity" 3 (Spec.arity spec);
+  Alcotest.(check int) "outputs" 1 (Spec.output_count spec);
+  let parity = Spec.output (Arith.parity 3) 0 in
+  Alcotest.(check string) "equals parity3" (Tt.to_string parity)
+    (Tt.to_string (Spec.output spec 0))
+
+let test_pla_dontcare_inputs () =
+  let doc = ".i 3\n.o 2\n1-- 10\n-1- 01\n" in
+  let spec = ok (Io.parse_pla doc) in
+  Alcotest.(check string) "x1" (Tt.to_string (Tt.var 3 1))
+    (Tt.to_string (Spec.output spec 0));
+  Alcotest.(check string) "x2" (Tt.to_string (Tt.var 3 2))
+    (Tt.to_string (Spec.output spec 1))
+
+let test_pla_errors () =
+  let fails doc =
+    match Io.parse_pla doc with Ok _ -> false | Error _ -> true
+  in
+  Alcotest.(check bool) "missing .i" true (fails ".o 1\n1 1\n");
+  Alcotest.(check bool) "missing .o" true (fails ".i 1\n1 1\n");
+  Alcotest.(check bool) "bad cube width" true (fails ".i 2\n.o 1\n101 1\n");
+  Alcotest.(check bool) "bad char" true (fails ".i 2\n.o 1\n1x 1\n");
+  Alcotest.(check bool) "bad directive" true (fails ".i 2\n.o 1\n.q\n11 1\n")
+
+let prop_pla_roundtrip =
+  QCheck.Test.make ~name:"PLA print/parse roundtrip" ~count:100
+    (QCheck.make
+       ~print:(fun (n, vs) ->
+         Printf.sprintf "n=%d %s" n (String.concat ";" (List.map string_of_int vs)))
+       QCheck.Gen.(
+         let* n = int_range 1 4 in
+         let* outs = int_range 1 3 in
+         let* vs = list_repeat outs (int_range 0 ((1 lsl (1 lsl n)) - 1)) in
+         return (n, vs)))
+    (fun (n, vs) ->
+      let spec =
+        Spec.make ~name:"r" (Array.of_list (List.map (Tt.of_int n) vs))
+      in
+      match Io.parse_pla (Io.to_pla spec) with
+      | Ok spec' -> Spec.equal spec spec'
+      | Error _ -> false)
+
+let test_tables_parse () =
+  let doc = "# and / or\n0001\n0111\n" in
+  let spec = ok (Io.parse_tables doc) in
+  Alcotest.(check int) "arity" 2 (Spec.arity spec);
+  Alcotest.(check int) "outputs" 2 (Spec.output_count spec);
+  Alcotest.(check string) "and" "0001" (Tt.to_string (Spec.output spec 0))
+
+let test_tables_errors () =
+  let fails doc =
+    match Io.parse_tables doc with Ok _ -> false | Error _ -> true
+  in
+  Alcotest.(check bool) "empty" true (fails "# nothing\n");
+  Alcotest.(check bool) "bad length" true (fails "010\n");
+  Alcotest.(check bool) "ragged" true (fails "0101\n01\n");
+  Alcotest.(check bool) "bad chars" true (fails "01a1\n")
+
+let prop_tables_roundtrip =
+  QCheck.Test.make ~name:"tables print/parse roundtrip" ~count:100
+    (QCheck.make
+       ~print:(fun (n, vs) ->
+         Printf.sprintf "n=%d %s" n (String.concat ";" (List.map string_of_int vs)))
+       QCheck.Gen.(
+         let* n = int_range 1 4 in
+         let* outs = int_range 1 4 in
+         let* vs = list_repeat outs (int_range 0 ((1 lsl (1 lsl n)) - 1)) in
+         return (n, vs)))
+    (fun (n, vs) ->
+      let spec =
+        Spec.make ~name:"r" (Array.of_list (List.map (Tt.of_int n) vs))
+      in
+      match Io.parse_tables (Io.to_tables spec) with
+      | Ok spec' -> Spec.equal spec spec'
+      | Error _ -> false)
+
+let test_file_roundtrip () =
+  let path = Filename.temp_file "mmsynth" ".pla" in
+  let spec = Arith.full_adder in
+  let oc = open_out path in
+  output_string oc (Io.to_pla spec);
+  close_out oc;
+  let spec' = ok (Io.read_pla path) in
+  Sys.remove path;
+  Alcotest.(check bool) "file roundtrip" true (Spec.equal spec spec')
+
+let () =
+  Alcotest.run "io"
+    [
+      ( "pla",
+        [
+          Alcotest.test_case "parse" `Quick test_pla_parse;
+          Alcotest.test_case "dontcare inputs" `Quick test_pla_dontcare_inputs;
+          Alcotest.test_case "errors" `Quick test_pla_errors;
+          Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
+          qtest prop_pla_roundtrip;
+        ] );
+      ( "tables",
+        [
+          Alcotest.test_case "parse" `Quick test_tables_parse;
+          Alcotest.test_case "errors" `Quick test_tables_errors;
+          qtest prop_tables_roundtrip;
+        ] );
+    ]

@@ -1,0 +1,53 @@
+module Table = Mm_report.Table
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+let test_render () =
+  let t = Table.create ~aligns:[ Table.Left; Table.Right ] [ "name"; "value" ] in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_separator t;
+  Table.add_row t [ "beta"; "22" ];
+  let s = Table.render t in
+  Alcotest.(check bool) "header" true (contains s "| name  | value |");
+  Alcotest.(check bool) "left align" true (contains s "| alpha |");
+  Alcotest.(check bool) "right align" true (contains s "|    22 |")
+
+let test_padding () =
+  let t = Table.create [ "a"; "b"; "c" ] in
+  Table.add_row t [ "x" ];
+  let s = Table.render t in
+  Alcotest.(check bool) "padded" true (contains s "| x |")
+
+let test_too_many_cells () =
+  let t = Table.create [ "a" ] in
+  Table.add_row t [ "1"; "2" ];
+  Alcotest.check_raises "too many" (Invalid_argument "Table: too many cells")
+    (fun () -> ignore (Table.render t))
+
+let test_aligns_mismatch () =
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Table.create: aligns/headers mismatch") (fun () ->
+      ignore (Table.create ~aligns:[ Table.Left ] [ "a"; "b" ]))
+
+let test_column_width_growth () =
+  let t = Table.create [ "h" ] in
+  Table.add_row t [ "wide-cell-content" ];
+  let s = Table.render t in
+  Alcotest.(check bool) "wide" true (contains s "| wide-cell-content |");
+  Alcotest.(check bool) "header padded" true (contains s " h |")
+
+let () =
+  Alcotest.run "report"
+    [
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_render;
+          Alcotest.test_case "padding" `Quick test_padding;
+          Alcotest.test_case "too many cells" `Quick test_too_many_cells;
+          Alcotest.test_case "aligns mismatch" `Quick test_aligns_mismatch;
+          Alcotest.test_case "width growth" `Quick test_column_width_growth;
+        ] );
+    ]

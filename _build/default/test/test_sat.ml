@@ -1,0 +1,254 @@
+module Solver = Mm_sat.Solver
+module Lit = Mm_sat.Lit
+module Dimacs = Mm_sat.Dimacs
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let result = Alcotest.testable
+    (fun ppf -> function
+       | Solver.Sat -> Format.fprintf ppf "Sat"
+       | Solver.Unsat -> Format.fprintf ppf "Unsat"
+       | Solver.Unknown -> Format.fprintf ppf "Unknown")
+    ( = )
+
+let fresh n =
+  let s = Solver.create () in
+  ignore (Solver.new_vars s n);
+  s
+
+let test_lit () =
+  let l = Lit.make 4 true in
+  Alcotest.(check int) "var" 4 (Lit.var l);
+  Alcotest.(check bool) "sign" true (Lit.sign l);
+  Alcotest.(check int) "negate var" 4 (Lit.var (Lit.negate l));
+  Alcotest.(check bool) "negate sign" false (Lit.sign (Lit.negate l));
+  Alcotest.(check int) "dimacs" (-5) (Lit.to_dimacs l);
+  Alcotest.(check int) "roundtrip" l (Lit.of_dimacs (Lit.to_dimacs l))
+
+let test_trivial_sat () =
+  let s = fresh 2 in
+  Solver.add_clause s [ Lit.pos 0; Lit.pos 1 ];
+  Alcotest.check result "sat" Solver.Sat (Solver.solve s);
+  Alcotest.(check bool) "clause satisfied" true
+    (Solver.value s (Lit.pos 0) || Solver.value s (Lit.pos 1))
+
+let test_unit_conflict () =
+  let s = fresh 1 in
+  Solver.add_clause s [ Lit.pos 0 ];
+  Solver.add_clause s [ Lit.neg_of 0 ];
+  Alcotest.(check bool) "ok false" false (Solver.ok s);
+  Alcotest.check result "unsat" Solver.Unsat (Solver.solve s)
+
+let test_empty_clause () =
+  let s = fresh 1 in
+  Solver.add_clause s [];
+  Alcotest.check result "unsat" Solver.Unsat (Solver.solve s)
+
+let test_tautology_dropped () =
+  let s = fresh 1 in
+  Solver.add_clause s [ Lit.pos 0; Lit.neg_of 0 ];
+  Alcotest.(check int) "no clause stored" 0 (Solver.nclauses s);
+  Alcotest.check result "sat" Solver.Sat (Solver.solve s)
+
+let test_duplicate_literals () =
+  let s = fresh 2 in
+  Solver.add_clause s [ Lit.pos 0; Lit.pos 0; Lit.pos 0 ];
+  Alcotest.check result "sat" Solver.Sat (Solver.solve s);
+  Alcotest.(check bool) "forced" true (Solver.value s (Lit.pos 0))
+
+let test_implication_chain () =
+  (* x0 -> x1 -> ... -> x9, assert x0, all must be true *)
+  let s = fresh 10 in
+  for i = 0 to 8 do
+    Solver.add_clause s [ Lit.neg_of i; Lit.pos (i + 1) ]
+  done;
+  Solver.add_clause s [ Lit.pos 0 ];
+  Alcotest.check result "sat" Solver.Sat (Solver.solve s);
+  for i = 0 to 9 do
+    Alcotest.(check bool) (Printf.sprintf "x%d" i) true (Solver.value_var s i)
+  done
+
+let php ~pigeons ~holes =
+  let s = Solver.create () in
+  let var p h = p * holes + h in
+  ignore (Solver.new_vars s (pigeons * holes));
+  for p = 0 to pigeons - 1 do
+    Solver.add_clause s (List.init holes (fun h -> Lit.pos (var p h)))
+  done;
+  for h = 0 to holes - 1 do
+    for p1 = 0 to pigeons - 1 do
+      for p2 = p1 + 1 to pigeons - 1 do
+        Solver.add_clause s [ Lit.neg_of (var p1 h); Lit.neg_of (var p2 h) ]
+      done
+    done
+  done;
+  s
+
+let test_php_unsat () =
+  Alcotest.check result "php(5,4)" Solver.Unsat (Solver.solve (php ~pigeons:5 ~holes:4));
+  Alcotest.check result "php(7,6)" Solver.Unsat (Solver.solve (php ~pigeons:7 ~holes:6))
+
+let test_php_sat () =
+  let s = php ~pigeons:5 ~holes:5 in
+  Alcotest.check result "php(5,5)" Solver.Sat (Solver.solve s)
+
+let test_budget_unknown () =
+  let s = php ~pigeons:9 ~holes:8 in
+  Alcotest.check result "conflict budget" Solver.Unknown
+    (Solver.solve ~max_conflicts:10 s);
+  (* a second call with full budget still completes correctly *)
+  Alcotest.check result "then unsat" Solver.Unsat (Solver.solve s)
+
+let test_assumptions () =
+  let s = fresh 3 in
+  Solver.add_clause s [ Lit.pos 0; Lit.pos 1 ];
+  Solver.add_clause s [ Lit.neg_of 1; Lit.pos 2 ];
+  Alcotest.check result "assume ~x0" Solver.Sat
+    (Solver.solve ~assumptions:[ Lit.neg_of 0 ] s);
+  Alcotest.(check bool) "x1 forced" true (Solver.value_var s 1);
+  Alcotest.(check bool) "x2 forced" true (Solver.value_var s 2);
+  Alcotest.check result "conflicting assumptions" Solver.Unsat
+    (Solver.solve ~assumptions:[ Lit.neg_of 0; Lit.neg_of 1 ] s);
+  (* solver is reusable after assumption-unsat *)
+  Alcotest.check result "no assumptions" Solver.Sat (Solver.solve s)
+
+let test_incremental () =
+  let s = fresh 2 in
+  Solver.add_clause s [ Lit.pos 0; Lit.pos 1 ];
+  Alcotest.check result "sat 1" Solver.Sat (Solver.solve s);
+  Solver.add_clause s [ Lit.neg_of 0 ];
+  Alcotest.check result "sat 2" Solver.Sat (Solver.solve s);
+  Alcotest.(check bool) "x1" true (Solver.value_var s 1);
+  Solver.add_clause s [ Lit.neg_of 1 ];
+  Alcotest.check result "unsat" Solver.Unsat (Solver.solve s)
+
+let test_value_without_model () =
+  let s = fresh 1 in
+  Solver.add_clause s [ Lit.pos 0 ];
+  Alcotest.check_raises "no model yet" (Invalid_argument "Solver.value: no model")
+    (fun () -> ignore (Solver.value s (Lit.pos 0)))
+
+(* random CNF vs brute force *)
+let brute_force_sat num_vars clauses =
+  let satisfies m clause =
+    List.exists
+      (fun d ->
+        let v = abs d - 1 in
+        let value = (m lsr v) land 1 = 1 in
+        if d > 0 then value else not value)
+      clause
+  in
+  let rec go m =
+    if m >= 1 lsl num_vars then false
+    else if List.for_all (satisfies m) clauses then true
+    else go (m + 1)
+  in
+  go 0
+
+let gen_cnf =
+  QCheck.Gen.(
+    let* num_vars = int_range 2 8 in
+    let* num_clauses = int_range 1 30 in
+    let gen_clause =
+      let* width = int_range 1 3 in
+      list_repeat width
+        (let* v = int_range 1 num_vars in
+         let* s = bool in
+         return (if s then v else -v))
+    in
+    let* clauses = list_repeat num_clauses gen_clause in
+    return (num_vars, clauses))
+
+let prop_random_cnf =
+  QCheck.Test.make ~name:"CDCL agrees with brute force" ~count:300
+    (QCheck.make
+       ~print:(fun (n, cs) ->
+         Printf.sprintf "n=%d %s" n
+           (String.concat " "
+              (List.map
+                 (fun c -> String.concat "," (List.map string_of_int c))
+                 cs)))
+       gen_cnf)
+    (fun (num_vars, clauses) ->
+      let s = fresh num_vars in
+      List.iter (fun c -> Solver.add_clause s (List.map Lit.of_dimacs c)) clauses;
+      match Solver.solve s with
+      | Solver.Sat ->
+        (* the model must satisfy every clause *)
+        brute_force_sat num_vars clauses
+        && List.for_all
+             (List.exists (fun d -> Solver.value s (Lit.of_dimacs d)))
+             clauses
+      | Solver.Unsat -> not (brute_force_sat num_vars clauses)
+      | Solver.Unknown -> false)
+
+let test_stats () =
+  let s = php ~pigeons:5 ~holes:4 in
+  ignore (Solver.solve s);
+  let st = Solver.stats s in
+  Alcotest.(check bool) "conflicts happened" true (st.Solver.conflicts > 0);
+  Alcotest.(check bool) "propagations happened" true (st.Solver.propagations > 0)
+
+(* --- DIMACS --- *)
+
+let test_dimacs_parse () =
+  let input = "c comment\np cnf 3 2\n1 -2 0\n2 3 0\n" in
+  match Dimacs.parse_string input with
+  | Error e -> Alcotest.failf "parse error: %s" e
+  | Ok p ->
+    Alcotest.(check int) "vars" 3 p.Dimacs.num_vars;
+    Alcotest.(check (list (list int))) "clauses" [ [ 1; -2 ]; [ 2; 3 ] ]
+      p.Dimacs.clauses
+
+let test_dimacs_roundtrip () =
+  let p = { Dimacs.num_vars = 4; clauses = [ [ 1; -3 ]; [ 2; 4; -1 ]; [ -4 ] ] } in
+  match Dimacs.parse_string (Dimacs.to_string p) with
+  | Error e -> Alcotest.failf "parse error: %s" e
+  | Ok p' ->
+    Alcotest.(check int) "vars" p.Dimacs.num_vars p'.Dimacs.num_vars;
+    Alcotest.(check (list (list int))) "clauses" p.Dimacs.clauses p'.Dimacs.clauses
+
+let test_dimacs_load () =
+  let p = { Dimacs.num_vars = 2; clauses = [ [ 1 ]; [ -1; 2 ] ] } in
+  let s = Solver.create () in
+  Dimacs.load s p;
+  Alcotest.check result "sat" Solver.Sat (Solver.solve s);
+  Alcotest.(check bool) "x2" true (Solver.value_var s 1)
+
+let test_dimacs_errors () =
+  (match Dimacs.parse_string "p cnf x 2\n1 0\n" with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "expected error");
+  match Dimacs.parse_string "1 two 0\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected error"
+
+let () =
+  Alcotest.run "sat"
+    [
+      ("lit", [ Alcotest.test_case "encoding" `Quick test_lit ]);
+      ( "solver",
+        [
+          Alcotest.test_case "trivial sat" `Quick test_trivial_sat;
+          Alcotest.test_case "unit conflict" `Quick test_unit_conflict;
+          Alcotest.test_case "empty clause" `Quick test_empty_clause;
+          Alcotest.test_case "tautology dropped" `Quick test_tautology_dropped;
+          Alcotest.test_case "duplicate literals" `Quick test_duplicate_literals;
+          Alcotest.test_case "implication chain" `Quick test_implication_chain;
+          Alcotest.test_case "pigeonhole unsat" `Slow test_php_unsat;
+          Alcotest.test_case "pigeonhole sat" `Quick test_php_sat;
+          Alcotest.test_case "budget -> Unknown" `Quick test_budget_unknown;
+          Alcotest.test_case "assumptions" `Quick test_assumptions;
+          Alcotest.test_case "incremental" `Quick test_incremental;
+          Alcotest.test_case "value without model" `Quick test_value_without_model;
+          Alcotest.test_case "stats" `Quick test_stats;
+          qtest prop_random_cnf;
+        ] );
+      ( "dimacs",
+        [
+          Alcotest.test_case "parse" `Quick test_dimacs_parse;
+          Alcotest.test_case "roundtrip" `Quick test_dimacs_roundtrip;
+          Alcotest.test_case "load" `Quick test_dimacs_load;
+          Alcotest.test_case "errors" `Quick test_dimacs_errors;
+        ] );
+    ]

@@ -1,0 +1,117 @@
+module U = Mm_core.Universality
+module E = Mm_core.Encode
+module S = Mm_core.Synth
+module Tt = Mm_boolfun.Truth_table
+module Spec = Mm_boolfun.Spec
+module Arith = Mm_boolfun.Arith
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let test_closure_sizes () =
+  (* the headline numbers of Table III: 104 of 256 and 1850 of 65536
+     functions are V-op realizable *)
+  Alcotest.(check int) "n=3" 104 (U.vop_closure_size ~n:3);
+  Alcotest.(check int) "n=4" 1850 (U.vop_closure_size ~n:4);
+  (* small n for regression: n=1 has all 4 functions, n=2 has 14 of 16
+     (xor and xnor unreachable) *)
+  Alcotest.(check int) "n=1" 4 (U.vop_closure_size ~n:1);
+  Alcotest.(check int) "n=2" 14 (U.vop_closure_size ~n:2)
+
+let test_literal_functions () =
+  let lits = U.literal_functions ~n:2 in
+  Alcotest.(check int) "count" 6 (List.length lits);
+  (* const-0, const-1, ~x1, x1, ~x2, x2 as 4-bit ints *)
+  Alcotest.(check (list int)) "values" [ 0b0000; 0b1111; 0b0011; 0b1100; 0b0101; 0b1010 ]
+    lits
+
+let test_nor_layer () =
+  let layer = U.nor_layer ~n:2 [ 0b1100; 0b1010 ] in
+  (* adds NOR(a,a) = ~a, NOR(a,b) etc. *)
+  Alcotest.(check bool) "contains ~x1" true (List.mem 0b0011 layer);
+  Alcotest.(check bool) "contains nor(x1,x2)" true (List.mem 0b0001 layer);
+  Alcotest.(check bool) "keeps inputs" true
+    (List.mem 0b1100 layer && List.mem 0b1010 layer)
+
+let test_table3_n3_all_rows () =
+  List.iter
+    (fun ((k_pre, k_post, k_tebe) as row) ->
+      let expect, _ = U.paper_expected row in
+      Alcotest.(check int)
+        (Printf.sprintf "(%d,%d,%d)" k_pre k_post k_tebe)
+        expect
+        (U.count ~n:3 ~k_pre ~k_post ~k_tebe))
+    U.paper_rows
+
+let test_table3_n4_fast_rows () =
+  (* the fast n=4 cells; the full set runs in the bench harness *)
+  List.iter
+    (fun ((k_pre, k_post, k_tebe) as row) ->
+      let _, expect = U.paper_expected row in
+      Alcotest.(check int)
+        (Printf.sprintf "(%d,%d,%d)" k_pre k_post k_tebe)
+        expect
+        (U.count ~n:4 ~k_pre ~k_post ~k_tebe))
+    [ (0, 0, 0); (2, 0, 0); (3, 0, 0); (0, 2, 0); (2, 2, 0); (1, 1, 0) ]
+
+let test_vop_realizable () =
+  let and4 = Tt.(var 4 1 &&& var 4 2 &&& var 4 3 &&& var 4 4) in
+  Alcotest.(check bool) "AND4 realizable" true (U.vop_realizable and4);
+  let xor2 = Tt.(var 2 1 ^^^ var 2 2) in
+  Alcotest.(check bool) "XOR2 not realizable" false (U.vop_realizable xor2);
+  let parity3 = Tt.(var 3 1 ^^^ var 3 2 ^^^ var 3 3) in
+  Alcotest.(check bool) "parity3 not realizable" false (U.vop_realizable parity3);
+  let maj3 = Spec.output (Arith.majority 3) 0 in
+  Alcotest.(check bool) "majority3 realizable" true (U.vop_realizable maj3);
+  let and_or = Spec.output Arith.and_or_4 0 in
+  Alcotest.(check bool) "x1x2+x3x4 not realizable" false (U.vop_realizable and_or)
+
+(* cross-validation: for random 3-input functions, closure membership must
+   agree with SAT-based V-only synthesizability (generous step budget) *)
+let prop_closure_vs_sat =
+  QCheck.Test.make ~name:"closure membership = V-only SAT" ~count:12
+    (QCheck.make ~print:string_of_int QCheck.Gen.(int_range 1 254))
+    (fun v ->
+      let tt = Tt.of_int 3 v in
+      let spec = Spec.make ~name:"rand" [| tt |] in
+      let in_closure = U.vop_realizable tt in
+      let a =
+        S.solve_instance ~timeout:60.
+          (E.config ~n_legs:1 ~steps_per_leg:8 ~n_rops:0 ())
+          spec
+      in
+      let sat = match a.S.verdict with S.Sat _ -> true | S.Unsat -> false
+                                     | S.Timeout -> QCheck.assume_fail () in
+      sat = in_closure)
+
+let test_count_validation () =
+  Alcotest.check_raises "bad n" (Invalid_argument "Universality: n must be 1..4")
+    (fun () -> ignore (U.vop_closure_size ~n:5));
+  Alcotest.check_raises "negative k" (Invalid_argument "Universality.count")
+    (fun () -> ignore (U.count ~n:3 ~k_pre:(-1) ~k_post:0 ~k_tebe:0))
+
+let test_paper_rows_complete () =
+  Alcotest.(check int) "17 rows" 17 (List.length U.paper_rows);
+  List.iter (fun row -> ignore (U.paper_expected row)) U.paper_rows;
+  Alcotest.check_raises "unknown row"
+    (Invalid_argument "Universality.paper_expected: not a Table III row")
+    (fun () -> ignore (U.paper_expected (9, 9, 9)))
+
+let () =
+  Alcotest.run "universality"
+    [
+      ( "closure",
+        [
+          Alcotest.test_case "closure sizes" `Quick test_closure_sizes;
+          Alcotest.test_case "literal functions" `Quick test_literal_functions;
+          Alcotest.test_case "nor layer" `Quick test_nor_layer;
+          Alcotest.test_case "vop_realizable" `Quick test_vop_realizable;
+          Alcotest.test_case "validation" `Quick test_count_validation;
+        ] );
+      ( "table3",
+        [
+          Alcotest.test_case "all n=3 rows" `Quick test_table3_n3_all_rows;
+          Alcotest.test_case "fast n=4 rows" `Slow test_table3_n4_fast_rows;
+          Alcotest.test_case "paper rows complete" `Quick test_paper_rows_complete;
+          qtest prop_closure_vs_sat;
+        ] );
+    ]

@@ -1,0 +1,127 @@
+module Vop = Mm_core.Vop
+module Rop = Mm_core.Rop
+module Tt = Mm_boolfun.Truth_table
+module Literal = Mm_boolfun.Literal
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let test_table1 () =
+  (* Table I of the paper: SET on TE=1/BE=0, RESET on TE=0/BE=1, hold
+     otherwise. *)
+  let expect s te be =
+    if te && not be then true else if (not te) && be then false else s
+  in
+  List.iter
+    (fun (s, te, be, next) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "V-op(%b,%b,%b)" s te be)
+        (expect s te be) next)
+    Vop.table1;
+  Alcotest.(check int) "8 rows" 8 (List.length Vop.table1)
+
+let arb_tt4 =
+  QCheck.make
+    ~print:(fun tt -> Tt.to_string tt)
+    QCheck.Gen.(map (Tt.of_int 4) (int_range 0 65535))
+
+let arb_literal4 =
+  QCheck.make
+    ~print:Literal.to_string
+    QCheck.Gen.(map (Literal.of_index 4) (int_range 0 9))
+
+let prop_apply_matches_rows =
+  QCheck.Test.make ~name:"apply = per-row Table I"
+    (QCheck.triple arb_tt4 arb_literal4 arb_literal4)
+    (fun (f, te, be) ->
+      let result = Vop.apply ~n:4 f ~te ~be in
+      List.for_all
+        (fun q ->
+          Tt.eval result q
+          = Vop.next (Tt.eval f q) ~te:(Literal.eval 4 te q) ~be:(Literal.eval 4 be q))
+        (List.init 16 Fun.id))
+
+let prop_eq1_conjunction =
+  (* Eq. (1): f·l = V(f, l, const-1) = V(f, const-0, ¬l) *)
+  QCheck.Test.make ~name:"Eq.1 conjunction"
+    (QCheck.pair arb_tt4 arb_literal4)
+    (fun (f, l) ->
+      let product = Tt.( &&& ) f (Literal.table 4 l) in
+      Tt.equal product (Vop.apply ~n:4 f ~te:l ~be:Literal.Const1)
+      && Tt.equal product
+           (Vop.apply ~n:4 f ~te:Literal.Const0 ~be:(Literal.negate l))
+      && Tt.equal product (Vop.conj ~n:4 f l))
+
+let prop_eq2_disjunction =
+  (* Eq. (2): f + l = V(f, l, const-0) = V(f, const-1, ¬l) *)
+  QCheck.Test.make ~name:"Eq.2 disjunction"
+    (QCheck.pair arb_tt4 arb_literal4)
+    (fun (f, l) ->
+      let sum = Tt.( ||| ) f (Literal.table 4 l) in
+      Tt.equal sum (Vop.apply ~n:4 f ~te:l ~be:Literal.Const0)
+      && Tt.equal sum (Vop.apply ~n:4 f ~te:Literal.Const1 ~be:(Literal.negate l))
+      && Tt.equal sum (Vop.disj ~n:4 f l))
+
+let prop_complement_symmetry =
+  (* ¬V(f, te, be) = V(¬f, be, te): the closure is complement-closed *)
+  QCheck.Test.make ~name:"complement symmetry"
+    (QCheck.triple arb_tt4 arb_literal4 arb_literal4)
+    (fun (f, te, be) ->
+      Tt.equal
+        (Tt.lnot (Vop.apply ~n:4 f ~te ~be))
+        (Vop.apply ~n:4 (Tt.lnot f) ~te:be ~be:te))
+
+let prop_hold =
+  QCheck.Test.make ~name:"TE = BE holds the state"
+    (QCheck.pair arb_tt4 arb_literal4)
+    (fun (f, l) -> Tt.equal f (Vop.apply ~n:4 f ~te:l ~be:l))
+
+let prop_apply_fn_general =
+  QCheck.Test.make ~name:"apply_fn generalizes apply"
+    (QCheck.triple arb_tt4 arb_literal4 arb_literal4)
+    (fun (f, te, be) ->
+      Tt.equal
+        (Vop.apply ~n:4 f ~te ~be)
+        (Vop.apply_fn f ~te:(Literal.table 4 te) ~be:(Literal.table 4 be)))
+
+(* --- R-ops --- *)
+
+let test_rop_truth () =
+  Alcotest.(check bool) "nor(0,0)" true (Rop.eval Rop.Nor false false);
+  Alcotest.(check bool) "nor(1,0)" false (Rop.eval Rop.Nor true false);
+  Alcotest.(check bool) "nimp(1,0)" true (Rop.eval Rop.Nimp true false);
+  Alcotest.(check bool) "nimp(1,1)" false (Rop.eval Rop.Nimp true true);
+  Alcotest.(check bool) "nimp(0,0)" false (Rop.eval Rop.Nimp false false)
+
+let test_rop_apply () =
+  let a = Tt.var 2 1 and b = Tt.var 2 2 in
+  Alcotest.(check string) "nor" "1000" (Tt.to_string (Rop.apply Rop.Nor a b));
+  Alcotest.(check string) "nimp" "0010" (Tt.to_string (Rop.apply Rop.Nimp a b))
+
+let test_rop_meta () =
+  Alcotest.(check bool) "nor commutative" true (Rop.commutative Rop.Nor);
+  Alcotest.(check bool) "nimp not commutative" false (Rop.commutative Rop.Nimp);
+  Alcotest.(check bool) "nor preset 1" true (Rop.output_preset Rop.Nor);
+  Alcotest.(check bool) "nimp preset 0" false (Rop.output_preset Rop.Nimp);
+  Alcotest.(check string) "names" "NOR/NIMP"
+    (Rop.to_string Rop.Nor ^ "/" ^ Rop.to_string Rop.Nimp)
+
+let () =
+  Alcotest.run "vop_rop"
+    [
+      ( "vop",
+        [
+          Alcotest.test_case "Table I" `Quick test_table1;
+          qtest prop_apply_matches_rows;
+          qtest prop_eq1_conjunction;
+          qtest prop_eq2_disjunction;
+          qtest prop_complement_symmetry;
+          qtest prop_hold;
+          qtest prop_apply_fn_general;
+        ] );
+      ( "rop",
+        [
+          Alcotest.test_case "truth tables" `Quick test_rop_truth;
+          Alcotest.test_case "apply" `Quick test_rop_apply;
+          Alcotest.test_case "metadata" `Quick test_rop_meta;
+        ] );
+    ]

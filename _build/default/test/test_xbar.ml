@@ -1,0 +1,134 @@
+module Crossbar = Mm_device.Crossbar
+module Rng = Mm_device.Rng
+module X = Mm_core.Xbar_schedule
+module C = Mm_core.Circuit
+module Reference = Mm_core.Reference
+module Baseline = Mm_core.Baseline
+module Literal = Mm_boolfun.Literal
+module Gf = Mm_boolfun.Gf
+module Arith = Mm_boolfun.Arith
+
+(* --- raw crossbar --- *)
+
+let make_xb rows cols = Crossbar.create ~rng:(Rng.create 11) ~rows ~cols ()
+
+let test_create_and_state () =
+  let xb = make_xb 3 4 in
+  Alcotest.(check int) "rows" 3 (Crossbar.rows xb);
+  Alcotest.(check int) "cols" 4 (Crossbar.cols xb);
+  Crossbar.set_state xb ~row:1 ~col:2 true;
+  Alcotest.(check bool) "set" true (Crossbar.states xb).(1).(2);
+  Alcotest.(check bool) "others untouched" false (Crossbar.states xb).(0).(2);
+  Alcotest.check_raises "range" (Invalid_argument "Crossbar: row out of range")
+    (fun () -> ignore (Crossbar.device xb ~row:3 ~col:0))
+
+let test_row_vop () =
+  let xb = make_xb 2 3 in
+  Crossbar.vop_cycle_row xb ~row:0 ~te:(fun _ -> Some true) ~be:false;
+  Alcotest.(check (list bool)) "row 0 set" [ true; true; true ]
+    (Array.to_list (Crossbar.states xb).(0));
+  Alcotest.(check (list bool)) "row 1 idle" [ false; false; false ]
+    (Array.to_list (Crossbar.states xb).(1))
+
+let test_parallel_nor () =
+  let xb = make_xb 3 3 in
+  (* row 0: NOR(0,0) = 1; row 1: NOR(1,0) = 0; both in one cycle *)
+  Crossbar.set_state xb ~row:0 ~col:2 true;
+  Crossbar.set_state xb ~row:1 ~col:0 true;
+  Crossbar.set_state xb ~row:1 ~col:2 true;
+  Crossbar.parallel_magic_nor xb [ (0, 0, 1, 2); (1, 0, 1, 2) ];
+  Alcotest.(check bool) "nor(0,0)" true (Crossbar.states xb).(0).(2);
+  Alcotest.(check bool) "nor(1,0)" false (Crossbar.states xb).(1).(2)
+
+let test_row_clash_rejected () =
+  let xb = make_xb 2 6 in
+  Alcotest.check_raises "clash"
+    (Invalid_argument "Crossbar.parallel_magic_nor: two gates share a row")
+    (fun () -> Crossbar.parallel_magic_nor xb [ (0, 0, 1, 2); (0, 3, 4, 5) ])
+
+let test_transfer () =
+  let xb = make_xb 2 2 in
+  Crossbar.set_state xb ~row:0 ~col:1 true;
+  Crossbar.transfer xb ~src:(0, 1) ~dst:(1, 0);
+  Alcotest.(check bool) "copied" true (Crossbar.states xb).(1).(0);
+  Alcotest.(check bool) "source intact" true (Crossbar.states xb).(0).(1)
+
+(* --- crossbar scheduling --- *)
+
+let test_gf_on_crossbar () =
+  let c = Reference.gf4_mul_circuit () in
+  let plan = X.plan c in
+  Alcotest.(check int) "depth 2" 2 (X.depth plan);
+  Alcotest.(check (list int)) "all 16 inputs" [] (X.verify plan (Gf.mul_spec 2));
+  (* line: 3 + 4 + 2 = 9; crossbar: 3 + 2*2 + 2 = 9 — equal at depth 2 *)
+  let line, xbar = X.latency_comparison c in
+  Alcotest.(check int) "line cycles" 9 line;
+  Alcotest.(check int) "crossbar cycles" 9 xbar
+
+let test_deep_r_only_wins_on_crossbar () =
+  (* the R-only baseline has a deep but wide NOR DAG: the crossbar's
+     parallel levels beat the line array's strictly sequential R-ops *)
+  let spec = Gf.mul_spec 2 in
+  let c = Baseline.nor_network spec in
+  let plan = X.plan c in
+  Alcotest.(check (list int)) "correct" [] (X.verify plan spec);
+  let line, xbar = X.latency_comparison c in
+  Alcotest.(check bool)
+    (Printf.sprintf "crossbar %d < line %d" xbar line)
+    true (xbar < line)
+
+let test_v_only_circuit () =
+  let c = Reference.table2_circuit () in
+  let plan = X.plan c in
+  Alcotest.(check int) "depth 0" 0 (X.depth plan);
+  Alcotest.(check (list int)) "correct" [] (X.verify plan Arith.table2_spec)
+
+let test_literal_inputs_on_crossbar () =
+  let c =
+    C.make ~arity:2 ~legs:[||]
+      ~rops:
+        [| { C.in1 = C.From_literal (Literal.Pos 1);
+             in2 = C.From_literal (Literal.Pos 2) } |]
+      ~outputs:[| C.From_rop 0 |]
+      ()
+  in
+  let plan = X.plan c in
+  let spec =
+    Mm_boolfun.Spec.of_fun ~name:"nor2" ~arity:2 ~outputs:1
+      (fun ~row ~output:_ -> row = 0)
+  in
+  Alcotest.(check (list int)) "nor2" [] (X.verify plan spec)
+
+let test_nimp_rejected_on_crossbar () =
+  let c =
+    C.make ~arity:1 ~rop_kind:Mm_core.Rop.Nimp ~legs:[||]
+      ~rops:
+        [| { C.in1 = C.From_literal (Literal.Pos 1);
+             in2 = C.From_literal Literal.Const0 } |]
+      ~outputs:[| C.From_rop 0 |]
+      ()
+  in
+  Alcotest.check_raises "nor only"
+    (Invalid_argument "Xbar_schedule.plan: only MAGIC NOR circuits are schedulable")
+    (fun () -> ignore (X.plan c))
+
+let () =
+  Alcotest.run "xbar"
+    [
+      ( "crossbar",
+        [
+          Alcotest.test_case "create/state" `Quick test_create_and_state;
+          Alcotest.test_case "row vop" `Quick test_row_vop;
+          Alcotest.test_case "parallel nor" `Quick test_parallel_nor;
+          Alcotest.test_case "row clash" `Quick test_row_clash_rejected;
+          Alcotest.test_case "transfer" `Quick test_transfer;
+        ] );
+      ( "schedule",
+        [
+          Alcotest.test_case "gf multiplier" `Quick test_gf_on_crossbar;
+          Alcotest.test_case "deep R-only wins" `Quick test_deep_r_only_wins_on_crossbar;
+          Alcotest.test_case "v-only" `Quick test_v_only_circuit;
+          Alcotest.test_case "literal inputs" `Quick test_literal_inputs_on_crossbar;
+          Alcotest.test_case "nimp rejected" `Quick test_nimp_rejected_on_crossbar;
+        ] );
+    ]
