@@ -1,0 +1,30 @@
+# Tier-1 gate: build + unit tests + a batch-engine smoke over the full
+# 3-input function space (256 functions, exercises NPN sharing, the
+# persistent cache and the domain pool end to end).
+
+SMOKE_CACHE := $(shell mktemp -u /tmp/mmsynth_smoke_XXXXXX.cache)
+
+.PHONY: all build test smoke check bench clean
+
+all: build
+
+build:
+	dune build
+
+test: build
+	dune runtest
+
+smoke: build
+	dune exec bin/mmsynth.exe -- batch --sweep 3 --cache $(SMOKE_CACHE) \
+	  --timeout 30
+	dune exec bin/mmsynth.exe -- batch --sweep 3 --cache $(SMOKE_CACHE) \
+	  --timeout 30
+	rm -f $(SMOKE_CACHE)
+
+check: test smoke
+
+bench:
+	dune exec bench/main.exe -- engine
+
+clean:
+	dune clean

@@ -584,6 +584,94 @@ let heuristic_bench () =
      margin while scaling past the reach of monolithic optimal SAT calls.\n"
 
 (* ------------------------------------------------------------------ *)
+(* Engine: NPN-canonicalizing, cached, multicore batch synthesis       *)
+(* ------------------------------------------------------------------ *)
+
+let engine_bench () =
+  let module Engine = Mm_engine.Engine in
+  let module Cache = Mm_engine.Cache in
+  let module Pool = Mm_engine.Pool in
+  section "Engine: batch synthesis over the full 3-input function space";
+  let specs = Engine.all_functions ~arity:3 in
+  let tmp suffix =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "mm_engine_bench_%d_%s.cache" (Unix.getpid ()) suffix)
+  in
+  let cleanup = ref [] in
+  let run ~label ~domains ~cache_path =
+    let cache = Cache.create ~path:cache_path () in
+    if not (List.mem cache_path !cleanup) then
+      cleanup := cache_path :: !cleanup;
+    let cfg =
+      Engine.config ~timeout_per_call:30. ~domains ~cache ()
+    in
+    let results, s = Engine.run cfg specs in
+    let bad =
+      Array.fold_left
+        (fun n r -> if r.Engine.error <> None then n + 1 else n)
+        0 results
+    in
+    let line =
+      Format.asprintf "%a" Engine.pp_summary s
+      |> String.map (function '\n' -> ' ' | c -> c)
+    in
+    Printf.printf "%-22s %s%s\n%!" label line
+      (if bad > 0 then Printf.sprintf "  (%d ERRORS)" bad else "");
+    s
+  in
+  let cores = Domain.recommended_domain_count () in
+  let domains = Pool.default_domains () in
+  let seq = run ~label:"sequential, cold:" ~domains:1 ~cache_path:(tmp "seq") in
+  let par =
+    run ~label:(Printf.sprintf "%d domains, cold:" domains) ~domains
+      ~cache_path:(tmp "par")
+  in
+  let warm =
+    run ~label:(Printf.sprintf "%d domains, warm:" domains) ~domains
+      ~cache_path:(tmp "par")
+  in
+  let speedup = if par.Engine.wall_s > 0. then seq.Engine.wall_s /. par.Engine.wall_s else 0. in
+  let hit_rate (s : Engine.summary) =
+    match s.Engine.cache with
+    | Some c ->
+      let probes = c.Cache.hits + c.Cache.misses + c.Cache.stale in
+      if probes > 0 then float_of_int c.Cache.hits /. float_of_int probes
+      else 0.
+    | None -> 0.
+  in
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"workload\": \"all 256 3-input functions, minimize loop\",\n\
+      \  \"cores\": %d,\n\
+      \  \"domains\": %d,\n\
+      \  \"functions\": %d,\n\
+      \  \"classes\": %d,\n\
+      \  \"sequential_wall_s\": %.3f,\n\
+      \  \"parallel_wall_s\": %.3f,\n\
+      \  \"speedup_vs_sequential\": %.2f,\n\
+      \  \"solves_per_s_sequential\": %.1f,\n\
+      \  \"solves_per_s_parallel\": %.1f,\n\
+      \  \"warm_wall_s\": %.3f,\n\
+      \  \"warm_solves_per_s\": %.1f,\n\
+      \  \"cold_cache_hit_rate\": %.3f,\n\
+      \  \"warm_cache_hit_rate\": %.3f\n\
+       }"
+      cores domains seq.Engine.functions seq.Engine.classes seq.Engine.wall_s
+      par.Engine.wall_s speedup seq.Engine.solves_per_s par.Engine.solves_per_s
+      warm.Engine.wall_s warm.Engine.solves_per_s (hit_rate par) (hit_rate warm)
+  in
+  let oc = open_out "BENCH_engine.json" in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) !cleanup;
+  Printf.printf
+    "\nspeedup %.2fx on %d cores (%d domains); warm hit rate %.0f%%;\n\
+     written to BENCH_engine.json\n"
+    speedup cores domains (100. *. hit_rate warm)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks (one Test.make per table/figure kernel)   *)
 (* ------------------------------------------------------------------ *)
 
@@ -680,6 +768,7 @@ let usage () =
     \  symmetry     symmetry-breaking ablation (ablation C)\n\
     \  crossbar     line array vs crossbar latency (extension D)\n\
     \  heuristic    scalable heuristic synthesis (extension E)\n\
+    \  engine       batch engine: NPN classes + cache + domain pool -> BENCH_engine.json\n\
     \  perf         Bechamel micro-benchmarks\n\
     \  all          everything above (default)"
 
@@ -710,6 +799,7 @@ let () =
     symmetry ~budget ();
     crossbar ();
     heuristic_bench ();
+    engine_bench ();
     perf ()
   in
   let positional =
@@ -733,6 +823,7 @@ let () =
   | [ "symmetry" ] -> symmetry ~budget ()
   | [ "crossbar" ] -> crossbar ()
   | [ "heuristic" ] -> heuristic_bench ()
+  | [ "engine" ] -> engine_bench ()
   | [ "perf" ] -> perf ()
   | _ ->
     usage ();

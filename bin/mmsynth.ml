@@ -4,7 +4,8 @@
      mmsynth synth -e "x1 & x2 | x3" --rops 0 --legs 1 --steps 3 --dot out.dot
      mmsynth check -e "x1 ^ x2"            # V-op realizability
      mmsynth baseline -e "x1 ^ x2 ^ x3"    # QMC -> NOR-NOR gate count
-     mmsynth simulate -e "x1 & x2" --rops 1 --legs 2 --steps 2 --input 3 *)
+     mmsynth simulate -e "x1 & x2" --rops 1 --legs 2 --steps 2 --input 3
+     mmsynth batch --sweep 3 --cache mm3.cache -j 4   # whole function space *)
 
 open Cmdliner
 
@@ -258,9 +259,158 @@ let simulate_cmd =
         (const run $ exprs $ pla_file $ tables_file $ arity $ name_t $ timeout
         $ rops $ legs $ steps $ final_taps $ input))
 
+(* ---- batch: NPN-canonicalizing, cached, multicore sweep ---------------- *)
+
+let batch_cmd =
+  let module Engine = Mm_engine.Engine in
+  let module Cache = Mm_engine.Cache in
+  let module Table = Mm_report.Table in
+  let batch_arity =
+    Arg.(value & opt (some int) None & info [ "sweep" ] ~docv:"N"
+           ~doc:"Sweep all $(b,2^2^N) single-output functions of N inputs \
+                 (1-4; the 4-input space is 65 536 functions in 222 NPN \
+                 classes).")
+  in
+  let jobs =
+    Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"D"
+           ~doc:"Worker domains (default: cores - 1; 1 = sequential).")
+  in
+  let cache_file =
+    Arg.(value & opt (some string) None & info [ "cache" ] ~docv:"FILE"
+           ~doc:"Persistent result cache: hits skip the SAT solver and \
+                 survive across runs.")
+  in
+  let no_npn =
+    Arg.(value & flag & info [ "no-npn" ]
+           ~doc:"Disable NPN class sharing (every function gets its own \
+                 solver job).")
+  in
+  let stats_flag =
+    Arg.(value & flag & info [ "stats" ]
+           ~doc:"Print the per-function solver statistics table.")
+  in
+  let limit =
+    Arg.(value & opt (some int) None & info [ "limit" ] ~docv:"K"
+           ~doc:"Only the first K functions of the sweep.")
+  in
+  let run exprs pla tables arity name timeout batch_arity jobs cache_file
+      no_npn final stats limit =
+    let specs =
+      match batch_arity with
+      | Some n when n >= 1 && n <= 4 -> Ok (Engine.all_functions ~arity:n)
+      | Some _ -> Error "batch --sweep must be 1..4"
+      | None -> (
+        match spec_of_inputs name exprs arity pla tables with
+        | Ok spec ->
+          (* each output is an independent single-output batch member *)
+          Ok
+            (Array.mapi
+               (fun o tt ->
+                 Spec.make
+                   ~name:(Printf.sprintf "%s.%d" (Spec.name spec) (o + 1))
+                   [| tt |])
+               (Spec.outputs spec))
+        | Error e -> Error e)
+    in
+    match specs with
+    | Error msg -> `Error (false, msg)
+    | Ok specs ->
+      let specs =
+        match limit with
+        | Some k when k < Array.length specs -> Array.sub specs 0 k
+        | Some _ | None -> specs
+      in
+      let cache = Option.map (fun path -> Cache.create ~path ()) cache_file in
+      (match cache with
+       | Some c ->
+         (match Cache.load_result c with
+          | Cache.Loaded n -> Printf.printf "cache: loaded %d entries\n" n
+          | Cache.Fresh -> ()
+          | Cache.Invalid_version v ->
+            Printf.printf "cache: on-disk version %d != %d, starting empty\n"
+              v Cache.format_version
+          | Cache.Corrupt -> Printf.printf "cache: corrupt file, starting empty\n")
+       | None -> ());
+      let cfg =
+        Engine.config ~timeout_per_call:timeout ?domains:jobs
+          ~canonicalize:(not no_npn) ~taps:(taps_of final) ?cache ()
+      in
+      Printf.printf "batch: %d functions, %d domains%s\n%!"
+        (Array.length specs) cfg.Engine.domains
+        (if cfg.Engine.canonicalize then ", NPN sharing on" else "");
+      let results, summary = Engine.run cfg specs in
+      if stats then begin
+        let t =
+          Table.create
+            [ "function"; "class"; "verdict"; "N_R"; "N_L"; "N_VS"; "vars";
+              "clauses"; "conflicts"; "time" ]
+        in
+        Array.iter
+          (fun r ->
+            let cls =
+              match r.Engine.class_rep with
+              | Some rep ->
+                Printf.sprintf "%04x%s" (Mm_boolfun.Truth_table.to_int rep)
+                  (if r.Engine.shared then "*" else "")
+              | None -> "-"
+            in
+            let verdict, att =
+              match (r.Engine.circuit, r.Engine.report.Synth.best) with
+              | Some _, Some (_, a) -> ("SAT", Some a)
+              | _ -> (
+                match
+                  (r.Engine.error,
+                   List.rev r.Engine.report.Synth.attempts)
+                with
+                | Some _, _ -> ("error", None)
+                | None, last :: _ ->
+                  ((match last.Synth.verdict with
+                    | Synth.Timeout -> "timeout"
+                    | _ -> "UNSAT"),
+                   Some last)
+                | None, [] -> ("-", None))
+            in
+            let cell f = match att with None -> "-" | Some a -> f a in
+            Table.add_row t
+              [ Spec.name r.Engine.spec; cls; verdict;
+                cell (fun a -> string_of_int a.Synth.n_rops);
+                cell (fun a -> string_of_int a.Synth.n_legs);
+                cell (fun a -> string_of_int a.Synth.steps_per_leg);
+                cell (fun a -> string_of_int a.Synth.vars);
+                cell (fun a -> string_of_int a.Synth.clauses);
+                cell (fun a ->
+                    string_of_int
+                      a.Synth.solver_stats.Mm_sat.Solver.conflicts);
+                cell (fun a -> Printf.sprintf "%.3fs" a.Synth.time_s) ])
+          results;
+        Table.print t;
+        print_newline ()
+      end;
+      Format.printf "%a@." Engine.pp_summary summary;
+      let errors =
+        Array.to_list results
+        |> List.filter_map (fun r ->
+               Option.map
+                 (fun e -> Printf.sprintf "%s: %s" (Spec.name r.Engine.spec) e)
+                 r.Engine.error)
+      in
+      if errors <> [] then
+        `Error (false, String.concat "\n" ("batch errors:" :: errors))
+      else `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:"Batch synthesis of many functions: NPN class sharing, a \
+             persistent result cache and a multicore worker pool.")
+    Term.(
+      ret
+        (const run $ exprs $ pla_file $ tables_file $ arity $ name_t $ timeout
+        $ batch_arity $ jobs $ cache_file $ no_npn $ final_taps $ stats_flag
+        $ limit))
+
 let main =
   let doc = "optimal synthesis of memristive mixed-mode circuits" in
   Cmd.group (Cmd.info "mmsynth" ~version:"1.0.0" ~doc)
-    [ synth_cmd; check_cmd; baseline_cmd; simulate_cmd ]
+    [ synth_cmd; check_cmd; baseline_cmd; simulate_cmd; batch_cmd ]
 
 let () = exit (Cmd.eval main)

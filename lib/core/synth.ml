@@ -72,7 +72,7 @@ let pp_attempt ppf a =
    0 until SAT; every UNSAT on the way is an optimality certificate for that
    N_R. Phase 2 keeps the minimal N_R and grows N_VS from 1 until SAT. *)
 let minimize ?(timeout_per_call = 60.) ?max_rops ?(max_steps = 0) ?legs_of
-    ?(rop_kind = Rop.Nor) ?(taps = Encode.Any_vop) spec =
+    ?(rop_kind = Rop.Nor) ?(taps = Encode.Any_vop) ?lookup ?store spec =
   let max_steps =
     if max_steps > 0 then max_steps else Spec.arity spec + 2
   in
@@ -85,14 +85,30 @@ let minimize ?(timeout_per_call = 60.) ?max_rops ?(max_steps = 0) ?legs_of
     | None -> fun n_rops -> default_legs spec ~n_rops
   in
   let attempts = ref [] in
+  (* Dimensions answered once in this call are never re-solved: a custom
+     [legs_of] can map different N_R to the same (N_L, N_VS, N_R) request,
+     and an UNSAT certificate for those dimensions stays valid. *)
+  let memo : (int * int * int, attempt) Hashtbl.t = Hashtbl.create 8 in
   let run ~n_rops ~steps =
-    let cfg =
-      Encode.config ~rop_kind ~taps ~n_legs:(legs_of n_rops)
-        ~steps_per_leg:steps ~n_rops ()
-    in
-    let a = solve_instance ~timeout:timeout_per_call cfg spec in
-    attempts := a :: !attempts;
-    a
+    let n_legs = legs_of n_rops in
+    match Hashtbl.find_opt memo (n_legs, steps, n_rops) with
+    | Some a -> a
+    | None ->
+      let cfg =
+        Encode.config ~rop_kind ~taps ~n_legs ~steps_per_leg:steps ~n_rops ()
+      in
+      let cached = match lookup with Some f -> f cfg | None -> None in
+      let a =
+        match cached with
+        | Some a -> a
+        | None ->
+          let a = solve_instance ~timeout:timeout_per_call cfg spec in
+          (match store with Some g -> g cfg a | None -> ());
+          a
+      in
+      Hashtbl.replace memo (n_legs, steps, n_rops) a;
+      attempts := a :: !attempts;
+      a
   in
   (* Phase 1: minimal N_R at generous N_VS *)
   let rec find_rops n_rops all_proven =

@@ -49,7 +49,16 @@ type report = {
     {!default_legs}); [taps] defaults to the paper-faithful
     {!Encode.Any_vop} (pass {!Encode.Final_only} for directly schedulable
     results — the paper's dimension claims are only reachable with
-    [Any_vop]). *)
+    [Any_vop]).
+
+    Result reuse: dimensions already answered inside this call (possible
+    when a custom [legs_of] maps different N_R to identical N_L) are never
+    re-solved — in particular a cached UNSAT at (N_R, N_VS) is reused as an
+    optimality certificate. [lookup]/[store] extend the same memoization
+    across calls: every solver call first consults [lookup cfg] (e.g. a
+    persistent [Mm_engine.Cache]) and reports fresh results to [store].
+    Attempts satisfied by [lookup] still appear in [attempts] with their
+    original statistics. *)
 val minimize :
   ?timeout_per_call:float ->
   ?max_rops:int ->
@@ -57,6 +66,8 @@ val minimize :
   ?legs_of:(int -> int) ->
   ?rop_kind:Rop.kind ->
   ?taps:Encode.taps ->
+  ?lookup:(Encode.config -> attempt option) ->
+  ?store:(Encode.config -> attempt -> unit) ->
   Spec.t ->
   report
 

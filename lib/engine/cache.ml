@@ -1,0 +1,141 @@
+module Encode = Mm_core.Encode
+module Synth = Mm_core.Synth
+module Spec = Mm_boolfun.Spec
+module Literal = Mm_boolfun.Literal
+
+let magic = "MMSYNTH-ENGINE-CACHE"
+let format_version = 1
+
+type entry = { budget : float; attempt : Synth.attempt }
+
+type load = Fresh | Loaded of int | Invalid_version of int | Corrupt
+
+type counters = { hits : int; misses : int; stale : int; entries : int }
+
+type t = {
+  table : (string, entry) Hashtbl.t;
+  mutex : Mutex.t;
+  path : string option;
+  load_result : load;
+  mutable hits : int;
+  mutable misses : int;
+  mutable stale : int;
+}
+
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error _ -> (Hashtbl.create 64, Fresh)
+  | ic ->
+    let result =
+      try
+        let m = really_input_string ic (String.length magic) in
+        if m <> magic then (Hashtbl.create 64, Corrupt)
+        else
+          let v : int = Marshal.from_channel ic in
+          if v <> format_version then (Hashtbl.create 64, Invalid_version v)
+          else
+            let entries : (string * entry) array = Marshal.from_channel ic in
+            let table = Hashtbl.create (max 64 (Array.length entries)) in
+            Array.iter (fun (k, e) -> Hashtbl.replace table k e) entries;
+            (table, Loaded (Array.length entries))
+      with End_of_file | Failure _ -> (Hashtbl.create 64, Corrupt)
+    in
+    close_in_noerr ic;
+    result
+
+let create ?path () =
+  let table, load_result =
+    match path with
+    | Some p when Sys.file_exists p -> read_file p
+    | Some _ | None -> (Hashtbl.create 64, Fresh)
+  in
+  { table; mutex = Mutex.create (); path; load_result;
+    hits = 0; misses = 0; stale = 0 }
+
+let load_result t = t.load_result
+let path t = t.path
+
+let key (cfg : Encode.config) spec =
+  let b = Buffer.create 128 in
+  let lit l = Buffer.add_string b (Literal.to_string l) in
+  Buffer.add_string b
+    (Printf.sprintf "L%d/S%d/R%d|%s|%s|%s|be%b|sym%b|lri%b" cfg.n_legs
+       cfg.steps_per_leg cfg.n_rops
+       (Mm_core.Rop.to_string cfg.rop_kind)
+       (match cfg.style with Encode.Direct -> "dir" | Encode.Compact -> "cmp")
+       (match cfg.taps with Encode.Final_only -> "fin" | Encode.Any_vop -> "any")
+       cfg.shared_be cfg.symmetry_breaking cfg.allow_literal_rop_inputs);
+  List.iter
+    (fun (l, s, x) -> Buffer.add_string b (Printf.sprintf "|te%d.%d=" l s); lit x)
+    cfg.forced_te;
+  List.iter
+    (fun (s, x) -> Buffer.add_string b (Printf.sprintf "|be%d=" s); lit x)
+    cfg.forced_be;
+  Buffer.add_string b (Printf.sprintf "|n%d" (Spec.arity spec));
+  Array.iter
+    (fun tt ->
+      Buffer.add_char b '|';
+      Buffer.add_string b (Mm_boolfun.Truth_table.to_string tt))
+    (Spec.outputs spec);
+  Buffer.contents b
+
+let find t ~timeout k =
+  Mutex.protect t.mutex (fun () ->
+      match Hashtbl.find_opt t.table k with
+      | None ->
+        t.misses <- t.misses + 1;
+        None
+      | Some e -> (
+        match e.attempt.Synth.verdict with
+        | Synth.Sat _ | Synth.Unsat ->
+          t.hits <- t.hits + 1;
+          Some e.attempt
+        | Synth.Timeout ->
+          if e.budget >= timeout then begin
+            t.hits <- t.hits + 1;
+            Some e.attempt
+          end
+          else begin
+            (* known only up to a smaller budget: must re-solve *)
+            t.stale <- t.stale + 1;
+            None
+          end))
+
+let add t ~timeout k attempt =
+  Mutex.protect t.mutex (fun () ->
+      Hashtbl.replace t.table k { budget = timeout; attempt })
+
+let tmp_counter = Atomic.make 0
+
+let save_locked t version =
+  match t.path with
+  | None -> ()
+  | Some p ->
+    let tmp =
+      Printf.sprintf "%s.tmp.%d.%d" p (Unix.getpid ())
+        (Atomic.fetch_and_add tmp_counter 1)
+    in
+    let oc = open_out_bin tmp in
+    output_string oc magic;
+    Marshal.to_channel oc version [];
+    let entries =
+      Array.of_seq (Seq.map (fun (k, e) -> (k, e)) (Hashtbl.to_seq t.table))
+    in
+    Marshal.to_channel oc entries [];
+    close_out oc;
+    Sys.rename tmp p
+
+let flush t = Mutex.protect t.mutex (fun () -> save_locked t format_version)
+
+let save_with_version t v = Mutex.protect t.mutex (fun () -> save_locked t v)
+
+let counters t =
+  Mutex.protect t.mutex (fun () ->
+      { hits = t.hits; misses = t.misses; stale = t.stale;
+        entries = Hashtbl.length t.table })
+
+let reset_counters t =
+  Mutex.protect t.mutex (fun () ->
+      t.hits <- 0;
+      t.misses <- 0;
+      t.stale <- 0)

@@ -1,0 +1,61 @@
+(** Persistent result store for synthesis instances.
+
+    One entry caches the outcome of one [Synth.solve_instance] call — SAT
+    with the decoded circuit, UNSAT (an optimality certificate that stays
+    valid forever), or TIMEOUT together with the budget it ran under. Keys
+    are fingerprint strings built by {!key} from the encode configuration
+    and the (canonical) specification, so budget sweeps and repeated batch
+    runs skip every instance already answered.
+
+    Reuse rules implemented by {!find}: SAT and UNSAT entries are definitive
+    and hit regardless of the requested budget; a TIMEOUT entry hits only
+    when it was produced under a budget at least as large as the one now
+    requested — otherwise it is counted {e stale} and re-solved.
+
+    The on-disk format is versioned (magic string + {!format_version} +
+    marshalled entries). A version mismatch or corrupt file invalidates the
+    load: the cache starts empty instead of erroring. Writes go to a unique
+    temporary file followed by an atomic [rename], so concurrent writers
+    (e.g. pool workers flushing) can never leave a torn file — last writer
+    wins. All operations are mutex-protected and safe to share across
+    domains. *)
+
+type t
+
+(** Outcome of reading [path] at {!create} time. *)
+type load =
+  | Fresh  (** no file at [path], or no path given *)
+  | Loaded of int  (** entries read *)
+  | Invalid_version of int  (** on-disk version; cache starts empty *)
+  | Corrupt  (** unreadable file; cache starts empty *)
+
+type counters = { hits : int; misses : int; stale : int; entries : int }
+
+(** [create ?path ()] — with a [path], existing entries are loaded and
+    {!flush} persists there. Without, the cache is memory-only. *)
+val create : ?path:string -> unit -> t
+
+val load_result : t -> load
+val path : t -> string option
+
+(** Fingerprint for one synthesis instance. Spec names are excluded — only
+    arity and output tables matter. *)
+val key : Mm_core.Encode.config -> Mm_boolfun.Spec.t -> string
+
+(** [find t ~timeout key] probes, updating hit/miss/stale counters. *)
+val find : t -> timeout:float -> string -> Mm_core.Synth.attempt option
+
+(** [add t ~timeout key attempt] records (replacing any previous entry). *)
+val add : t -> timeout:float -> string -> Mm_core.Synth.attempt -> unit
+
+(** Persist to [path] (atomic, no-op when memory-only). *)
+val flush : t -> unit
+
+val counters : t -> counters
+val reset_counters : t -> unit
+val format_version : int
+
+(**/**)
+
+(** Test hook: persist with an arbitrary format version. *)
+val save_with_version : t -> int -> unit

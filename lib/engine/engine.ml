@@ -1,0 +1,229 @@
+module Spec = Mm_boolfun.Spec
+module Tt = Mm_boolfun.Truth_table
+module Synth = Mm_core.Synth
+module Circuit = Mm_core.Circuit
+
+type config = {
+  rop_kind : Mm_core.Rop.kind;
+  taps : Mm_core.Encode.taps;
+  timeout_per_call : float;
+  max_rops : int option;
+  max_steps : int option;
+  domains : int;
+  canonicalize : bool;
+  cache : Cache.t option;
+}
+
+let config ?(rop_kind = Mm_core.Rop.Nor) ?(taps = Mm_core.Encode.Any_vop)
+    ?(timeout_per_call = 60.) ?max_rops ?max_steps
+    ?(domains = Pool.default_domains ()) ?(canonicalize = true) ?cache () =
+  { rop_kind; taps; timeout_per_call; max_rops; max_steps;
+    domains = max 1 domains; canonicalize; cache }
+
+type job_result = {
+  spec : Spec.t;
+  class_rep : Tt.t option;
+  shared : bool;
+  report : Synth.report;
+  circuit : Circuit.t option;
+  error : string option;
+}
+
+type summary = {
+  functions : int;
+  classes : int;
+  sat : int;
+  unsat : int;
+  timeout : int;
+  wall_s : float;
+  solves_per_s : float;
+  solver_calls : int;
+  cache : Cache.counters option;
+}
+
+(* How one input spec maps onto its solver job: the job solves
+   [target_spec] (the NPN representative in this member's output polarity);
+   [t_in] is the input-only transform with [apply t_in f = target]. *)
+type plan = {
+  target_spec : Spec.t;
+  t_in : Npn.t;
+  class_rep : Tt.t option;
+}
+
+let plan_of (cfg : config) spec =
+  if
+    cfg.canonicalize
+    && Spec.output_count spec = 1
+    && Spec.arity spec >= 1
+    && Spec.arity spec <= 4
+  then begin
+    let f = Spec.output spec 0 in
+    let rep, t = Npn.canon f in
+    let t_in = Npn.input_only t in
+    let target = Npn.apply t_in f in
+    let name =
+      Printf.sprintf "npn-n%d-%04x%s" (Tt.arity rep) (Tt.to_int rep)
+        (if Npn.is_input_only t then "" else "-c")
+    in
+    { target_spec = Spec.make ~name [| target |]; t_in; class_rep = Some rep }
+  end
+  else
+    { target_spec = spec;
+      t_in = Npn.identity (Spec.arity spec);
+      class_rep = None }
+
+(* Group key: arity + output tables of the solve target (names excluded). *)
+let group_key p =
+  Printf.sprintf "%d|%s"
+    (Spec.arity p.target_spec)
+    (String.concat "|"
+       (Array.to_list (Array.map Tt.to_string (Spec.outputs p.target_spec))))
+
+let all_functions ~arity =
+  if arity < 1 || arity > 4 then
+    invalid_arg "Engine.all_functions: arity must be 1..4";
+  Array.init
+    (1 lsl (1 lsl arity))
+    (fun v ->
+      Spec.make
+        ~name:(Printf.sprintf "f%d_%0*x" arity ((1 lsl arity) / 4 + 1) v)
+        [| Tt.of_int arity v |])
+
+let run (cfg : config) specs =
+  let t0 = Unix.gettimeofday () in
+  Option.iter Cache.reset_counters cfg.cache;
+  let plans = Array.map (plan_of cfg) specs in
+  (* one solver job per distinct target; remember who owns it *)
+  let groups : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let job_of = Array.make (Array.length specs) 0 in
+  let owners = ref [] and n_jobs = ref 0 in
+  Array.iteri
+    (fun i p ->
+      let k = group_key p in
+      match Hashtbl.find_opt groups k with
+      | Some j -> job_of.(i) <- j
+      | None ->
+        Hashtbl.add groups k !n_jobs;
+        job_of.(i) <- !n_jobs;
+        owners := i :: !owners;
+        incr n_jobs)
+    plans;
+  let owners = Array.of_list (List.rev !owners) in
+  let lookup, store =
+    match cfg.cache with
+    | None -> (None, None)
+    | Some c ->
+      ( Some
+          (fun spec ecfg ->
+            Cache.find c ~timeout:cfg.timeout_per_call (Cache.key ecfg spec)),
+        Some
+          (fun spec ecfg a ->
+            Cache.add c ~timeout:cfg.timeout_per_call (Cache.key ecfg spec) a)
+      )
+  in
+  let jobs =
+    Array.map
+      (fun i ->
+        let target = plans.(i).target_spec in
+        fun () ->
+          Synth.minimize ~timeout_per_call:cfg.timeout_per_call
+            ?max_rops:cfg.max_rops ?max_steps:cfg.max_steps
+            ~rop_kind:cfg.rop_kind ~taps:cfg.taps
+            ?lookup:(Option.map (fun f -> f target) lookup)
+            ?store:(Option.map (fun f -> f target) store)
+            target)
+      owners
+  in
+  let outcomes = Pool.run ~domains:cfg.domains jobs in
+  Option.iter Cache.flush cfg.cache;
+  let empty_report =
+    { Synth.best = None; attempts = []; rops_proven_minimal = false;
+      steps_proven_minimal = false }
+  in
+  let results =
+    Array.mapi
+      (fun i p ->
+        let j = job_of.(i) in
+        let spec = specs.(i) in
+        let shared = owners.(j) <> i in
+        match outcomes.(j).Pool.result with
+        | Error e ->
+          { spec; class_rep = p.class_rep; shared; report = empty_report;
+            circuit = None; error = Some e }
+        | Ok report -> (
+          match report.Synth.best with
+          | None ->
+            { spec; class_rep = p.class_rep; shared; report; circuit = None;
+              error = None }
+          | Some (c, _) -> (
+            (* the job solved [apply t_in f]; pull the circuit back to f *)
+            let c_f = Npn.apply_circuit (Npn.inverse p.t_in) c in
+            match Circuit.realizes c_f spec with
+            | Ok () ->
+              { spec; class_rep = p.class_rep; shared; report;
+                circuit = Some c_f; error = None }
+            | Error row ->
+              { spec; class_rep = p.class_rep; shared; report; circuit = None;
+                error =
+                  Some
+                    (Printf.sprintf
+                       "decanonicalized circuit wrong on row %d (engine bug)"
+                       row) })))
+      plans
+  in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let sat = ref 0 and unsat = ref 0 and timeout = ref 0 in
+  Array.iter
+    (fun r ->
+      match (r.circuit, r.report.Synth.attempts) with
+      | Some _, _ -> incr sat
+      | None, atts ->
+        if
+          List.exists
+            (fun a -> a.Synth.verdict = Synth.Timeout)
+            atts
+          || r.error <> None
+        then incr timeout
+        else incr unsat)
+    results;
+  let solver_calls =
+    Array.fold_left
+      (fun acc o ->
+        match o.Pool.result with
+        | Ok r -> acc + List.length r.Synth.attempts
+        | Error _ -> acc)
+      0 outcomes
+  in
+  let summary =
+    {
+      functions = Array.length specs;
+      classes = Array.length owners;
+      sat = !sat;
+      unsat = !unsat;
+      timeout = !timeout;
+      wall_s;
+      solves_per_s =
+        (if wall_s > 0. then float_of_int (Array.length specs) /. wall_s
+         else 0.);
+      solver_calls;
+      cache = Option.map Cache.counters cfg.cache;
+    }
+  in
+  (results, summary)
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "%d functions in %d classes: %d SAT, %d UNSAT, %d timeout; %.2fs wall \
+     (%.1f functions/s, %d solver calls)"
+    s.functions s.classes s.sat s.unsat s.timeout s.wall_s s.solves_per_s
+    s.solver_calls;
+  match s.cache with
+  | None -> ()
+  | Some c ->
+    let probes = c.Cache.hits + c.Cache.misses + c.Cache.stale in
+    Format.fprintf ppf "@.cache: %d hits / %d misses / %d stale (%.0f%% hit \
+                        rate), %d entries"
+      c.Cache.hits c.Cache.misses c.Cache.stale
+      (if probes > 0 then 100. *. float_of_int c.Cache.hits /. float_of_int probes
+       else 0.)
+      c.Cache.entries

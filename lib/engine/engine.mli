@@ -1,0 +1,77 @@
+(** Batch synthesis driver: canonicalize → cache probe → schedule misses on
+    the domain pool → decanonicalize → verify → persist.
+
+    [run] minimizes every spec of a batch through the paper's outer loop
+    ({!Mm_core.Synth.minimize}), but solves each NPN class only once:
+    single-output specs with n ≤ 4 are canonicalized by {!Npn}, specs in the
+    same class (up to input permutation/negation and output polarity) share
+    one solver job, and each solver call inside a job is additionally
+    memoized through an optional persistent {!Cache}. Class solutions are
+    mapped back to concrete circuits with {!Npn.apply_circuit} and
+    re-verified against the original specification on all rows before being
+    reported.
+
+    Output polarity note: the solve target of a class is the canonical
+    representative with the member's output polarity applied (a circuit
+    cannot be output-negated structurally), so a class contributes at most
+    two solver jobs — one per polarity present in the batch. *)
+
+module Spec = Mm_boolfun.Spec
+module Tt = Mm_boolfun.Truth_table
+module Synth = Mm_core.Synth
+
+type config = {
+  rop_kind : Mm_core.Rop.kind;
+  taps : Mm_core.Encode.taps;
+  timeout_per_call : float;  (** SAT budget per instance, seconds *)
+  max_rops : int option;
+  max_steps : int option;
+  domains : int;  (** worker domains; 1 = sequential *)
+  canonicalize : bool;  (** NPN class sharing (on unless ablating) *)
+  cache : Cache.t option;
+}
+
+val config :
+  ?rop_kind:Mm_core.Rop.kind ->
+  ?taps:Mm_core.Encode.taps ->
+  ?timeout_per_call:float ->
+  ?max_rops:int ->
+  ?max_steps:int ->
+  ?domains:int ->
+  ?canonicalize:bool ->
+  ?cache:Cache.t ->
+  unit ->
+  config
+
+type job_result = {
+  spec : Spec.t;
+  class_rep : Tt.t option;  (** NPN representative, when canonicalized *)
+  shared : bool;  (** answered by another batch member's solver job *)
+  report : Synth.report;  (** attempts in canonical (solve-target) space *)
+  circuit : Mm_core.Circuit.t option;
+      (** decanonicalized and verified against [spec] on all rows *)
+  error : string option;  (** crashed job or failed re-verification *)
+}
+
+type summary = {
+  functions : int;
+  classes : int;  (** distinct solver jobs after canonicalization *)
+  sat : int;
+  unsat : int;  (** proven impossible within the search bounds *)
+  timeout : int;
+  wall_s : float;
+  solves_per_s : float;  (** functions answered per wall-clock second *)
+  solver_calls : int;  (** SAT instances dispatched (memo/cache hits included) *)
+  cache : Cache.counters option;
+}
+
+(** Results are in input order; the cache (when present) has its counters
+    reset at entry, is shared by all workers, and is flushed before
+    returning. *)
+val run : config -> Spec.t array -> job_result array * summary
+
+(** All [2^2^n] single-output functions of [arity] [n <= 4], in
+    truth-table-integer order — the sweep universe of Tables III/IV. *)
+val all_functions : arity:int -> Spec.t array
+
+val pp_summary : Format.formatter -> summary -> unit

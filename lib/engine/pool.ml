@@ -1,0 +1,50 @@
+type 'a outcome = {
+  result : ('a, string) result;
+  time_s : float;
+  timed_out : bool;
+}
+
+let default_domains () = max 1 (Domain.recommended_domain_count () - 1)
+
+let run_job ?job_timeout job =
+  let t0 = Unix.gettimeofday () in
+  let result =
+    match job () with
+    | v -> Ok v
+    | exception e -> Error (Printexc.to_string e)
+  in
+  let time_s = Unix.gettimeofday () -. t0 in
+  let timed_out =
+    match job_timeout with Some b -> time_s > b | None -> false
+  in
+  { result; time_s; timed_out }
+
+let run ?domains ?job_timeout jobs =
+  let n = Array.length jobs in
+  let domains =
+    max 1 (min (match domains with Some d -> d | None -> default_domains ()) n)
+  in
+  if n = 0 then [||]
+  else if domains = 1 then Array.map (run_job ?job_timeout) jobs
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          results.(i) <- Some (run_job ?job_timeout jobs.(i));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let workers = Array.init (domains - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join workers;
+    Array.map
+      (function
+        | Some r -> r
+        | None -> failwith "Pool.run: job slot never filled (pool bug)")
+      results
+  end

@@ -1,0 +1,30 @@
+(** Multicore batch execution on OCaml 5 domains.
+
+    [run jobs] executes independent thunks on a small fixed set of worker
+    domains (spawning one domain per job would exhaust the runtime's domain
+    limit on large batches). Results come back in submission order — slot
+    [i] of the result array always belongs to [jobs.(i)] regardless of which
+    worker ran it or when it finished.
+
+    Crash isolation: an exception escaping a job is caught and reported as
+    [Error] in that job's slot; it never takes down the worker domain or the
+    batch. Wall-clock budgets are cooperative — a job that should stop early
+    must watch its own deadline (the SAT solver's [~timeout] does) — but the
+    pool measures each job's elapsed time and flags overruns of
+    [job_timeout] in the outcome. *)
+
+type 'a outcome = {
+  result : ('a, string) result;  (** [Error] carries the exception text *)
+  time_s : float;  (** wall-clock of this job alone *)
+  timed_out : bool;  (** [time_s] exceeded [job_timeout] *)
+}
+
+(** [Domain.recommended_domain_count () - 1] workers, at least 1. *)
+val default_domains : unit -> int
+
+(** [run ?domains ?job_timeout jobs]. [domains] defaults to
+    {!default_domains} and is additionally clamped to the job count;
+    [domains = 1] runs everything on the calling domain (no spawning), which
+    is the sequential baseline the bench compares against. *)
+val run :
+  ?domains:int -> ?job_timeout:float -> (unit -> 'a) array -> 'a outcome array

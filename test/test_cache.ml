@@ -1,0 +1,161 @@
+module Cache = Mm_engine.Cache
+module Pool = Mm_engine.Pool
+module Synth = Mm_core.Synth
+module E = Mm_core.Encode
+module Spec = Mm_boolfun.Spec
+module Tt = Mm_boolfun.Truth_table
+
+let tmp_path =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "mm_cache_test_%d_%d.cache" (Unix.getpid ()) !counter)
+
+let spec_of v = Spec.make ~name:"t" [| Tt.of_int 2 v |]
+
+let cfg_of ?(n_rops = 1) () = E.config ~n_legs:2 ~steps_per_leg:2 ~n_rops ()
+
+(* a real attempt to cache (SAT, carries a circuit) *)
+let sat_attempt =
+  lazy
+    (let a = Synth.solve_instance ~timeout:30. (cfg_of ()) (spec_of 0b0110) in
+     (match a.Synth.verdict with
+      | Synth.Sat _ -> ()
+      | _ -> failwith "expected SAT for xor2 at N_R=1");
+     a)
+
+let timeout_attempt budget =
+  { (Lazy.force sat_attempt) with Synth.verdict = Synth.Timeout;
+    time_s = budget }
+
+let unsat_attempt =
+  { (Lazy.force sat_attempt) with Synth.verdict = Synth.Unsat }
+
+let check_verdict msg expected = function
+  | None -> Alcotest.failf "%s: expected a hit" msg
+  | Some a ->
+    let tag = function
+      | Synth.Sat _ -> "sat"
+      | Synth.Unsat -> "unsat"
+      | Synth.Timeout -> "timeout"
+    in
+    Alcotest.(check string) msg expected (tag a.Synth.verdict)
+
+let test_roundtrip () =
+  let path = tmp_path () in
+  let c = Cache.create ~path () in
+  Alcotest.(check bool) "fresh" true (Cache.load_result c = Cache.Fresh);
+  let k_sat = Cache.key (cfg_of ()) (spec_of 0b0110) in
+  let k_unsat = Cache.key (cfg_of ~n_rops:0 ()) (spec_of 0b0110) in
+  Cache.add c ~timeout:30. k_sat (Lazy.force sat_attempt);
+  Cache.add c ~timeout:30. k_unsat unsat_attempt;
+  Cache.flush c;
+  (* reopen and probe *)
+  let c2 = Cache.create ~path () in
+  (match Cache.load_result c2 with
+   | Cache.Loaded 2 -> ()
+   | _ -> Alcotest.fail "expected Loaded 2");
+  check_verdict "sat survives" "sat" (Cache.find c2 ~timeout:30. k_sat);
+  check_verdict "unsat survives" "unsat" (Cache.find c2 ~timeout:30. k_unsat);
+  (* a SAT entry must decode to a circuit that still realizes the spec *)
+  (match Cache.find c2 ~timeout:30. k_sat with
+   | Some { Synth.verdict = Synth.Sat circuit; _ } ->
+     Alcotest.(check bool) "circuit verifies" true
+       (Mm_core.Circuit.realizes circuit (spec_of 0b0110) = Ok ())
+   | _ -> Alcotest.fail "expected SAT entry");
+  let counters = Cache.counters c2 in
+  Alcotest.(check int) "hits" 3 counters.Cache.hits;
+  Alcotest.(check int) "entries" 2 counters.Cache.entries;
+  Sys.remove path
+
+let test_miss_and_stale () =
+  let c = Cache.create () in
+  let k = Cache.key (cfg_of ()) (spec_of 0b0001) in
+  Alcotest.(check bool) "miss" true (Cache.find c ~timeout:10. k = None);
+  (* timeout entries only satisfy requests with budgets <= their own *)
+  Cache.add c ~timeout:5. k (timeout_attempt 5.);
+  check_verdict "same budget hits" "timeout" (Cache.find c ~timeout:5. k);
+  check_verdict "smaller budget hits" "timeout" (Cache.find c ~timeout:1. k);
+  Alcotest.(check bool) "bigger budget is stale" true
+    (Cache.find c ~timeout:60. k = None);
+  let counters = Cache.counters c in
+  Alcotest.(check int) "1 miss" 1 counters.Cache.misses;
+  Alcotest.(check int) "2 hits" 2 counters.Cache.hits;
+  Alcotest.(check int) "1 stale" 1 counters.Cache.stale;
+  Cache.reset_counters c;
+  Alcotest.(check int) "reset" 0 (Cache.counters c).Cache.hits
+
+let test_version_mismatch () =
+  let path = tmp_path () in
+  let c = Cache.create ~path () in
+  Cache.add c ~timeout:30. "k" unsat_attempt;
+  Cache.save_with_version c (Cache.format_version + 1);
+  let c2 = Cache.create ~path () in
+  (match Cache.load_result c2 with
+   | Cache.Invalid_version v ->
+     Alcotest.(check int) "reported version" (Cache.format_version + 1) v
+   | _ -> Alcotest.fail "expected Invalid_version");
+  Alcotest.(check int) "starts empty" 0 (Cache.counters c2).Cache.entries;
+  Alcotest.(check bool) "probe misses" true
+    (Cache.find c2 ~timeout:30. "k" = None);
+  Sys.remove path
+
+let test_corrupt_file () =
+  let path = tmp_path () in
+  let oc = open_out_bin path in
+  output_string oc "this is not a cache file at all";
+  close_out oc;
+  let c = Cache.create ~path () in
+  Alcotest.(check bool) "corrupt" true (Cache.load_result c = Cache.Corrupt);
+  Alcotest.(check int) "empty" 0 (Cache.counters c).Cache.entries;
+  (* flushing over the corrupt file must repair it *)
+  Cache.add c ~timeout:30. "k" unsat_attempt;
+  Cache.flush c;
+  let c2 = Cache.create ~path () in
+  Alcotest.(check bool) "repaired" true (Cache.load_result c2 = Cache.Loaded 1);
+  Sys.remove path
+
+(* pool workers hammering one path: every interleaving of the atomic
+   temp-file + rename writes must leave a complete, loadable file *)
+let test_concurrent_writers () =
+  let path = tmp_path () in
+  let writers = 6 and per_writer = 40 in
+  let jobs =
+    Array.init writers (fun w () ->
+        let c = Cache.create ~path () in
+        for i = 0 to per_writer - 1 do
+          Cache.add c ~timeout:30.
+            (Printf.sprintf "w%d-%d" w i)
+            unsat_attempt;
+          Cache.flush c
+        done)
+  in
+  let outcomes = Pool.run ~domains:4 jobs in
+  Array.iter
+    (fun o ->
+      match o.Pool.result with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "writer crashed: %s" e)
+    outcomes;
+  let c = Cache.create ~path () in
+  (match Cache.load_result c with
+   | Cache.Loaded n ->
+     (* last completed flush wins; it held that writer's full batch *)
+     Alcotest.(check bool) "a complete batch survived" true (n >= per_writer)
+   | _ -> Alcotest.fail "file unreadable after concurrent writes");
+  Sys.remove path
+
+let () =
+  Alcotest.run "cache"
+    [
+      ( "cache",
+        [
+          Alcotest.test_case "round-trip persistence" `Quick test_roundtrip;
+          Alcotest.test_case "miss and stale budgets" `Quick test_miss_and_stale;
+          Alcotest.test_case "version mismatch invalidates" `Quick
+            test_version_mismatch;
+          Alcotest.test_case "corrupt file invalidates" `Quick test_corrupt_file;
+          Alcotest.test_case "concurrent writers" `Quick test_concurrent_writers;
+        ] );
+    ]

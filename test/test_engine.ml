@@ -1,0 +1,117 @@
+module Engine = Mm_engine.Engine
+module Cache = Mm_engine.Cache
+module Npn = Mm_engine.Npn
+module Synth = Mm_core.Synth
+module C = Mm_core.Circuit
+module Spec = Mm_boolfun.Spec
+module Tt = Mm_boolfun.Truth_table
+
+let tmp_path =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "mm_engine_test_%d_%d.cache" (Unix.getpid ()) !counter)
+
+let check_all_verified results =
+  Array.iter
+    (fun r ->
+      (match r.Engine.error with
+       | Some e -> Alcotest.failf "%s: %s" (Spec.name r.Engine.spec) e
+       | None -> ());
+      match r.Engine.circuit with
+      | None -> Alcotest.failf "%s: no circuit" (Spec.name r.Engine.spec)
+      | Some c ->
+        Alcotest.(check bool)
+          (Spec.name r.Engine.spec ^ " verifies")
+          true
+          (C.realizes c r.Engine.spec = Ok ()))
+    results
+
+let test_full_2_input_space () =
+  let specs = Engine.all_functions ~arity:2 in
+  let cfg = Engine.config ~timeout_per_call:30. ~domains:2 () in
+  let results, summary = Engine.run cfg specs in
+  Alcotest.(check int) "functions" 16 summary.Engine.functions;
+  Alcotest.(check int) "all sat" 16 summary.Engine.sat;
+  (* 4 NPN classes, at most one job per polarity each *)
+  Alcotest.(check bool) "class sharing"
+    true
+    (summary.Engine.classes >= 4 && summary.Engine.classes <= 8);
+  check_all_verified results;
+  (* every member of a shared class reuses its representative's job *)
+  Alcotest.(check bool) "some sharing happened" true
+    (Array.exists (fun r -> r.Engine.shared) results)
+
+let test_npn_consistency_with_direct_solve () =
+  (* the engine's class-shared answer must match a direct minimize: same
+     verdict and same minimal (N_R, N_VS) *)
+  let f = Tt.of_int 3 0b10010110 (* 3-input parity *) in
+  let spec = Spec.make ~name:"xor3" [| f |] in
+  let direct = Synth.minimize ~timeout_per_call:30. spec in
+  let results, _ = Engine.run (Engine.config ~timeout_per_call:30. ~domains:1 ()) [| spec |] in
+  match (direct.Synth.best, results.(0).Engine.report.Synth.best) with
+  | Some (_, a), Some (_, b) ->
+    Alcotest.(check int) "same N_R" a.Synth.n_rops b.Synth.n_rops;
+    Alcotest.(check int) "same N_VS" a.Synth.steps_per_leg b.Synth.steps_per_leg
+  | _ -> Alcotest.fail "both should find circuits"
+
+let test_cache_across_runs () =
+  let path = tmp_path () in
+  let specs = Engine.all_functions ~arity:2 in
+  let run () =
+    let cache = Cache.create ~path () in
+    let cfg = Engine.config ~timeout_per_call:30. ~domains:2 ~cache () in
+    Engine.run cfg specs
+  in
+  let _, cold = run () in
+  let results, warm = run () in
+  check_all_verified results;
+  (match (cold.Engine.cache, warm.Engine.cache) with
+   | Some c, Some w ->
+     Alcotest.(check bool) "cold run has misses" true (c.Cache.misses > 0);
+     Alcotest.(check int) "warm run misses nothing" 0 w.Cache.misses;
+     Alcotest.(check int) "warm run solves nothing" 0 w.Cache.stale;
+     Alcotest.(check bool) "warm hit rate 100%" true (w.Cache.hits > 0)
+   | _ -> Alcotest.fail "cache counters missing");
+  Sys.remove path
+
+let test_no_npn_ablation () =
+  (* with sharing off, every function is its own class *)
+  let specs = Array.sub (Engine.all_functions ~arity:2) 0 6 in
+  let cfg = Engine.config ~timeout_per_call:30. ~domains:1 ~canonicalize:false () in
+  let results, summary = Engine.run cfg specs in
+  Alcotest.(check int) "no sharing" 6 summary.Engine.classes;
+  Alcotest.(check bool) "nobody shared" false
+    (Array.exists (fun r -> r.Engine.shared) results);
+  check_all_verified results
+
+let test_multi_output_passthrough () =
+  (* multi-output specs skip canonicalization but still run and verify *)
+  let spec =
+    Spec.of_fun ~name:"half-adder" ~arity:2 ~outputs:2 (fun ~row ~output ->
+        let a = row land 1 and b = (row lsr 1) land 1 in
+        if output = 0 then (a lxor b) = 1 else a land b = 1)
+  in
+  let results, summary =
+    Engine.run (Engine.config ~timeout_per_call:30. ~domains:1 ()) [| spec |]
+  in
+  Alcotest.(check int) "sat" 1 summary.Engine.sat;
+  Alcotest.(check bool) "not canonicalized" true
+    (results.(0).Engine.class_rep = None);
+  check_all_verified results
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "full 2-input space" `Quick test_full_2_input_space;
+          Alcotest.test_case "matches direct minimize" `Quick
+            test_npn_consistency_with_direct_solve;
+          Alcotest.test_case "cache across runs" `Quick test_cache_across_runs;
+          Alcotest.test_case "no-NPN ablation" `Quick test_no_npn_ablation;
+          Alcotest.test_case "multi-output passthrough" `Quick
+            test_multi_output_passthrough;
+        ] );
+    ]

@@ -1,0 +1,174 @@
+module Npn = Mm_engine.Npn
+module Tt = Mm_boolfun.Truth_table
+module Spec = Mm_boolfun.Spec
+module C = Mm_core.Circuit
+module Literal = Mm_boolfun.Literal
+module Synth = Mm_core.Synth
+module E = Mm_core.Encode
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let tt = Alcotest.testable Tt.pp Tt.equal
+
+(* random function and transform generators *)
+let gen_fun n = QCheck.Gen.(map (Tt.of_int n) (int_range 0 ((1 lsl (1 lsl n)) - 1)))
+
+let gen_transform n =
+  let open QCheck.Gen in
+  let* perm =
+    map Array.of_list (shuffle_l (List.init n (fun i -> i + 1)))
+  in
+  let* neg = array_size (return n) bool in
+  let* out_neg = bool in
+  return (Npn.make ~perm ~neg ~out_neg)
+
+let gen_case =
+  QCheck.Gen.(
+    int_range 1 4 >>= fun n ->
+    pair (gen_fun n) (gen_transform n))
+
+let print_case (f, t) =
+  Format.asprintf "f=%s t=%a" (Tt.to_string f) Npn.pp t
+
+(* --- unit tests --- *)
+
+let test_identity () =
+  let f = Tt.of_string 3 "01101001" in
+  Alcotest.check tt "identity acts trivially" f (Npn.apply (Npn.identity 3) f)
+
+let test_known_transform () =
+  (* swapping x1/x2 on f = x1 AND NOT x2 gives NOT x1 AND x2 *)
+  let f = Tt.(var 2 1 &&& lnot (var 2 2)) in
+  let t = Npn.make ~perm:[| 2; 1 |] ~neg:[| false; false |] ~out_neg:false in
+  Alcotest.check tt "swap" Tt.(lnot (var 2 1) &&& var 2 2) (Npn.apply t f);
+  (* negating input x1 of x1 AND x2 gives NOT x1 AND x2 *)
+  let g = Tt.(var 2 1 &&& var 2 2) in
+  let t = Npn.make ~perm:[| 1; 2 |] ~neg:[| true; false |] ~out_neg:false in
+  Alcotest.check tt "neg" Tt.(lnot (var 2 1) &&& var 2 2) (Npn.apply t g)
+
+let test_class_counts () =
+  (* the classic sequence: 2, 4, 14, 222 NPN classes for n = 1..4 *)
+  Alcotest.(check int) "n=1" 2 (Npn.class_count 1);
+  Alcotest.(check int) "n=2" 4 (Npn.class_count 2);
+  Alcotest.(check int) "n=3" 14 (Npn.class_count 3);
+  Alcotest.(check int) "n=4" 222 (Npn.class_count 4)
+
+let test_canon_of_rep_is_rep () =
+  (* canonicalizing a representative must reach itself *)
+  for v = 0 to 255 do
+    let f = Tt.of_int 3 v in
+    let rep, _ = Npn.canon f in
+    let rep', _ = Npn.canon rep in
+    Alcotest.check tt "canon idempotent" rep rep'
+  done
+
+let test_bad_transform () =
+  Alcotest.check_raises "not a permutation"
+    (Invalid_argument "Npn.make: perm is not a permutation of 1..n")
+    (fun () -> ignore (Npn.make ~perm:[| 1; 1 |] ~neg:[| false; false |] ~out_neg:false))
+
+(* --- properties --- *)
+
+let prop_canon_invariant =
+  QCheck.Test.make ~name:"canon f = canon (apply t f)" ~count:300
+    (QCheck.make ~print:print_case gen_case)
+    (fun (f, t) ->
+      let rep, _ = Npn.canon f in
+      let rep', _ = Npn.canon (Npn.apply t f) in
+      Tt.equal rep rep')
+
+let prop_canon_maps =
+  QCheck.Test.make ~name:"apply (snd (canon f)) f = fst (canon f)" ~count:300
+    (QCheck.make ~print:print_case gen_case)
+    (fun (f, _) ->
+      let rep, t = Npn.canon f in
+      Tt.equal rep (Npn.apply t f))
+
+let prop_inverse =
+  QCheck.Test.make ~name:"apply (inverse t) (apply t f) = f" ~count:300
+    (QCheck.make ~print:print_case gen_case)
+    (fun (f, t) -> Tt.equal f (Npn.apply (Npn.inverse t) (Npn.apply t f)))
+
+(* a fixed mixed-mode circuit exercising every literal position: V-op
+   electrodes, a literal R-op input, and a literal output *)
+let sample_circuit () =
+  C.make ~arity:3
+    ~legs:
+      [|
+        [| { C.te = Literal.Neg 1; be = Literal.Const0 };
+           { C.te = Literal.Pos 2; be = Literal.Neg 3 } |];
+        [| { C.te = Literal.Pos 3; be = Literal.Const0 };
+           { C.te = Literal.Neg 2; be = Literal.Pos 1 } |];
+      |]
+    ~rops:[| { C.in1 = C.From_leg 0; in2 = C.From_literal (Pos 2) } |]
+    ~outputs:[| C.From_rop 0; C.From_literal (Neg 1) |]
+    ()
+
+let prop_apply_circuit =
+  QCheck.Test.make
+    ~name:"apply_circuit t c realizes apply t on every output" ~count:200
+    (QCheck.make
+       ~print:(fun t -> Format.asprintf "%a" Npn.pp t)
+       (QCheck.Gen.map Npn.input_only (gen_transform 3)))
+    (fun t ->
+      let c = sample_circuit () in
+      let c' = Npn.apply_circuit t c in
+      let before = C.output_tables c and after = C.output_tables c' in
+      Array.for_all2 (fun h h' -> Tt.equal (Npn.apply t h) h') before after)
+
+let test_apply_circuit_rejects_out_neg () =
+  let t = Npn.make ~perm:[| 1; 2; 3 |] ~neg:[| false; false; false |] ~out_neg:true in
+  Alcotest.check_raises "out_neg rejected"
+    (Invalid_argument
+       "Npn.apply_circuit: output negation is not structurally expressible")
+    (fun () -> ignore (Npn.apply_circuit t (sample_circuit ())))
+
+(* the engine's decanonicalization path: solve the class representative (in
+   the member's polarity), map the circuit back, re-verify on all rows *)
+let test_decanonicalize_reverifies () =
+  let rng = Random.State.make [| 0x5eed |] in
+  for _ = 1 to 12 do
+    let v = Random.State.int rng 256 in
+    let f = Tt.of_int 3 v in
+    let _, t = Npn.canon f in
+    let t_in = Npn.input_only t in
+    let target = Npn.apply t_in f in
+    let report =
+      Synth.minimize ~timeout_per_call:30.
+        (Spec.make ~name:"target" [| target |])
+    in
+    match report.Synth.best with
+    | None -> Alcotest.failf "no circuit for %s" (Tt.to_string target)
+    | Some (c, _) ->
+      let c_f = Npn.apply_circuit (Npn.inverse t_in) c in
+      (match C.realizes c_f (Spec.make ~name:"f" [| f |]) with
+       | Ok () -> ()
+       | Error row ->
+         Alcotest.failf "decanonicalized circuit for %02x wrong on row %d" v
+           row)
+  done
+
+let () =
+  Alcotest.run "npn"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "identity" `Quick test_identity;
+          Alcotest.test_case "known transforms" `Quick test_known_transform;
+          Alcotest.test_case "class counts 2/4/14/222" `Quick test_class_counts;
+          Alcotest.test_case "canon idempotent (n=3)" `Quick
+            test_canon_of_rep_is_rep;
+          Alcotest.test_case "invalid permutation" `Quick test_bad_transform;
+          Alcotest.test_case "apply_circuit rejects out-neg" `Quick
+            test_apply_circuit_rejects_out_neg;
+          Alcotest.test_case "decanonicalized circuits re-verify" `Quick
+            test_decanonicalize_reverifies;
+        ] );
+      ( "properties",
+        [
+          qtest prop_canon_invariant;
+          qtest prop_canon_maps;
+          qtest prop_inverse;
+          qtest prop_apply_circuit;
+        ] );
+    ]

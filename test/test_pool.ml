@@ -1,0 +1,91 @@
+module Pool = Mm_engine.Pool
+
+let test_submission_order () =
+  (* jobs finish out of order (earlier jobs sleep longer); results must
+     still land in submission order *)
+  let n = 16 in
+  let jobs =
+    Array.init n (fun i () ->
+        Unix.sleepf (0.002 *. float_of_int (n - i));
+        i * i)
+  in
+  let out = Pool.run ~domains:4 jobs in
+  Array.iteri
+    (fun i o ->
+      match o.Pool.result with
+      | Ok v -> Alcotest.(check int) (Printf.sprintf "slot %d" i) (i * i) v
+      | Error e -> Alcotest.failf "job %d crashed: %s" i e)
+    out
+
+let test_crash_isolation () =
+  let jobs =
+    [|
+      (fun () -> 1);
+      (fun () -> failwith "boom");
+      (fun () -> 3);
+      (fun () -> raise Not_found);
+      (fun () -> 5);
+    |]
+  in
+  let out = Pool.run ~domains:3 jobs in
+  let ok i = match out.(i).Pool.result with Ok v -> v | Error e -> Alcotest.failf "job %d: %s" i e in
+  Alcotest.(check int) "job 0" 1 (ok 0);
+  Alcotest.(check int) "job 2" 3 (ok 2);
+  Alcotest.(check int) "job 4" 5 (ok 4);
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  (match out.(1).Pool.result with
+   | Error e ->
+     Alcotest.(check bool) "failure text carries the exception" true
+       (contains e "boom")
+   | Ok _ -> Alcotest.fail "job 1 should have crashed");
+  match out.(3).Pool.result with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "job 3 should have crashed"
+
+let test_sequential_path () =
+  (* domains = 1 must not spawn and still produce identical results *)
+  let jobs = Array.init 8 (fun i () -> i + 100) in
+  let out = Pool.run ~domains:1 jobs in
+  Array.iteri
+    (fun i o ->
+      match o.Pool.result with
+      | Ok v -> Alcotest.(check int) "value" (i + 100) v
+      | Error e -> Alcotest.fail e)
+    out
+
+let test_more_domains_than_jobs () =
+  let out = Pool.run ~domains:16 [| (fun () -> 42) |] in
+  match out.(0).Pool.result with
+  | Ok v -> Alcotest.(check int) "single job" 42 v
+  | Error e -> Alcotest.fail e
+
+let test_empty () =
+  Alcotest.(check int) "no jobs" 0 (Array.length (Pool.run [||]))
+
+let test_timeout_flag () =
+  let jobs = [| (fun () -> Unix.sleepf 0.05); (fun () -> ()) |] in
+  let out = Pool.run ~domains:2 ~job_timeout:0.02 jobs in
+  Alcotest.(check bool) "slow job flagged" true out.(0).Pool.timed_out;
+  Alcotest.(check bool) "fast job not flagged" false out.(1).Pool.timed_out;
+  Alcotest.(check bool) "time measured" true (out.(0).Pool.time_s >= 0.02)
+
+let () =
+  Alcotest.run "pool"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "submission-order results" `Quick
+            test_submission_order;
+          Alcotest.test_case "crash isolation" `Quick test_crash_isolation;
+          Alcotest.test_case "sequential path" `Quick test_sequential_path;
+          Alcotest.test_case "more domains than jobs" `Quick
+            test_more_domains_than_jobs;
+          Alcotest.test_case "empty batch" `Quick test_empty;
+          Alcotest.test_case "cooperative timeout flag" `Quick
+            test_timeout_flag;
+        ] );
+    ]
