@@ -1,10 +1,13 @@
 # Tier-1 gate: build + unit tests + a batch-engine smoke over the full
 # 3-input function space (256 functions, exercises NPN sharing, the
-# persistent cache and the domain pool end to end).
+# persistent cache and the domain pool end to end), plus a fault-injection
+# smoke: the batch must survive injected worker crashes and a corrupted
+# cache file (quarantining it) and still exit 0 via retries + fallbacks.
 
 SMOKE_CACHE := $(shell mktemp -u /tmp/mmsynth_smoke_XXXXXX.cache)
+FAULT_CACHE := $(shell mktemp -u /tmp/mmsynth_fault_XXXXXX.cache)
 
-.PHONY: all build test smoke check bench clean
+.PHONY: all build test smoke smoke-fault check bench bench-robustness clean
 
 all: build
 
@@ -21,10 +24,24 @@ smoke: build
 	  --timeout 30
 	rm -f $(SMOKE_CACHE)
 
-check: test smoke
+smoke-fault: build
+	dune exec bin/mmsynth.exe -- batch --sweep 2 --cache $(FAULT_CACHE) \
+	  --timeout 10 --inject worker:0.3 --inject-seed 7 --retries 2 \
+	  --fallback baseline
+	echo "trailing garbage to damage the cache" >> $(FAULT_CACHE)
+	dune exec bin/mmsynth.exe -- batch --sweep 2 --cache $(FAULT_CACHE) \
+	  --timeout 10 --inject worker:0.3 --inject-seed 7 --retries 2 \
+	  --fallback baseline
+	test -f $(FAULT_CACHE).corrupt
+	rm -f $(FAULT_CACHE) $(FAULT_CACHE).corrupt
+
+check: test smoke smoke-fault
 
 bench:
 	dune exec bench/main.exe -- engine
+
+bench-robustness:
+	dune exec bench/main.exe -- robustness
 
 clean:
 	dune clean

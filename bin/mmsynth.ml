@@ -130,7 +130,7 @@ let synth_cmd =
         Format.printf "@.N_R minimal proven: %b; N_VS minimal proven: %b@.@."
           report.Synth.rops_proven_minimal report.Synth.steps_proven_minimal;
         print_circuit ~json ~dot c;
-        `Ok ()
+        `Ok 0
       | None -> `Error (false, "no circuit found within the budget")
     end
     else begin
@@ -157,10 +157,10 @@ let synth_cmd =
         Printf.printf "simulator validation: %d/%d rows correct\n"
           ((1 lsl Spec.arity spec) - List.length failures)
           (1 lsl Spec.arity spec);
-        `Ok ()
+        `Ok 0
       | Synth.Unsat ->
         Printf.printf "UNSAT: no circuit with these dimensions (optimality certificate)\n";
-        `Ok ()
+        `Ok 0
       | Synth.Timeout -> `Error (false, "solver budget exhausted")
     end
   in
@@ -190,7 +190,7 @@ let check_cmd =
                "realizable by V-ops alone"
              else "NOT realizable by V-ops alone (R-ops required)"))
         (Spec.outputs spec);
-      `Ok ()
+      `Ok 0
     end
   in
   Cmd.v
@@ -208,7 +208,7 @@ let baseline_cmd =
       Printf.printf
         "QMC -> NOR-NOR baseline: %d NOR gates, %d devices, %d steps\n"
         (C.n_rops c) (C.n_devices c) (C.n_steps c);
-      `Ok ()
+      `Ok 0
   in
   Cmd.v
     (Cmd.info "baseline"
@@ -241,13 +241,13 @@ let simulate_cmd =
            (fun o b -> Printf.printf " out%d=%d" (o + 1) (if b then 1 else 0))
            r.Schedule.outputs;
          print_newline ();
-         `Ok ()
+         `Ok 0
        | None ->
          let failures = Schedule.verify plan spec in
          Printf.printf "simulator validation: %d/%d rows correct\n"
            ((1 lsl Spec.arity spec) - List.length failures)
            (1 lsl Spec.arity spec);
-         `Ok ())
+         `Ok 0)
     | Synth.Unsat -> `Error (false, "UNSAT at these dimensions")
     | Synth.Timeout -> `Error (false, "solver budget exhausted")
   in
@@ -293,8 +293,44 @@ let batch_cmd =
     Arg.(value & opt (some int) None & info [ "limit" ] ~docv:"K"
            ~doc:"Only the first K functions of the sweep.")
   in
+  let deadline_flag =
+    Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SECONDS"
+           ~doc:"Global wall-clock budget for the whole batch, distributed \
+                 over pending instances; instances starting after it is \
+                 gone skip the solver and degrade (see $(b,--fallback)).")
+  in
+  let retries_flag =
+    Arg.(value & opt int 1 & info [ "retries" ] ~docv:"N"
+           ~doc:"Extra attempts for a crashed job, with bounded exponential \
+                 backoff between rounds.")
+  in
+  let fallback_flag =
+    Arg.(value
+         & opt
+             (enum
+                [ ("none", Engine.No_fallback);
+                  ("baseline", Engine.Use_baseline);
+                  ("heuristic", Engine.Use_heuristic) ])
+             Engine.No_fallback
+         & info [ "fallback" ] ~docv:"KIND"
+             ~doc:"When an instance exhausts its budget or crashes past its \
+                   retries, emit a verified non-optimal circuit instead of \
+                   dropping the spec: $(b,baseline) (QMC->NOR network) or \
+                   $(b,heuristic) (Shannon decomposition).")
+  in
+  let inject_flag =
+    Arg.(value & opt (some string) None & info [ "inject" ] ~docv:"SPEC"
+           ~doc:"Deterministic fault injection for robustness testing: \
+                 comma-separated STAGE:RATE pairs (stages: worker, solver, \
+                 cache-read, cache-write, verify), e.g. \
+                 $(b,worker:0.3,solver:0.1).")
+  in
+  let inject_seed_flag =
+    Arg.(value & opt int 0 & info [ "inject-seed" ] ~docv:"SEED"
+           ~doc:"Seed for the $(b,--inject) plan (same seed, same faults).")
+  in
   let run exprs pla tables arity name timeout batch_arity jobs cache_file
-      no_npn final stats limit =
+      no_npn final stats limit deadline retries fallback inject inject_seed =
     let specs =
       match batch_arity with
       | Some n when n >= 1 && n <= 4 -> Ok (Engine.all_functions ~arity:n)
@@ -312,9 +348,17 @@ let batch_cmd =
                (Spec.outputs spec))
         | Error e -> Error e)
     in
-    match specs with
-    | Error msg -> `Error (false, msg)
-    | Ok specs ->
+    let fault =
+      match inject with
+      | None -> Ok None
+      | Some spec -> (
+        match Mm_engine.Fault.parse_spec spec with
+        | Ok rules -> Ok (Some (Mm_engine.Fault.create ~seed:inject_seed rules))
+        | Error msg -> Error ("--inject: " ^ msg))
+    in
+    match (specs, fault) with
+    | Error msg, _ | _, Error msg -> `Error (false, msg)
+    | Ok specs, Ok fault ->
       let specs =
         match limit with
         | Some k when k < Array.length specs -> Array.sub specs 0 k
@@ -324,16 +368,13 @@ let batch_cmd =
       (match cache with
        | Some c ->
          (match Cache.load_result c with
-          | Cache.Loaded n -> Printf.printf "cache: loaded %d entries\n" n
           | Cache.Fresh -> ()
-          | Cache.Invalid_version v ->
-            Printf.printf "cache: on-disk version %d != %d, starting empty\n"
-              v Cache.format_version
-          | Cache.Corrupt -> Printf.printf "cache: corrupt file, starting empty\n")
+          | l -> Format.printf "cache: %a@." Cache.pp_load l)
        | None -> ());
       let cfg =
         Engine.config ~timeout_per_call:timeout ?domains:jobs
-          ~canonicalize:(not no_npn) ~taps:(taps_of final) ?cache ()
+          ~canonicalize:(not no_npn) ~taps:(taps_of final) ?cache
+          ?deadline ~retries ~fallback ?fault ()
       in
       Printf.printf "batch: %d functions, %d domains%s\n%!"
         (Array.length specs) cfg.Engine.domains
@@ -355,9 +396,14 @@ let batch_cmd =
               | None -> "-"
             in
             let verdict, att =
-              match (r.Engine.circuit, r.Engine.report.Synth.best) with
-              | Some _, Some (_, a) -> ("SAT", Some a)
-              | _ -> (
+              match (r.Engine.provenance, r.Engine.circuit) with
+              | Engine.Exact, Some _ -> (
+                match r.Engine.report.Synth.best with
+                | Some (_, a) -> ("SAT", Some a)
+                | None -> ("SAT", None))
+              | Engine.Via_baseline, Some _ -> ("fallback(b)", None)
+              | Engine.Via_heuristic, Some _ -> ("fallback(h)", None)
+              | _, None -> (
                 match
                   (r.Engine.error,
                    List.rev r.Engine.report.Synth.attempts)
@@ -368,7 +414,7 @@ let batch_cmd =
                     | Synth.Timeout -> "timeout"
                     | _ -> "UNSAT"),
                    Some last)
-                | None, [] -> ("-", None))
+                | None, [] -> ("timeout", None))
             in
             let cell f = match att with None -> "-" | Some a -> f a in
             Table.add_row t
@@ -387,30 +433,83 @@ let batch_cmd =
         print_newline ()
       end;
       Format.printf "%a@." Engine.pp_summary summary;
-      let errors =
-        Array.to_list results
-        |> List.filter_map (fun r ->
-               Option.map
-                 (fun e -> Printf.sprintf "%s: %s" (Spec.name r.Engine.spec) e)
-                 r.Engine.error)
+      let fail_lines r =
+        match r.Engine.error with
+        | None -> None
+        | Some (Engine.Crashed { exn; backtrace }) ->
+          let rescued = if r.Engine.circuit <> None then " (rescued by fallback)" else "" in
+          Some
+            (Printf.sprintf "%s: crashed: %s%s%s" (Spec.name r.Engine.spec) exn
+               rescued
+               (if backtrace = "" then ""
+                else "\n    " ^ String.concat "\n    "
+                       (String.split_on_char '\n' (String.trim backtrace))))
+        | Some (Engine.Verify_failed { row }) ->
+          Some
+            (Printf.sprintf "%s: decanonicalized circuit wrong on row %d%s"
+               (Spec.name r.Engine.spec) row
+               (if r.Engine.circuit <> None then " (rescued by fallback)" else ""))
       in
-      if errors <> [] then
-        `Error (false, String.concat "\n" ("batch errors:" :: errors))
-      else `Ok ()
+      Array.iter
+        (fun r -> Option.iter (Printf.printf "warning: %s\n") (fail_lines r))
+        results;
+      (* exit codes: 0 = every spec answered (exact circuit, proven UNSAT,
+         or verified fallback); 3 = budget exhausted without fallback;
+         4 = hard failures (unrescued crash or verification failure) *)
+      let unsat_proven r =
+        r.Engine.error = None
+        && r.Engine.report.Synth.attempts <> []
+        && not
+             (List.exists
+                (fun a -> a.Synth.verdict = Synth.Timeout)
+                r.Engine.report.Synth.attempts)
+      in
+      let hard = ref 0 and unanswered = ref 0 in
+      Array.iter
+        (fun r ->
+          if r.Engine.circuit = None then
+            if r.Engine.error <> None then incr hard
+            else if not (unsat_proven r) then incr unanswered)
+        results;
+      if !hard > 0 then begin
+        Printf.printf "batch: %d hard failure(s) left unanswered\n" !hard;
+        `Ok 4
+      end
+      else if !unanswered > 0 then begin
+        Printf.printf
+          "batch: %d spec(s) unanswered within the budget (consider \
+           --fallback)\n"
+          !unanswered;
+        `Ok 3
+      end
+      else `Ok 0
+  in
+  let exits =
+    Cmd.Exit.defaults
+    @ [
+        Cmd.Exit.info 3
+          ~doc:"some specs ran out of budget and no fallback was enabled";
+        Cmd.Exit.info 4
+          ~doc:"hard failures (crash past retries, or failed verification) \
+                left specs unanswered";
+      ]
   in
   Cmd.v
-    (Cmd.info "batch"
+    (Cmd.info "batch" ~exits
        ~doc:"Batch synthesis of many functions: NPN class sharing, a \
-             persistent result cache and a multicore worker pool.")
+             persistent result cache, a multicore worker pool, a global \
+             deadline with retries and graceful degradation to verified \
+             heuristic circuits.")
     Term.(
       ret
         (const run $ exprs $ pla_file $ tables_file $ arity $ name_t $ timeout
         $ batch_arity $ jobs $ cache_file $ no_npn $ final_taps $ stats_flag
-        $ limit))
+        $ limit $ deadline_flag $ retries_flag $ fallback_flag $ inject_flag
+        $ inject_seed_flag))
 
 let main =
   let doc = "optimal synthesis of memristive mixed-mode circuits" in
   Cmd.group (Cmd.info "mmsynth" ~version:"1.0.0" ~doc)
     [ synth_cmd; check_cmd; baseline_cmd; simulate_cmd; batch_cmd ]
 
-let () = exit (Cmd.eval main)
+let () = exit (Cmd.eval' main)

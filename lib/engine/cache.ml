@@ -4,11 +4,16 @@ module Spec = Mm_boolfun.Spec
 module Literal = Mm_boolfun.Literal
 
 let magic = "MMSYNTH-ENGINE-CACHE"
-let format_version = 1
+let format_version = 2
 
 type entry = { budget : float; attempt : Synth.attempt }
 
-type load = Fresh | Loaded of int | Invalid_version of int | Corrupt
+type load =
+  | Fresh
+  | Loaded of int
+  | Invalid_version of { version : int; quarantined : string option }
+  | Corrupt of { quarantined : string option }
+  | Salvaged of { kept : int; dropped : int; quarantined : string option }
 
 type counters = { hits : int; misses : int; stale : int; entries : int }
 
@@ -22,38 +27,128 @@ type t = {
   mutable stale : int;
 }
 
+(* On-disk layout (v2):
+     magic bytes
+     Marshal int                          -- format_version
+     record*                              -- until EOF
+   where each record is Marshal (digest, payload): payload the marshalled
+   (key, entry) pair, digest its MD5. The digest detects flipped payload
+   bytes that still unmarshal; Marshal's own framing detects truncation.
+   A record that fails its digest is skipped (framing is intact, the next
+   record may be fine); a record that fails to unmarshal ends the read —
+   everything after a torn frame is unreliable. *)
+
+type raw_read =
+  | R_fresh
+  | R_loaded of int
+  | R_invalid_version of int
+  | R_corrupt
+  | R_salvaged of int * int
+
 let read_file path =
   match open_in_bin path with
-  | exception Sys_error _ -> (Hashtbl.create 64, Fresh)
+  | exception Sys_error _ -> (Hashtbl.create 64, R_fresh)
   | ic ->
+    let table = Hashtbl.create 64 in
     let result =
       try
         let m = really_input_string ic (String.length magic) in
-        if m <> magic then (Hashtbl.create 64, Corrupt)
+        if m <> magic then R_corrupt
         else
           let v : int = Marshal.from_channel ic in
-          if v <> format_version then (Hashtbl.create 64, Invalid_version v)
-          else
-            let entries : (string * entry) array = Marshal.from_channel ic in
-            let table = Hashtbl.create (max 64 (Array.length entries)) in
-            Array.iter (fun (k, e) -> Hashtbl.replace table k e) entries;
-            (table, Loaded (Array.length entries))
-      with End_of_file | Failure _ -> (Hashtbl.create 64, Corrupt)
+          if v <> format_version then R_invalid_version v
+          else begin
+            let kept = ref 0 and dropped = ref 0 and torn = ref false in
+            let reading = ref true in
+            while !reading do
+              match (Marshal.from_channel ic : Digest.t * string) with
+              | exception End_of_file -> reading := false
+              | exception Failure _ ->
+                torn := true;
+                reading := false
+              | digest, payload ->
+                if Digest.string payload = digest then (
+                  match (Marshal.from_string payload 0 : string * entry) with
+                  | k, e ->
+                    Hashtbl.replace table k e;
+                    incr kept
+                  | exception Failure _ -> incr dropped)
+                else incr dropped
+            done;
+            if !torn || !dropped > 0 then
+              R_salvaged (!kept, !dropped + if !torn then 1 else 0)
+            else R_loaded !kept
+          end
+      with End_of_file | Failure _ -> R_corrupt
     in
     close_in_noerr ic;
-    result
+    (table, result)
+
+(* Move a damaged file aside to [path.corrupt] (first free numeric suffix
+   if that name is taken) so the bytes survive for post-mortem — the cache
+   never silently discards data it could not read. *)
+let quarantine path =
+  let rec free n =
+    let candidate =
+      if n = 0 then path ^ ".corrupt" else Printf.sprintf "%s.corrupt.%d" path n
+    in
+    if Sys.file_exists candidate then free (n + 1) else candidate
+  in
+  let dst = free 0 in
+  match Sys.rename path dst with
+  | () -> Some dst
+  | exception Sys_error _ -> None
 
 let create ?path () =
-  let table, load_result =
+  let table, raw =
     match path with
     | Some p when Sys.file_exists p -> read_file p
-    | Some _ | None -> (Hashtbl.create 64, Fresh)
+    | Some _ | None -> (Hashtbl.create 64, R_fresh)
+  in
+  let load_result =
+    match (raw, path) with
+    | R_fresh, _ -> Fresh
+    | R_loaded n, _ -> Loaded n
+    | R_invalid_version v, Some p ->
+      Invalid_version { version = v; quarantined = quarantine p }
+    | R_invalid_version v, None ->
+      Invalid_version { version = v; quarantined = None }
+    | R_corrupt, Some p -> Corrupt { quarantined = quarantine p }
+    | R_corrupt, None -> Corrupt { quarantined = None }
+    | R_salvaged (kept, dropped), Some p ->
+      Salvaged { kept; dropped; quarantined = quarantine p }
+    | R_salvaged (kept, dropped), None ->
+      Salvaged { kept; dropped; quarantined = None }
   in
   { table; mutex = Mutex.create (); path; load_result;
     hits = 0; misses = 0; stale = 0 }
 
 let load_result t = t.load_result
 let path t = t.path
+
+let pp_load ppf = function
+  | Fresh -> Format.fprintf ppf "fresh (no existing file)"
+  | Loaded n -> Format.fprintf ppf "loaded %d entries" n
+  | Invalid_version { version; quarantined } ->
+    Format.fprintf ppf "on-disk version %d != %d, starting empty%a" version
+      format_version
+      (fun ppf -> function
+        | Some q -> Format.fprintf ppf " (quarantined to %s)" q
+        | None -> ())
+      quarantined
+  | Corrupt { quarantined } ->
+    Format.fprintf ppf "corrupt file, starting empty%a"
+      (fun ppf -> function
+        | Some q -> Format.fprintf ppf " (quarantined to %s)" q
+        | None -> ())
+      quarantined
+  | Salvaged { kept; dropped; quarantined } ->
+    Format.fprintf ppf
+      "damaged file: salvaged %d entries, dropped >= %d%a" kept dropped
+      (fun ppf -> function
+        | Some q -> Format.fprintf ppf " (quarantined to %s)" q
+        | None -> ())
+      quarantined
 
 let key (cfg : Encode.config) spec =
   let b = Buffer.create 128 in
@@ -118,10 +213,11 @@ let save_locked t version =
     let oc = open_out_bin tmp in
     output_string oc magic;
     Marshal.to_channel oc version [];
-    let entries =
-      Array.of_seq (Seq.map (fun (k, e) -> (k, e)) (Hashtbl.to_seq t.table))
-    in
-    Marshal.to_channel oc entries [];
+    Hashtbl.iter
+      (fun k e ->
+        let payload = Marshal.to_string (k, e) [] in
+        Marshal.to_channel oc (Digest.string payload, payload) [])
+      t.table;
     close_out oc;
     Sys.rename tmp p
 

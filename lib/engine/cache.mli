@@ -12,31 +12,57 @@
     when it was produced under a budget at least as large as the one now
     requested — otherwise it is counted {e stale} and re-solved.
 
-    The on-disk format is versioned (magic string + {!format_version} +
-    marshalled entries). A version mismatch or corrupt file invalidates the
-    load: the cache starts empty instead of erroring. Writes go to a unique
-    temporary file followed by an atomic [rename], so concurrent writers
-    (e.g. pool workers flushing) can never leave a torn file — last writer
-    wins. All operations are mutex-protected and safe to share across
-    domains. *)
+    {2 Integrity}
+
+    The on-disk format is versioned (magic string + {!format_version}) and
+    each entry is written as its own checksummed record (MD5 over the
+    marshalled payload). Damage is contained, never trusted and never
+    silently discarded:
+    - a record whose checksum fails (flipped bytes) is skipped; reading
+      continues at the next record;
+    - a torn record (truncation, garbage tail) ends the read; the valid
+      prefix already parsed is kept — the load reports {!Salvaged};
+    - a wrong version or unrecognizable header reports {!Invalid_version}
+      / {!Corrupt} and the cache starts empty;
+    - in every damage case the original file is {e quarantined}: renamed to
+      [<path>.corrupt] (numeric suffixes if taken) so the bytes survive for
+      post-mortem. The next {!flush} rewrites [<path>] from the salvaged
+      entries.
+    Truncation exactly at a record boundary is indistinguishable from a
+    shorter valid file and loads as {!Loaded}.
+
+    Writes go to a unique temporary file followed by an atomic [rename], so
+    concurrent writers (e.g. pool workers flushing) can never leave a torn
+    file and a reader loading during a flush sees either the old or the new
+    complete file — last writer wins. All operations are mutex-protected
+    and safe to share across domains. *)
 
 type t
 
-(** Outcome of reading [path] at {!create} time. *)
+(** Outcome of reading [path] at {!create} time. [quarantined] is the
+    destination the damaged file was moved to ([None] if the rename
+    failed or there was no path). *)
 type load =
   | Fresh  (** no file at [path], or no path given *)
-  | Loaded of int  (** entries read *)
-  | Invalid_version of int  (** on-disk version; cache starts empty *)
-  | Corrupt  (** unreadable file; cache starts empty *)
+  | Loaded of int  (** entries read, all records intact *)
+  | Invalid_version of { version : int; quarantined : string option }
+      (** on-disk version; cache starts empty *)
+  | Corrupt of { quarantined : string option }
+      (** unrecognizable header; cache starts empty *)
+  | Salvaged of { kept : int; dropped : int; quarantined : string option }
+      (** damaged records: [kept] entries survive, at least [dropped]
+          records were lost *)
 
 type counters = { hits : int; misses : int; stale : int; entries : int }
 
-(** [create ?path ()] — with a [path], existing entries are loaded and
-    {!flush} persists there. Without, the cache is memory-only. *)
+(** [create ?path ()] — with a [path], existing entries are loaded (and a
+    damaged file quarantined) and {!flush} persists there. Without, the
+    cache is memory-only. Never raises on a damaged file. *)
 val create : ?path:string -> unit -> t
 
 val load_result : t -> load
 val path : t -> string option
+val pp_load : Format.formatter -> load -> unit
 
 (** Fingerprint for one synthesis instance. Spec names are excluded — only
     arity and output tables matter. *)

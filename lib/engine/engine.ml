@@ -2,6 +2,10 @@ module Spec = Mm_boolfun.Spec
 module Tt = Mm_boolfun.Truth_table
 module Synth = Mm_core.Synth
 module Circuit = Mm_core.Circuit
+module Baseline = Mm_core.Baseline
+module Heuristic = Mm_core.Heuristic
+
+type degrade = No_fallback | Use_baseline | Use_heuristic
 
 type config = {
   rop_kind : Mm_core.Rop.kind;
@@ -12,13 +16,28 @@ type config = {
   domains : int;
   canonicalize : bool;
   cache : Cache.t option;
+  deadline : float option;
+  retries : int;
+  retry_backoff_s : float;
+  fallback : degrade;
+  fault : Fault.t option;
 }
 
 let config ?(rop_kind = Mm_core.Rop.Nor) ?(taps = Mm_core.Encode.Any_vop)
     ?(timeout_per_call = 60.) ?max_rops ?max_steps
-    ?(domains = Pool.default_domains ()) ?(canonicalize = true) ?cache () =
+    ?(domains = Pool.default_domains ()) ?(canonicalize = true) ?cache
+    ?deadline ?(retries = 1) ?(retry_backoff_s = 0.05)
+    ?(fallback = No_fallback) ?fault () =
   { rop_kind; taps; timeout_per_call; max_rops; max_steps;
-    domains = max 1 domains; canonicalize; cache }
+    domains = max 1 domains; canonicalize; cache;
+    deadline; retries = max 0 retries;
+    retry_backoff_s = Float.max 0. retry_backoff_s; fallback; fault }
+
+type provenance = Exact | Via_baseline | Via_heuristic
+
+type fail =
+  | Crashed of { exn : string; backtrace : string }
+  | Verify_failed of { row : int }
 
 type job_result = {
   spec : Spec.t;
@@ -26,7 +45,9 @@ type job_result = {
   shared : bool;
   report : Synth.report;
   circuit : Circuit.t option;
-  error : string option;
+  provenance : provenance;
+  optimal : bool;
+  error : fail option;
 }
 
 type summary = {
@@ -35,6 +56,9 @@ type summary = {
   sat : int;
   unsat : int;
   timeout : int;
+  fallbacks : int;
+  retries_used : int;
+  deadline_hit : bool;
   wall_s : float;
   solves_per_s : float;
   solver_calls : int;
@@ -89,6 +113,41 @@ let all_functions ~arity =
         ~name:(Printf.sprintf "f%d_%0*x" arity ((1 lsl arity) / 4 + 1) v)
         [| Tt.of_int arity v |])
 
+let empty_report =
+  { Synth.best = None; attempts = []; rops_proven_minimal = false;
+    steps_proven_minimal = false }
+
+(* What one solver job produced. [Starved] = the deadline manager refused
+   to grant a budget; the instance never reached the solver. *)
+type job_out =
+  | Solved of Synth.report
+  | Starved
+
+let fallback_circuit (cfg : config) spec =
+  match cfg.fallback with
+  | No_fallback -> None
+  | Use_baseline -> (
+    match Baseline.nor_network spec with
+    | c when Circuit.realizes c spec = Ok () -> Some (c, Via_baseline)
+    | _ -> None
+    | exception _ -> None)
+  | Use_heuristic -> (
+    match
+      Heuristic.synthesize
+        ~timeout_per_block:(Float.min 5. cfg.timeout_per_call) spec
+    with
+    | c, _ when Circuit.realizes c spec = Ok () -> Some (c, Via_heuristic)
+    | _ -> None
+    | exception _ -> None)
+
+(* Per-spec outcome before graceful degradation is applied. *)
+type resolution =
+  | R_circuit of Circuit.t * Synth.report
+  | R_unsat of Synth.report
+  | R_timeout of Synth.report
+  | R_crashed of Pool.error * Synth.report
+  | R_verify_failed of int * Synth.report
+
 let run (cfg : config) specs =
   let t0 = Unix.gettimeofday () in
   Option.iter Cache.reset_counters cfg.cache;
@@ -109,98 +168,206 @@ let run (cfg : config) specs =
         incr n_jobs)
     plans;
   let owners = Array.of_list (List.rev !owners) in
-  let lookup, store =
-    match cfg.cache with
-    | None -> (None, None)
-    | Some c ->
-      ( Some
-          (fun spec ecfg ->
-            Cache.find c ~timeout:cfg.timeout_per_call (Cache.key ecfg spec)),
-        Some
-          (fun spec ecfg a ->
-            Cache.add c ~timeout:cfg.timeout_per_call (Cache.key ecfg spec) a)
-      )
+  let n_jobs = Array.length owners in
+  let mgr =
+    Deadline.create ?wall:cfg.deadline ~pending:n_jobs
+      ~default_per_call:cfg.timeout_per_call ()
   in
-  let jobs =
-    Array.map
-      (fun i ->
-        let target = plans.(i).target_spec in
-        fun () ->
-          Synth.minimize ~timeout_per_call:cfg.timeout_per_call
-            ?max_rops:cfg.max_rops ?max_steps:cfg.max_steps
-            ~rop_kind:cfg.rop_kind ~taps:cfg.taps
-            ?lookup:(Option.map (fun f -> f target) lookup)
-            ?store:(Option.map (fun f -> f target) store)
-            target)
-      owners
+  (* One thunk per (job, attempt). The budget is claimed at job start so
+     late starters inherit whatever the deadline still allows; the cache is
+     probed/updated with that same budget, so TIMEOUT entries record the
+     budget they actually ran under. A crashed job never reaches
+     [Deadline.finish] and therefore stays pending across its retries. *)
+  let make_job attempt j =
+    let target = plans.(owners.(j)).target_spec in
+    let key = Printf.sprintf "job%d/try%d" j attempt in
+    fun () ->
+      Fault.guard cfg.fault ~stage:Fault.Worker ~key (fun () ->
+          match Deadline.claim mgr with
+          | None ->
+            Deadline.finish mgr;
+            Starved
+          | Some budget ->
+            let report =
+              if Fault.forced_unknown cfg.fault ~stage:Fault.Solver ~key then
+                empty_report
+              else begin
+                let lookup, store =
+                  match cfg.cache with
+                  | None -> (None, None)
+                  | Some c ->
+                    ( Some
+                        (fun ecfg ->
+                          Fault.guard cfg.fault ~stage:Fault.Cache_read ~key
+                            (fun () ->
+                              Cache.find c ~timeout:budget
+                                (Cache.key ecfg target))),
+                      Some
+                        (fun ecfg a ->
+                          Cache.add c ~timeout:budget (Cache.key ecfg target) a)
+                    )
+                in
+                Synth.minimize ~timeout_per_call:budget ?max_rops:cfg.max_rops
+                  ?max_steps:cfg.max_steps ~rop_kind:cfg.rop_kind
+                  ~taps:cfg.taps ?lookup ?store target
+              end
+            in
+            Deadline.finish mgr;
+            Solved report)
   in
-  let outcomes = Pool.run ~domains:cfg.domains jobs in
-  Option.iter Cache.flush cfg.cache;
-  let empty_report =
-    { Synth.best = None; attempts = []; rops_proven_minimal = false;
-      steps_proven_minimal = false }
+  (* Round 0 runs every job; each further round re-runs only the jobs that
+     crashed, after a bounded exponential backoff, until the retry budget
+     or the global deadline is exhausted. Timeouts and UNSATs are
+     deterministic answers and are never retried. *)
+  let outcomes : job_out Pool.outcome option array = Array.make n_jobs None in
+  let retries_used = ref 0 in
+  let pending = ref (List.init n_jobs Fun.id) in
+  let attempt = ref 0 in
+  while !pending <> [] && !attempt <= cfg.retries do
+    if !attempt > 0 then begin
+      retries_used := !retries_used + List.length !pending;
+      if not (Deadline.expired mgr) then
+        Unix.sleepf
+          (Float.min 1.0
+             (cfg.retry_backoff_s *. (2. ** float_of_int (!attempt - 1))))
+    end;
+    let idxs = Array.of_list !pending in
+    let jobs = Array.map (make_job !attempt) idxs in
+    let outs = Pool.run ~domains:cfg.domains jobs in
+    pending := [];
+    Array.iteri
+      (fun k o ->
+        let j = idxs.(k) in
+        outcomes.(j) <- Some o;
+        match o.Pool.result with
+        | Ok _ -> ()
+        | Error _ -> if !attempt < cfg.retries then pending := j :: !pending)
+      outs;
+    pending := List.rev !pending;
+    incr attempt
+  done;
+  (match cfg.cache with
+   | Some c ->
+     Cache.flush c;
+     (* injected cache corruption: damage the flushed file so the next run
+        must salvage + quarantine it *)
+     (match cfg.fault with
+      | Some f when Fault.decide f ~stage:Fault.Cache_write ~key:"flush" <> None
+        ->
+        Option.iter (fun p -> Fault.corrupt_file p) (Cache.path c)
+      | _ -> ())
+   | None -> ());
+  let resolve i =
+    let p = plans.(i) in
+    let spec = specs.(i) in
+    match (Array.get outcomes job_of.(i) : job_out Pool.outcome option) with
+    | None -> R_crashed ({ Pool.exn = "job never ran (engine bug)"; backtrace = "" }, empty_report)
+    | Some o -> (
+      match o.Pool.result with
+      | Error e -> R_crashed (e, empty_report)
+      | Ok Starved -> R_timeout empty_report
+      | Ok (Solved report) -> (
+        match report.Synth.best with
+        | None ->
+          (* no attempts (injected Unknown) or a timed-out attempt means
+             the budget ran out; otherwise every dimension was refuted *)
+          if
+            report.Synth.attempts = []
+            || List.exists
+                 (fun a -> a.Synth.verdict = Synth.Timeout)
+                 report.Synth.attempts
+          then R_timeout report
+          else R_unsat report
+        | Some (c, _) -> (
+          (* the job solved [apply t_in f]; pull the circuit back to f *)
+          match
+            Fault.guard cfg.fault ~stage:Fault.Verify
+              ~key:(Printf.sprintf "spec%d" i)
+              (fun () ->
+                let c_f = Npn.apply_circuit (Npn.inverse p.t_in) c in
+                match Circuit.realizes c_f spec with
+                | Ok () -> Ok c_f
+                | Error row -> Error row)
+          with
+          | Ok c_f -> R_circuit (c_f, report)
+          | Error row -> R_verify_failed (row, report)
+          | exception Fault.Injected msg ->
+            R_crashed ({ Pool.exn = msg; backtrace = "" }, report))))
   in
+  let fallbacks = ref 0 in
   let results =
     Array.mapi
       (fun i p ->
-        let j = job_of.(i) in
         let spec = specs.(i) in
-        let shared = owners.(j) <> i in
-        match outcomes.(j).Pool.result with
-        | Error e ->
-          { spec; class_rep = p.class_rep; shared; report = empty_report;
-            circuit = None; error = Some e }
-        | Ok report -> (
-          match report.Synth.best with
+        let base ~report ~error =
+          (* graceful degradation: the spec leaves the batch with *some*
+             verified circuit, explicitly tagged non-optimal *)
+          match fallback_circuit cfg spec with
+          | Some (c, prov) ->
+            incr fallbacks;
+            { spec; class_rep = p.class_rep; shared = owners.(job_of.(i)) <> i;
+              report; circuit = Some c; provenance = prov; optimal = false;
+              error }
           | None ->
-            { spec; class_rep = p.class_rep; shared; report; circuit = None;
-              error = None }
-          | Some (c, _) -> (
-            (* the job solved [apply t_in f]; pull the circuit back to f *)
-            let c_f = Npn.apply_circuit (Npn.inverse p.t_in) c in
-            match Circuit.realizes c_f spec with
-            | Ok () ->
-              { spec; class_rep = p.class_rep; shared; report;
-                circuit = Some c_f; error = None }
-            | Error row ->
-              { spec; class_rep = p.class_rep; shared; report; circuit = None;
-                error =
-                  Some
-                    (Printf.sprintf
-                       "decanonicalized circuit wrong on row %d (engine bug)"
-                       row) })))
+            { spec; class_rep = p.class_rep; shared = owners.(job_of.(i)) <> i;
+              report; circuit = None; provenance = Exact; optimal = false;
+              error }
+        in
+        match resolve i with
+        | R_circuit (c, report) ->
+          { spec; class_rep = p.class_rep; shared = owners.(job_of.(i)) <> i;
+            report; circuit = Some c; provenance = Exact;
+            optimal =
+              report.Synth.rops_proven_minimal
+              && report.Synth.steps_proven_minimal;
+            error = None }
+        | R_unsat report ->
+          { spec; class_rep = p.class_rep; shared = owners.(job_of.(i)) <> i;
+            report; circuit = None; provenance = Exact; optimal = false;
+            error = None }
+        | R_timeout report -> base ~report ~error:None
+        | R_crashed (e, report) ->
+          base ~report
+            ~error:(Some (Crashed { exn = e.Pool.exn; backtrace = e.Pool.backtrace }))
+        | R_verify_failed (row, report) ->
+          base ~report ~error:(Some (Verify_failed { row })))
       plans
   in
   let wall_s = Unix.gettimeofday () -. t0 in
   let sat = ref 0 and unsat = ref 0 and timeout = ref 0 in
   Array.iter
     (fun r ->
-      match (r.circuit, r.report.Synth.attempts) with
-      | Some _, _ -> incr sat
-      | None, atts ->
-        if
-          List.exists
-            (fun a -> a.Synth.verdict = Synth.Timeout)
-            atts
-          || r.error <> None
-        then incr timeout
-        else incr unsat)
+      match (r.circuit, r.provenance) with
+      | Some _, Exact -> incr sat
+      | Some _, (Via_baseline | Via_heuristic) -> incr timeout
+      | None, _ ->
+        if r.error = None && r.report.Synth.attempts <> []
+           && not
+                (List.exists
+                   (fun a -> a.Synth.verdict = Synth.Timeout)
+                   r.report.Synth.attempts)
+        then incr unsat
+        else incr timeout)
     results;
   let solver_calls =
     Array.fold_left
       (fun acc o ->
-        match o.Pool.result with
-        | Ok r -> acc + List.length r.Synth.attempts
-        | Error _ -> acc)
+        match o with
+        | Some { Pool.result = Ok (Solved r); _ } ->
+          acc + List.length r.Synth.attempts
+        | Some _ | None -> acc)
       0 outcomes
   in
   let summary =
     {
       functions = Array.length specs;
-      classes = Array.length owners;
+      classes = n_jobs;
       sat = !sat;
       unsat = !unsat;
       timeout = !timeout;
+      fallbacks = !fallbacks;
+      retries_used = !retries_used;
+      deadline_hit = Deadline.expired mgr;
       wall_s;
       solves_per_s =
         (if wall_s > 0. then float_of_int (Array.length specs) /. wall_s
@@ -217,6 +384,11 @@ let pp_summary ppf s =
      (%.1f functions/s, %d solver calls)"
     s.functions s.classes s.sat s.unsat s.timeout s.wall_s s.solves_per_s
     s.solver_calls;
+  if s.fallbacks > 0 || s.retries_used > 0 || s.deadline_hit then
+    Format.fprintf ppf
+      "@.robustness: %d fallback circuits, %d retries%s"
+      s.fallbacks s.retries_used
+      (if s.deadline_hit then ", global deadline reached" else "");
   match s.cache with
   | None -> ()
   | Some c ->

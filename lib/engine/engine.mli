@@ -14,11 +14,37 @@
     Output polarity note: the solve target of a class is the canonical
     representative with the member's output polarity applied (a circuit
     cannot be output-negated structurally), so a class contributes at most
-    two solver jobs — one per polarity present in the batch. *)
+    two solver jobs — one per polarity present in the batch.
+
+    {2 Failure model}
+
+    The batch survives solver overruns, worker crashes and damaged caches;
+    no spec is ever silently dropped. The degradation ladder:
+    + a [deadline] distributes a global wall-clock budget over pending
+      jobs ({!Deadline}); a job that starts after the budget is gone skips
+      the solver entirely;
+    + a crashed job (exception on a worker domain) is retried up to
+      [retries] times with bounded exponential backoff — timeouts and
+      UNSATs are deterministic answers and are never retried;
+    + a spec that still has no circuit (budget exhausted, crash survived
+      all retries, or failed re-verification) degrades to a verified
+      heuristic circuit when [fallback] allows: the QMC→NOR
+      {!Mm_core.Baseline} network or the Shannon-decomposition
+      {!Mm_core.Heuristic} flow, re-verified on all truth-table rows and
+      tagged with a non-[Exact] {!provenance} ([optimal = false]).
+    A {!Fault} plan can inject crashes, delays, solver unknowns and cache
+    corruption at every stage of this ladder so tests can prove the
+    recovery behaviour deterministically. *)
 
 module Spec = Mm_boolfun.Spec
 module Tt = Mm_boolfun.Truth_table
 module Synth = Mm_core.Synth
+
+(** What to do with a spec whose exact solve did not produce a circuit. *)
+type degrade =
+  | No_fallback  (** report it unanswered (the pre-robustness behaviour) *)
+  | Use_baseline  (** emit the QMC→NOR {!Mm_core.Baseline} network *)
+  | Use_heuristic  (** emit the {!Mm_core.Heuristic} Shannon-flow circuit *)
 
 type config = {
   rop_kind : Mm_core.Rop.kind;
@@ -29,6 +55,12 @@ type config = {
   domains : int;  (** worker domains; 1 = sequential *)
   canonicalize : bool;  (** NPN class sharing (on unless ablating) *)
   cache : Cache.t option;
+  deadline : float option;  (** global wall-clock budget for the batch *)
+  retries : int;  (** extra attempts for a crashed job (default 1) *)
+  retry_backoff_s : float;
+      (** base of the bounded exponential backoff between retry rounds *)
+  fallback : degrade;
+  fault : Fault.t option;  (** injection plan ([None] in production) *)
 }
 
 val config :
@@ -40,8 +72,25 @@ val config :
   ?domains:int ->
   ?canonicalize:bool ->
   ?cache:Cache.t ->
+  ?deadline:float ->
+  ?retries:int ->
+  ?retry_backoff_s:float ->
+  ?fallback:degrade ->
+  ?fault:Fault.t ->
   unit ->
   config
+
+(** Where a result's circuit came from. Anything but [Exact] means the
+    exact pipeline failed for this spec and a fallback stands in — valid
+    (re-verified on all rows) but making no optimality claim. *)
+type provenance = Exact | Via_baseline | Via_heuristic
+
+(** Typed failure taxonomy (replaces the former stringly errors). *)
+type fail =
+  | Crashed of { exn : string; backtrace : string }
+      (** the job raised; text + backtrace from {!Pool} *)
+  | Verify_failed of { row : int }
+      (** decanonicalized circuit wrong on a truth-table row (engine bug) *)
 
 type job_result = {
   spec : Spec.t;
@@ -49,16 +98,25 @@ type job_result = {
   shared : bool;  (** answered by another batch member's solver job *)
   report : Synth.report;  (** attempts in canonical (solve-target) space *)
   circuit : Mm_core.Circuit.t option;
-      (** decanonicalized and verified against [spec] on all rows *)
-  error : string option;  (** crashed job or failed re-verification *)
+      (** verified against [spec] on all rows; check [provenance] for how
+          it was obtained *)
+  provenance : provenance;
+  optimal : bool;
+      (** [Exact] circuit with both minimality proofs completed in budget *)
+  error : fail option;
+      (** the failure that occurred, kept for diagnosis even when a
+          fallback circuit rescued the spec *)
 }
 
 type summary = {
   functions : int;
   classes : int;  (** distinct solver jobs after canonicalization *)
-  sat : int;
+  sat : int;  (** specs answered by an [Exact] circuit *)
   unsat : int;  (** proven impossible within the search bounds *)
-  timeout : int;
+  timeout : int;  (** no exact answer (fallbacks are counted here too) *)
+  fallbacks : int;  (** specs rescued by a degradation circuit *)
+  retries_used : int;  (** job re-executions across all retry rounds *)
+  deadline_hit : bool;  (** the global deadline expired during the run *)
   wall_s : float;
   solves_per_s : float;  (** functions answered per wall-clock second *)
   solver_calls : int;  (** SAT instances dispatched (memo/cache hits included) *)

@@ -1,5 +1,7 @@
+type error = { exn : string; backtrace : string }
+
 type 'a outcome = {
-  result : ('a, string) result;
+  result : ('a, error) result;
   time_s : float;
   timed_out : bool;
 }
@@ -9,9 +11,11 @@ let default_domains () = max 1 (Domain.recommended_domain_count () - 1)
 let run_job ?job_timeout job =
   let t0 = Unix.gettimeofday () in
   let result =
-    match job () with
-    | v -> Ok v
-    | exception e -> Error (Printexc.to_string e)
+    try Ok (job ())
+    with e ->
+      (* capture at the handler, before any other code can clobber it *)
+      let backtrace = Printexc.get_backtrace () in
+      Error { exn = Printexc.to_string e; backtrace }
   in
   let time_s = Unix.gettimeofday () -. t0 in
   let timed_out =
@@ -20,6 +24,7 @@ let run_job ?job_timeout job =
   { result; time_s; timed_out }
 
 let run ?domains ?job_timeout jobs =
+  Printexc.record_backtrace true;
   let n = Array.length jobs in
   let domains =
     max 1 (min (match domains with Some d -> d | None -> default_domains ()) n)

@@ -7,14 +7,21 @@
     worker ran it or when it finished.
 
     Crash isolation: an exception escaping a job is caught and reported as
-    [Error] in that job's slot; it never takes down the worker domain or the
-    batch. Wall-clock budgets are cooperative — a job that should stop early
-    must watch its own deadline (the SAT solver's [~timeout] does) — but the
-    pool measures each job's elapsed time and flags overruns of
-    [job_timeout] in the outcome. *)
+    a typed {!error} in that job's slot — exception text plus the backtrace
+    captured at the crash site (backtrace recording is enabled by [run]) —
+    and never takes down the worker domain or the batch. Wall-clock budgets
+    are cooperative — a job that should stop early must watch its own
+    deadline (the SAT solver's [~timeout] does) — but the pool measures
+    each job's elapsed time and flags overruns of [job_timeout] in the
+    outcome. *)
+
+(** A crashed job: what was raised, and from where. [backtrace] is the
+    string form of the backtrace at the raise (possibly empty when the
+    runtime has no frames to report). *)
+type error = { exn : string; backtrace : string }
 
 type 'a outcome = {
-  result : ('a, string) result;  (** [Error] carries the exception text *)
+  result : ('a, error) result;
   time_s : float;  (** wall-clock of this job alone *)
   timed_out : bool;  (** [time_s] exceeded [job_timeout] *)
 }

@@ -454,11 +454,39 @@ let luby y x =
   done;
   y ** float_of_int !seq
 
+(* Budget checks run on both the conflict and the conflict-free paths of
+   [search], amortized: [gettimeofday] is a syscall, so the deadline is
+   consulted every [budget_check_iters] loop iterations (each iteration is
+   one decision or one conflict) or every [budget_check_props] unit
+   propagations, whichever comes first. A search can therefore overshoot
+   its deadline by at most the cost of that many steps — in particular a
+   conflict-free (or conflict-only) stretch can no longer run unboundedly
+   past [~timeout]. *)
+let budget_check_iters = 256
+let budget_check_props = 20_000
+
 let search t ~assumptions ~conflict_budget ~deadline ~global_conflicts =
   let local_conflicts = ref 0 in
   let result = ref Unknown in
+  let since_check = ref 0 in
+  let props_mark = ref t.propagations in
+  let check_budgets () =
+    since_check := 0;
+    props_mark := t.propagations;
+    (match deadline with
+     | Some d when Unix.gettimeofday () > d -> raise (Found Unknown)
+     | _ -> ());
+    match global_conflicts with
+    | Some g when t.conflicts >= g -> raise (Found Unknown)
+    | _ -> ()
+  in
   (try
      while true do
+       incr since_check;
+       if
+         !since_check >= budget_check_iters
+         || t.propagations - !props_mark >= budget_check_props
+       then check_budgets ();
        let confl = propagate t in
        if confl != dummy_clause then begin
          t.conflicts <- t.conflicts + 1;
@@ -474,13 +502,6 @@ let search t ~assumptions ~conflict_budget ~deadline ~global_conflicts =
          cla_decay_activity t
        end
        else begin
-         (* budget checks *)
-         (match deadline with
-          | Some d when Unix.gettimeofday () > d -> raise (Found Unknown)
-          | _ -> ());
-         (match global_conflicts with
-          | Some g when t.conflicts >= g -> raise (Found Unknown)
-          | _ -> ());
          if !local_conflicts >= conflict_budget then begin
            (* restart *)
            cancel_until t 0;

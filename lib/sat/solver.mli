@@ -11,7 +11,10 @@
     Resource budgets (wall-clock seconds and/or conflicts) turn the answer
     into {!Unknown} instead of blocking forever — the synthesis driver maps
     that to the "optimality proof timed out" markers of the paper's
-    Table IV. *)
+    Table IV. Budgets are checked on both the conflict and the
+    conflict-free search paths, amortized over a fixed number of
+    decisions/propagations, so the overshoot past [~timeout] is bounded
+    even for conflict-free (or conflict-only) search stretches. *)
 
 type t
 

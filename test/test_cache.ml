@@ -92,14 +92,22 @@ let test_version_mismatch () =
   Cache.add c ~timeout:30. "k" unsat_attempt;
   Cache.save_with_version c (Cache.format_version + 1);
   let c2 = Cache.create ~path () in
-  (match Cache.load_result c2 with
-   | Cache.Invalid_version v ->
-     Alcotest.(check int) "reported version" (Cache.format_version + 1) v
-   | _ -> Alcotest.fail "expected Invalid_version");
+  let q =
+    match Cache.load_result c2 with
+    | Cache.Invalid_version { version; quarantined } ->
+      Alcotest.(check int) "reported version" (Cache.format_version + 1) version;
+      quarantined
+    | _ -> Alcotest.fail "expected Invalid_version"
+  in
+  (match q with
+   | Some q ->
+     Alcotest.(check bool) "quarantine file exists" true (Sys.file_exists q);
+     Alcotest.(check bool) "bad file moved aside" false (Sys.file_exists path);
+     Sys.remove q
+   | None -> Alcotest.fail "wrong-version file should be quarantined");
   Alcotest.(check int) "starts empty" 0 (Cache.counters c2).Cache.entries;
   Alcotest.(check bool) "probe misses" true
-    (Cache.find c2 ~timeout:30. "k" = None);
-  Sys.remove path
+    (Cache.find c2 ~timeout:30. "k" = None)
 
 let test_corrupt_file () =
   let path = tmp_path () in
@@ -107,13 +115,122 @@ let test_corrupt_file () =
   output_string oc "this is not a cache file at all";
   close_out oc;
   let c = Cache.create ~path () in
-  Alcotest.(check bool) "corrupt" true (Cache.load_result c = Cache.Corrupt);
+  let q =
+    match Cache.load_result c with
+    | Cache.Corrupt { quarantined = Some q } -> q
+    | Cache.Corrupt { quarantined = None } ->
+      Alcotest.fail "corrupt file should be quarantined"
+    | _ -> Alcotest.fail "expected Corrupt"
+  in
+  Alcotest.(check bool) "quarantine holds the original bytes" true
+    (Sys.file_exists q);
+  Alcotest.(check bool) "bad file moved aside" false (Sys.file_exists path);
   Alcotest.(check int) "empty" 0 (Cache.counters c).Cache.entries;
-  (* flushing over the corrupt file must repair it *)
+  (* flushing recreates a clean file at the original path *)
   Cache.add c ~timeout:30. "k" unsat_attempt;
   Cache.flush c;
   let c2 = Cache.create ~path () in
   Alcotest.(check bool) "repaired" true (Cache.load_result c2 = Cache.Loaded 1);
+  Sys.remove path;
+  Sys.remove q
+
+(* a flush torn mid-write (here: the file cut mid-record) must salvage the
+   valid prefix, quarantine the damaged file, and never raise *)
+let test_truncated_file () =
+  let path = tmp_path () in
+  let c = Cache.create ~path () in
+  let n = 20 in
+  for i = 0 to n - 1 do
+    Cache.add c ~timeout:30. (Printf.sprintf "k%d" i) unsat_attempt
+  done;
+  Cache.flush c;
+  let len = (Unix.stat path).Unix.st_size in
+  Unix.truncate path (len - 10);
+  let c2 = Cache.create ~path () in
+  (match Cache.load_result c2 with
+   | Cache.Salvaged { kept; dropped; quarantined = Some q } ->
+     Alcotest.(check bool) "most entries salvaged" true
+       (kept >= 1 && kept < n);
+     Alcotest.(check bool) "loss is reported" true (dropped >= 1);
+     Alcotest.(check bool) "quarantined" true (Sys.file_exists q);
+     Alcotest.(check bool) "bad file moved aside" false (Sys.file_exists path);
+     Alcotest.(check int) "salvaged entries usable" kept
+       (Cache.counters c2).Cache.entries;
+     Sys.remove q
+   | l -> Alcotest.failf "expected Salvaged, got %s" (Format.asprintf "%a" Cache.pp_load l))
+
+(* flipped bytes inside the payload region: the per-record checksum must
+   catch them; damaged records are dropped, the rest salvaged *)
+let test_flipped_payload_bytes () =
+  let path = tmp_path () in
+  let c = Cache.create ~path () in
+  let n = 30 in
+  for i = 0 to n - 1 do
+    Cache.add c ~timeout:30. (Printf.sprintf "k%d" i) unsat_attempt
+  done;
+  Cache.flush c;
+  Mm_engine.Fault.corrupt_file ~seed:5 path;
+  let c2 = Cache.create ~path () in
+  (match Cache.load_result c2 with
+   | Cache.Salvaged { kept; dropped; quarantined = Some q } ->
+     Alcotest.(check bool) "some records dropped" true (dropped >= 1);
+     Alcotest.(check bool) "no invented entries" true (kept <= n);
+     Alcotest.(check int) "table matches salvage count" kept
+       (Cache.counters c2).Cache.entries;
+     (* every surviving entry must still probe correctly *)
+     for i = 0 to n - 1 do
+       match Cache.find c2 ~timeout:30. (Printf.sprintf "k%d" i) with
+       | None -> ()
+       | Some a ->
+         Alcotest.(check bool)
+           (Printf.sprintf "k%d verdict intact" i)
+           true
+           (a.Synth.verdict = Synth.Unsat)
+     done;
+     Alcotest.(check bool) "quarantined" true (Sys.file_exists q);
+     Sys.remove q
+   | l ->
+     Alcotest.failf "expected Salvaged, got %s"
+       (Format.asprintf "%a" Cache.pp_load l))
+
+(* atomic tmp-file + rename writes mean a reader racing a flush always
+   sees a complete file: no load may ever report damage, let alone raise *)
+let test_flush_during_load () =
+  let path = tmp_path () in
+  let seed = Cache.create ~path () in
+  for i = 0 to 9 do
+    Cache.add seed ~timeout:30. (Printf.sprintf "s%d" i) unsat_attempt
+  done;
+  Cache.flush seed;
+  let rounds = 30 in
+  let jobs =
+    Array.init 4 (fun w () ->
+        if w < 2 then
+          (* writers: flush a growing table over and over *)
+          let c = Cache.create ~path () in
+          for i = 0 to rounds - 1 do
+            Cache.add c ~timeout:30. (Printf.sprintf "w%d-%d" w i) unsat_attempt;
+            Cache.flush c
+          done
+        else
+          (* readers: load concurrently; any damage report is a failure *)
+          for _ = 0 to rounds - 1 do
+            let c = Cache.create ~path () in
+            match Cache.load_result c with
+            | Cache.Loaded _ -> ()
+            | Cache.Fresh -> ()  (* only before the first flush lands *)
+            | l ->
+              failwith
+                (Format.asprintf "reader saw a damaged file: %a" Cache.pp_load l)
+          done)
+  in
+  let outcomes = Pool.run ~domains:4 jobs in
+  Array.iter
+    (fun o ->
+      match o.Pool.result with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "crashed: %s" e.Pool.exn)
+    outcomes;
   Sys.remove path
 
 (* pool workers hammering one path: every interleaving of the atomic
@@ -136,7 +253,7 @@ let test_concurrent_writers () =
     (fun o ->
       match o.Pool.result with
       | Ok () -> ()
-      | Error e -> Alcotest.failf "writer crashed: %s" e)
+      | Error e -> Alcotest.failf "writer crashed: %s" e.Pool.exn)
     outcomes;
   let c = Cache.create ~path () in
   (match Cache.load_result c with
@@ -156,6 +273,11 @@ let () =
           Alcotest.test_case "version mismatch invalidates" `Quick
             test_version_mismatch;
           Alcotest.test_case "corrupt file invalidates" `Quick test_corrupt_file;
+          Alcotest.test_case "truncated file salvages prefix" `Quick
+            test_truncated_file;
+          Alcotest.test_case "flipped payload bytes dropped" `Quick
+            test_flipped_payload_bytes;
+          Alcotest.test_case "flush during load" `Quick test_flush_during_load;
           Alcotest.test_case "concurrent writers" `Quick test_concurrent_writers;
         ] );
     ]

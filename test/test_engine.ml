@@ -13,12 +13,21 @@ let tmp_path =
     Filename.concat (Filename.get_temp_dir_name ())
       (Printf.sprintf "mm_engine_test_%d_%d.cache" (Unix.getpid ()) !counter)
 
+let fail_to_string = function
+  | Engine.Crashed { exn; _ } -> "crashed: " ^ exn
+  | Engine.Verify_failed { row } -> Printf.sprintf "verify failed on row %d" row
+
 let check_all_verified results =
   Array.iter
     (fun r ->
       (match r.Engine.error with
-       | Some e -> Alcotest.failf "%s: %s" (Spec.name r.Engine.spec) e
+       | Some e ->
+         Alcotest.failf "%s: %s" (Spec.name r.Engine.spec) (fail_to_string e)
        | None -> ());
+      Alcotest.(check bool)
+        (Spec.name r.Engine.spec ^ " solved exactly")
+        true
+        (r.Engine.provenance = Engine.Exact);
       match r.Engine.circuit with
       | None -> Alcotest.failf "%s: no circuit" (Spec.name r.Engine.spec)
       | Some c ->

@@ -14,7 +14,7 @@ let test_submission_order () =
     (fun i o ->
       match o.Pool.result with
       | Ok v -> Alcotest.(check int) (Printf.sprintf "slot %d" i) (i * i) v
-      | Error e -> Alcotest.failf "job %d crashed: %s" i e)
+      | Error e -> Alcotest.failf "job %d crashed: %s" i e.Pool.exn)
     out
 
 let test_crash_isolation () =
@@ -28,7 +28,11 @@ let test_crash_isolation () =
     |]
   in
   let out = Pool.run ~domains:3 jobs in
-  let ok i = match out.(i).Pool.result with Ok v -> v | Error e -> Alcotest.failf "job %d: %s" i e in
+  let ok i =
+    match out.(i).Pool.result with
+    | Ok v -> v
+    | Error e -> Alcotest.failf "job %d: %s" i e.Pool.exn
+  in
   Alcotest.(check int) "job 0" 1 (ok 0);
   Alcotest.(check int) "job 2" 3 (ok 2);
   Alcotest.(check int) "job 4" 5 (ok 4);
@@ -40,11 +44,33 @@ let test_crash_isolation () =
   (match out.(1).Pool.result with
    | Error e ->
      Alcotest.(check bool) "failure text carries the exception" true
-       (contains e "boom")
+       (contains e.Pool.exn "boom")
    | Ok _ -> Alcotest.fail "job 1 should have crashed");
   match out.(3).Pool.result with
-  | Error _ -> ()
+  | Error e ->
+    Alcotest.(check bool) "typed error names the exception" true
+      (contains e.Pool.exn "Not_found")
   | Ok _ -> Alcotest.fail "job 3 should have crashed"
+
+(* a crash deep in a call chain must surface the raise site, not just the
+   exception text — the backtrace travels inside the typed error *)
+let test_backtrace_captured () =
+  let rec deep n = if n = 0 then failwith "bottom" else 1 + deep (n - 1) in
+  let out = Pool.run ~domains:1 [| (fun () -> deep 5) |] in
+  match out.(0).Pool.result with
+  | Ok _ -> Alcotest.fail "job should have crashed"
+  | Error e ->
+    Alcotest.(check bool) "exception text present" true
+      (let contains s sub =
+         let n = String.length s and m = String.length sub in
+         let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+         go 0
+       in
+       contains e.Pool.exn "bottom");
+    (* recording is enabled by [run]; on this dev profile the trace is
+       non-empty and mentions the raising call chain *)
+    Alcotest.(check bool) "backtrace captured" true
+      (String.length e.Pool.backtrace > 0)
 
 let test_sequential_path () =
   (* domains = 1 must not spawn and still produce identical results *)
@@ -54,14 +80,14 @@ let test_sequential_path () =
     (fun i o ->
       match o.Pool.result with
       | Ok v -> Alcotest.(check int) "value" (i + 100) v
-      | Error e -> Alcotest.fail e)
+      | Error e -> Alcotest.fail e.Pool.exn)
     out
 
 let test_more_domains_than_jobs () =
   let out = Pool.run ~domains:16 [| (fun () -> 42) |] in
   match out.(0).Pool.result with
   | Ok v -> Alcotest.(check int) "single job" 42 v
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail e.Pool.exn
 
 let test_empty () =
   Alcotest.(check int) "no jobs" 0 (Array.length (Pool.run [||]))
@@ -81,6 +107,8 @@ let () =
           Alcotest.test_case "submission-order results" `Quick
             test_submission_order;
           Alcotest.test_case "crash isolation" `Quick test_crash_isolation;
+          Alcotest.test_case "backtrace captured" `Quick
+            test_backtrace_captured;
           Alcotest.test_case "sequential path" `Quick test_sequential_path;
           Alcotest.test_case "more domains than jobs" `Quick
             test_more_domains_than_jobs;
