@@ -2,12 +2,18 @@
 # 3-input function space (256 functions, exercises NPN sharing, the
 # persistent cache and the domain pool end to end), plus a fault-injection
 # smoke: the batch must survive injected worker crashes and a corrupted
-# cache file (quarantining it) and still exit 0 via retries + fallbacks.
+# cache file (quarantining it) and still exit 0 via retries + fallbacks,
+# plus a serve smoke: daemon round trip over a Unix socket, SIGTERM drain,
+# clean exit and no leaked socket file.
 
 SMOKE_CACHE := $(shell mktemp -u /tmp/mmsynth_smoke_XXXXXX.cache)
 FAULT_CACHE := $(shell mktemp -u /tmp/mmsynth_fault_XXXXXX.cache)
+SERVE_SOCK  := $(shell mktemp -u /tmp/mmsynth_serve_XXXXXX.sock)
+SERVE_CACHE := $(shell mktemp -u /tmp/mmsynth_serve_XXXXXX.cache)
+MMSYNTH     := _build/default/bin/mmsynth.exe
 
-.PHONY: all build test smoke smoke-fault check bench bench-robustness clean
+.PHONY: all build test smoke smoke-fault smoke-serve check bench \
+  bench-robustness bench-serve clean
 
 all: build
 
@@ -35,13 +41,35 @@ smoke-fault: build
 	test -f $(FAULT_CACHE).corrupt
 	rm -f $(FAULT_CACHE) $(FAULT_CACHE).corrupt
 
-check: test smoke smoke-fault
+# The daemon is started from the built binary directly (not via dune exec)
+# so SIGTERM reaches it and `wait` reports its own exit status.
+smoke-serve: build
+	@set -e; \
+	$(MMSYNTH) serve --socket $(SERVE_SOCK) --cache $(SERVE_CACHE) -j 2 & \
+	pid=$$!; \
+	for i in $$(seq 1 100); do [ -S $(SERVE_SOCK) ] && break; sleep 0.1; done; \
+	[ -S $(SERVE_SOCK) ] || { echo "daemon never bound $(SERVE_SOCK)"; kill $$pid 2>/dev/null; exit 1; }; \
+	$(MMSYNTH) client --socket $(SERVE_SOCK) -e "x1 & x2" \
+	  || { echo "client synth failed"; kill $$pid 2>/dev/null; exit 1; }; \
+	$(MMSYNTH) client --socket $(SERVE_SOCK) --stats > /dev/null \
+	  || { echo "client stats failed"; kill $$pid 2>/dev/null; exit 1; }; \
+	kill -TERM $$pid; \
+	wait $$pid; rc=$$?; \
+	[ $$rc -eq 0 ] || { echo "daemon exited $$rc after SIGTERM"; exit 1; }; \
+	[ ! -e $(SERVE_SOCK) ] || { echo "leaked socket $(SERVE_SOCK)"; exit 1; }; \
+	rm -f $(SERVE_CACHE); \
+	echo "smoke-serve: OK (round trip + graceful drain, no leaked socket)"
+
+check: test smoke smoke-fault smoke-serve
 
 bench:
 	dune exec bench/main.exe -- engine
 
 bench-robustness:
 	dune exec bench/main.exe -- robustness
+
+bench-serve:
+	dune exec bench/main.exe -- serve
 
 clean:
 	dune clean

@@ -764,6 +764,201 @@ let robustness_bench () =
   Printf.printf "\nwritten to BENCH_robustness.json\n"
 
 (* ------------------------------------------------------------------ *)
+(* Serve: daemon throughput/latency under concurrent load, warm vs cold *)
+(* ------------------------------------------------------------------ *)
+
+let serve_bench () =
+  let module Engine = Mm_engine.Engine in
+  let module Cache = Mm_engine.Cache in
+  let module Server = Mm_serve.Server in
+  let module Client = Mm_serve.Client in
+  let module Wire = Mm_serve.Wire in
+  let module Json = Mm_report.Json in
+  section "Serve: resident daemon under concurrent load, warm vs cold";
+  let tmp name =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "mm_serve_bench_%d_%s" (Unix.getpid ()) name)
+  in
+  let sock = tmp "sock" in
+  let cache_path = tmp "cache" in
+  let engine =
+    Engine.config ~timeout_per_call:30.
+      ~cache:(Cache.create ~path:cache_path ()) ()
+  in
+  let cfg = Server.config ~engine ~max_pending:64 ~socket_path:sock () in
+  let server =
+    match Server.start cfg with
+    | Ok t -> t
+    | Error msg -> failwith ("serve bench: " ^ msg)
+  in
+  let specs = Engine.all_functions ~arity:3 in
+  let n_specs = Array.length specs in
+  let percentile sorted p =
+    let n = Array.length sorted in
+    if n = 0 then 0.
+    else
+      sorted.(max 0 (min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1)))
+  in
+  (* one warm-up sweep populates the daemon's cache, so the concurrency
+     levels measure serving overhead, not first-time SAT solving *)
+  let sweep conc =
+    let lats = Array.make n_specs 0. in
+    let shed = Atomic.make 0 and transport = Atomic.make 0 in
+    let next = Atomic.make 0 in
+    let t0 = Unix.gettimeofday () in
+    let worker () =
+      match Client.wait_ready (Client.Unix_sock sock) with
+      | Error _ -> Atomic.incr transport
+      | Ok c ->
+        let rec go () =
+          let i = Atomic.fetch_and_add next 1 in
+          if i < n_specs then begin
+            let s0 = Unix.gettimeofday () in
+            (match Client.synth c specs.(i) with
+             | Ok (Wire.Result _) -> lats.(i) <- Unix.gettimeofday () -. s0
+             | Ok (Wire.Err e) -> (
+               match e.Wire.code with
+               | Wire.Overloaded | Wire.Unavailable -> Atomic.incr shed
+               | Wire.Bad_request | Wire.Deadline_exceeded | Wire.Internal ->
+                 Atomic.incr transport)
+             | Error _ -> Atomic.incr transport);
+            go ()
+          end
+        in
+        go ();
+        Client.close c
+    in
+    let threads = List.init conc (fun _ -> Thread.create worker ()) in
+    List.iter Thread.join threads;
+    let wall = Unix.gettimeofday () -. t0 in
+    let ok = Array.of_list (List.filter (fun l -> l > 0.) (Array.to_list lats)) in
+    Array.sort compare ok;
+    ( conc,
+      Array.length ok,
+      wall,
+      float_of_int (Array.length ok) /. wall,
+      percentile ok 0.50,
+      percentile ok 0.95,
+      percentile ok 0.99,
+      Atomic.get shed,
+      Atomic.get transport )
+  in
+  Printf.printf "priming the daemon cache with the 3-input sweep...\n%!";
+  ignore (sweep 4);
+  let levels = List.map sweep [ 1; 4 ] in
+  let t =
+    Table.create
+      [ "clients"; "requests"; "wall [s]"; "req/s"; "p50 [ms]"; "p95 [ms]";
+        "p99 [ms]"; "shed"; "errors" ]
+  in
+  List.iter
+    (fun (conc, ok, wall, rps, p50, p95, p99, shed, errors) ->
+      Table.add_row t
+        [
+          string_of_int conc;
+          string_of_int ok;
+          Printf.sprintf "%.2f" wall;
+          Printf.sprintf "%.0f" rps;
+          Printf.sprintf "%.2f" (1e3 *. p50);
+          Printf.sprintf "%.2f" (1e3 *. p95);
+          Printf.sprintf "%.2f" (1e3 *. p99);
+          string_of_int shed;
+          string_of_int errors;
+        ])
+    levels;
+  Table.print t;
+  (* warm daemon round trip vs a cold engine run for one repeated spec:
+     the daemon answers from its open cache + resident heap, the cold run
+     pays pool spin-up and the full SAT solve every time *)
+  let spec4 =
+    (* (x1 & x2) xor (x3 | x4): needs one R-op and a few UNSAT proofs, so a
+       cold run pays a real (but bounded) SAT bill *)
+    Spec.of_fun ~name:"bench4" ~arity:4 ~outputs:1 (fun ~row ~output:_ ->
+        let x i = (row lsr (i - 1)) land 1 = 1 in
+        (x 1 && x 2) <> (x 3 || x 4))
+  in
+  let median xs =
+    let a = Array.of_list xs in
+    Array.sort compare a;
+    a.(Array.length a / 2)
+  in
+  let warm_client =
+    match Client.wait_ready (Client.Unix_sock sock) with
+    | Ok c -> c
+    | Error msg -> failwith ("serve bench: " ^ msg)
+  in
+  ignore (Client.synth warm_client spec4) (* prime *);
+  let warm_s =
+    median
+      (List.init 5 (fun _ ->
+           let t0 = Unix.gettimeofday () in
+           (match Client.synth warm_client spec4 with
+            | Ok (Wire.Result _) -> ()
+            | Ok (Wire.Err e) -> failwith ("warm request refused: " ^ e.Wire.msg)
+            | Error msg -> failwith ("warm request: " ^ msg));
+           Unix.gettimeofday () -. t0))
+  in
+  Client.close warm_client;
+  let cold_s =
+    median
+      (List.init 3 (fun _ ->
+           let cfg = Engine.config ~timeout_per_call:30. () in
+           let t0 = Unix.gettimeofday () in
+           ignore (Engine.run cfg [| spec4 |]);
+           Unix.gettimeofday () -. t0))
+  in
+  let speedup = if warm_s > 0. then cold_s /. warm_s else 0. in
+  Printf.printf
+    "\nrepeated 4-input spec: warm daemon %.2f ms vs cold engine run %.0f ms \
+     (%.0fx)\n%!"
+    (1e3 *. warm_s) (1e3 *. cold_s) speedup;
+  let daemon_stats = Server.stats_json server in
+  Server.stop server;
+  List.iter
+    (fun p -> try Sys.remove p with Sys_error _ -> ())
+    (cache_path :: Cache.quarantined_siblings cache_path);
+  let level_json (conc, ok, wall, rps, p50, p95, p99, shed, errors) =
+    Json.Obj
+      [
+        ("concurrency", Json.Int conc);
+        ("requests_ok", Json.Int ok);
+        ("wall_s", Json.Float wall);
+        ("throughput_rps", Json.Float rps);
+        ("p50_s", Json.Float p50);
+        ("p95_s", Json.Float p95);
+        ("p99_s", Json.Float p99);
+        ("shed", Json.Int shed);
+        ( "shed_rate",
+          Json.Float
+            (float_of_int shed /. float_of_int (max 1 (ok + shed))) );
+        ("transport_errors", Json.Int errors);
+      ]
+  in
+  let json =
+    Json.Obj
+      [
+        ( "workload",
+          Json.String
+            "all 256 3-input functions over the Unix socket, warm cache" );
+        ("levels", Json.List (List.map level_json levels));
+        ( "warm_vs_cold",
+          Json.Obj
+            [
+              ("spec", Json.String "(x1&x2) xor (x3|x4), repeated");
+              ("warm_daemon_request_s", Json.Float warm_s);
+              ("cold_engine_run_s", Json.Float cold_s);
+              ("warm_speedup", Json.Float speedup);
+            ] );
+        ("daemon_stats", Json.Obj [ ("final", daemon_stats) ]);
+      ]
+  in
+  let oc = open_out "BENCH_serve.json" in
+  output_string oc (Json.to_string_pretty json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "written to BENCH_serve.json\n"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks (one Test.make per table/figure kernel)   *)
 (* ------------------------------------------------------------------ *)
 
@@ -862,6 +1057,7 @@ let usage () =
     \  heuristic    scalable heuristic synthesis (extension E)\n\
     \  engine       batch engine: NPN classes + cache + domain pool -> BENCH_engine.json\n\
     \  robustness   completion/overhead under injected faults -> BENCH_robustness.json\n\
+    \  serve        resident daemon load test, warm vs cold -> BENCH_serve.json\n\
     \  perf         Bechamel micro-benchmarks\n\
     \  all          everything above (default)"
 
@@ -894,6 +1090,7 @@ let () =
     heuristic_bench ();
     engine_bench ();
     robustness_bench ();
+    serve_bench ();
     perf ()
   in
   let positional =
@@ -919,6 +1116,7 @@ let () =
   | [ "heuristic" ] -> heuristic_bench ()
   | [ "engine" ] -> engine_bench ()
   | [ "robustness" ] -> robustness_bench ()
+  | [ "serve" ] -> serve_bench ()
   | [ "perf" ] -> perf ()
   | _ ->
     usage ();

@@ -329,8 +329,15 @@ let batch_cmd =
     Arg.(value & opt int 0 & info [ "inject-seed" ] ~docv:"SEED"
            ~doc:"Seed for the $(b,--inject) plan (same seed, same faults).")
   in
+  let json_stats_flag =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Also print the run summary as JSON (the shared \
+                 $(b,mmsynth-stats-v1) schema used by the serve daemon's \
+                 stats endpoint and the benches).")
+  in
   let run exprs pla tables arity name timeout batch_arity jobs cache_file
-      no_npn final stats limit deadline retries fallback inject inject_seed =
+      no_npn final stats limit deadline retries fallback inject inject_seed
+      json_stats =
     let specs =
       match batch_arity with
       | Some n when n >= 1 && n <= 4 -> Ok (Engine.all_functions ~arity:n)
@@ -433,6 +440,9 @@ let batch_cmd =
         print_newline ()
       end;
       Format.printf "%a@." Engine.pp_summary summary;
+      if json_stats then
+        print_endline
+          (Mm_report.Json.to_string_pretty (Engine.stats_to_json summary));
       let fail_lines r =
         match r.Engine.error with
         | None -> None
@@ -505,11 +515,391 @@ let batch_cmd =
         (const run $ exprs $ pla_file $ tables_file $ arity $ name_t $ timeout
         $ batch_arity $ jobs $ cache_file $ no_npn $ final_taps $ stats_flag
         $ limit $ deadline_flag $ retries_flag $ fallback_flag $ inject_flag
-        $ inject_seed_flag))
+        $ inject_seed_flag $ json_stats_flag))
+
+(* ---- serve / client: resident synthesis daemon ------------------------ *)
+
+module Server = Mm_serve.Server
+module Client = Mm_serve.Client
+module Wire = Mm_serve.Wire
+module Json = Mm_report.Json
+module Engine = Mm_engine.Engine
+
+let socket_arg =
+  Arg.(value & opt string "/tmp/mmsynth.sock"
+       & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Unix-domain socket the daemon listens on.")
+
+let fallback_tag =
+  Arg.(value & opt (some (enum [ ("none", "none"); ("baseline", "baseline");
+                                 ("heuristic", "heuristic") ])) None
+       & info [ "fallback" ] ~docv:"KIND"
+           ~doc:"Degradation policy: $(b,none), $(b,baseline) or \
+                 $(b,heuristic).")
+
+let serve_cmd =
+  let tcp =
+    Arg.(value & opt (some int) None & info [ "tcp" ] ~docv:"PORT"
+           ~doc:"Also listen on 127.0.0.1:PORT.")
+  in
+  let jobs =
+    Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"D"
+           ~doc:"Worker domains per synthesis batch.")
+  in
+  let cache_file =
+    Arg.(value & opt (some string) None & info [ "cache" ] ~docv:"FILE"
+           ~doc:"Persistent result cache held open (and warm) by the daemon.")
+  in
+  let max_pending =
+    Arg.(value & opt int 64 & info [ "max-pending" ] ~docv:"N"
+           ~doc:"Admission bound: requests beyond N queued jobs are shed \
+                 with a typed $(b,overloaded) reply.")
+  in
+  let max_batch =
+    Arg.(value & opt int 16 & info [ "max-batch" ] ~docv:"N"
+           ~doc:"Queued jobs dispatched per engine micro-batch (they share \
+                 one worker-pool spin-up and NPN-deduplicate).")
+  in
+  let request_deadline =
+    Arg.(value & opt (some float) None
+         & info [ "request-deadline" ] ~docv:"SECONDS"
+             ~doc:"Default per-request deadline (queue wait + synthesis) \
+                   when the request carries none.")
+  in
+  let drain_grace =
+    Arg.(value & opt float 5.0 & info [ "drain-grace" ] ~docv:"SECONDS"
+           ~doc:"Seconds to let clients disconnect after a drain empties \
+                 the queue.")
+  in
+  let inject =
+    Arg.(value & opt (some string) None & info [ "inject" ] ~docv:"SPEC"
+           ~doc:"Fault injection, e.g. $(b,conn:0.2) to drop connections \
+                 (engine stages apply to dispatched batches).")
+  in
+  let inject_seed =
+    Arg.(value & opt int 0 & info [ "inject-seed" ] ~docv:"SEED"
+           ~doc:"Seed for the $(b,--inject) plan.")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"No log lines on stderr.")
+  in
+  let run socket tcp jobs cache_file timeout max_pending max_batch
+      request_deadline drain_grace fallback inject inject_seed quiet =
+    let fault =
+      match inject with
+      | None -> Ok None
+      | Some spec -> (
+        match Mm_engine.Fault.parse_spec spec with
+        | Ok rules -> Ok (Some (Mm_engine.Fault.create ~seed:inject_seed rules))
+        | Error msg -> Error ("--inject: " ^ msg))
+    in
+    match fault with
+    | Error msg -> `Error (false, msg)
+    | Ok fault ->
+      let cache = Option.map (fun path -> Mm_engine.Cache.create ~path ()) cache_file in
+      let fb =
+        match fallback with
+        | Some "baseline" -> Engine.Use_baseline
+        | Some "heuristic" -> Engine.Use_heuristic
+        | Some _ | None -> Engine.No_fallback
+      in
+      let engine =
+        Engine.config ~timeout_per_call:timeout ?domains:jobs ?cache
+          ~fallback:fb ?fault ()
+      in
+      let log =
+        if quiet then None
+        else
+          Some
+            (fun s ->
+              Printf.eprintf "mmsynth serve: %s\n%!" s)
+      in
+      let cfg =
+        Server.config ?tcp_port:tcp ~engine ~max_pending ~max_batch
+          ?default_deadline:request_deadline ~drain_grace ?fault ?log
+          ~socket_path:socket ()
+      in
+      (match Server.run cfg with
+       | Ok () -> `Ok 0
+       | Error msg -> `Error (false, msg))
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the resident synthesis daemon: warm cache and NPN tables, \
+             bounded admission queue with load shedding, micro-batched \
+             dispatch, live stats, graceful drain on SIGTERM.")
+    Term.(
+      ret
+        (const run $ socket_arg $ tcp $ jobs $ cache_file $ timeout
+        $ max_pending $ max_batch $ request_deadline $ drain_grace
+        $ fallback_tag $ inject $ inject_seed $ quiet))
+
+let client_cmd =
+  let tcp =
+    Arg.(value & opt (some string) None & info [ "tcp" ] ~docv:"HOST:PORT"
+           ~doc:"Connect over TCP instead of the Unix socket.")
+  in
+  let stdin_flag =
+    Arg.(value & flag & info [ "stdin" ]
+           ~doc:"Batch mode: read one truth table (a $(b,2^n)-character \
+                 0/1 line) per line from stdin, print one JSON result \
+                 line each.")
+  in
+  let stats_flag =
+    Arg.(value & flag & info [ "stats" ] ~doc:"Fetch the daemon's live stats.")
+  in
+  let health_flag =
+    Arg.(value & flag & info [ "health" ] ~doc:"Fetch the health summary.")
+  in
+  let ping_flag = Arg.(value & flag & info [ "ping" ] ~doc:"Round-trip check.") in
+  let shutdown_flag =
+    Arg.(value & flag & info [ "shutdown" ]
+           ~doc:"Ask the daemon to drain and exit.")
+  in
+  let deadline =
+    Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SECONDS"
+           ~doc:"Per-request deadline (queue wait + synthesis).")
+  in
+  let req_timeout =
+    Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SECONDS"
+           ~doc:"Solver budget per SAT call for this request.")
+  in
+  let addr_of socket tcp =
+    match tcp with
+    | None -> Ok (Client.Unix_sock socket)
+    | Some hp -> (
+      match String.rindex_opt hp ':' with
+      | None -> Error "--tcp expects HOST:PORT"
+      | Some i -> (
+        match int_of_string_opt (String.sub hp (i + 1) (String.length hp - i - 1)) with
+        | None -> Error "--tcp expects HOST:PORT"
+        | Some port -> Ok (Client.Tcp (String.sub hp 0 i, port))))
+  in
+  (* 0 ok; 1 daemon answered with a non-shed error; 5 shed; 6 transport *)
+  let code_of_err (e : Wire.error) =
+    match e.Wire.code with
+    | Wire.Overloaded | Wire.Unavailable -> 5
+    | Wire.Bad_request | Wire.Deadline_exceeded | Wire.Internal -> 1
+  in
+  let print_reply = function
+    | Wire.Result r ->
+      print_endline (Json.to_string_pretty r);
+      0
+    | Wire.Err e ->
+      Printf.eprintf "mmsynth client: %s: %s%s\n" (Wire.code_tag e.Wire.code)
+        e.Wire.msg
+        (match e.Wire.retry_after_s with
+         | Some s -> Printf.sprintf " (retry after %.1fs)" s
+         | None -> "");
+      code_of_err e
+  in
+  let tt_spec_of_line ~idx line =
+    let len = String.length line in
+    let rec log2 n acc = if n <= 1 then acc else log2 (n / 2) (acc + 1) in
+    let n = log2 len 0 in
+    if len < 2 || 1 lsl n <> len then
+      Error (Printf.sprintf "line %d: length %d is not a power of two" idx len)
+    else
+      match Mm_boolfun.Truth_table.of_string n line with
+      | tt -> Ok (Spec.make ~name:(Printf.sprintf "stdin.%d" idx) [| tt |])
+      | exception Invalid_argument msg | exception Failure msg ->
+        Error (Printf.sprintf "line %d: %s" idx msg)
+  in
+  let run socket tcp exprs pla tables arity name stdin_mode stats health ping
+      shutdown req_timeout deadline fallback =
+    match addr_of socket tcp with
+    | Error msg -> `Error (false, msg)
+    | Ok addr -> (
+      match Client.connect addr with
+      | Error msg ->
+        Printf.eprintf "mmsynth client: %s\n" msg;
+        `Ok 6
+      | Ok c ->
+        let finish code = Client.close c; `Ok code in
+        let one req =
+          match Client.request c req with
+          | Error msg ->
+            Printf.eprintf "mmsynth client: %s\n" msg;
+            6
+          | Ok (Wire.Result r) ->
+            print_endline (Json.to_string_pretty r);
+            0
+          | Ok (Wire.Err _ as rep) -> print_reply rep
+        in
+        if stats then finish (one Wire.Stats)
+        else if health then finish (one Wire.Health)
+        else if ping then finish (one Wire.Ping)
+        else if shutdown then finish (one Wire.Shutdown)
+        else if stdin_mode then begin
+          let code = ref 0 in
+          let bump c = if c > !code then code := c in
+          let idx = ref 0 in
+          (try
+             while true do
+               let line = String.trim (input_line stdin) in
+               if line <> "" then begin
+                 incr idx;
+                 match tt_spec_of_line ~idx:!idx line with
+                 | Error msg ->
+                   Printf.eprintf "mmsynth client: %s\n" msg;
+                   bump 1
+                 | Ok spec -> (
+                   match
+                     Client.synth ?timeout:req_timeout ?deadline ?fallback c
+                       spec
+                   with
+                   | Error msg ->
+                     Printf.eprintf "mmsynth client: %s\n" msg;
+                     bump 6
+                   | Ok (Wire.Result r) -> print_endline (Json.to_string r)
+                   | Ok (Wire.Err _ as rep) -> bump (print_reply rep))
+               end
+             done
+           with End_of_file -> ());
+          finish !code
+        end
+        else (
+          match spec_of_inputs name exprs arity pla tables with
+          | Error msg -> Client.close c; `Error (false, msg)
+          | Ok spec -> (
+            match
+              Client.synth ?timeout:req_timeout ?deadline ?fallback c spec
+            with
+            | Error msg ->
+              Printf.eprintf "mmsynth client: %s\n" msg;
+              finish 6
+            | Ok rep -> finish (print_reply rep))))
+  in
+  let exits =
+    Cmd.Exit.defaults
+    @ [
+        Cmd.Exit.info 5
+          ~doc:"the daemon shed the request (overloaded or draining)";
+        Cmd.Exit.info 6 ~doc:"transport error (daemon unreachable or hung up)";
+      ]
+  in
+  Cmd.v
+    (Cmd.info "client" ~exits
+       ~doc:"Send requests to a running $(b,mmsynth serve) daemon: one \
+             synthesis (spec options as for $(b,synth)), a $(b,--stdin) \
+             batch, or $(b,--stats)/$(b,--health)/$(b,--ping)/\
+             $(b,--shutdown).")
+    Term.(
+      ret
+        (const run $ socket_arg $ tcp $ exprs $ pla_file $ tables_file $ arity
+        $ name_t $ stdin_flag $ stats_flag $ health_flag $ ping_flag
+        $ shutdown_flag $ req_timeout $ deadline $ fallback_tag))
+
+(* ---- cache info / gc --------------------------------------------------- *)
+
+let cache_cmd =
+  let module Cache = Mm_engine.Cache in
+  let cache_path =
+    Arg.(required & opt (some string) None & info [ "cache" ] ~docv:"FILE"
+           ~doc:"The cache file to inspect.")
+  in
+  let info_cmd =
+    let run path =
+      let i = Cache.inspect path in
+      let status =
+        match i.Cache.status with
+        | Cache.Fresh -> "missing"
+        | Cache.Loaded _ -> "ok"
+        | Cache.Invalid_version _ -> "invalid-version"
+        | Cache.Corrupt _ -> "corrupt"
+        | Cache.Salvaged { kept; dropped; _ } ->
+          Printf.sprintf "salvageable (%d intact, >=%d damaged)" kept dropped
+      in
+      print_endline
+        (Json.to_string_pretty
+           (Json.Obj
+              [
+                ("path", Json.String path);
+                ( "size_bytes",
+                  match i.Cache.size_bytes with
+                  | None -> Json.Null
+                  | Some n -> Json.Int n );
+                ( "format_version",
+                  match i.Cache.version with
+                  | None -> Json.Null
+                  | Some v -> Json.Int v );
+                ("status", Json.String status);
+                ("entries", Json.Int i.Cache.entries);
+                ( "corrupt_siblings",
+                  Json.List
+                    (List.map (fun p -> Json.String p) i.Cache.corrupt_siblings)
+                );
+              ]));
+      (* non-zero when the file needs attention, so scripts can gate on it *)
+      match i.Cache.status with
+      | Cache.Fresh | Cache.Loaded _ ->
+        if i.Cache.corrupt_siblings = [] then `Ok 0 else `Ok 3
+      | _ -> `Ok 3
+    in
+    Cmd.v
+      (Cmd.info "info"
+         ~exits:
+           (Cmd.Exit.defaults
+           @ [ Cmd.Exit.info 3
+                 ~doc:"the cache is damaged or quarantine files exist" ])
+         ~doc:"Read-only report on a cache file: size, format version, \
+               intact entry count, and any $(b,.corrupt) quarantine \
+               siblings. Never modifies anything — safe against a live \
+               daemon's cache.")
+      Term.(ret (const run $ cache_path))
+  in
+  let gc_cmd =
+    let archive =
+      Arg.(value & opt (some string) None & info [ "archive" ] ~docv:"DIR"
+             ~doc:"Move quarantine files into DIR instead of deleting them.")
+    in
+    let run path archive =
+      let victims = Cache.quarantined_siblings path in
+      if victims = [] then begin
+        print_endline "no quarantine files";
+        `Ok 0
+      end
+      else begin
+        let failures = ref 0 in
+        List.iter
+          (fun v ->
+            match archive with
+            | Some dir -> (
+              let dest = Filename.concat dir (Filename.basename v) in
+              match
+                (if not (Sys.file_exists dir) then Sys.mkdir dir 0o755);
+                Sys.rename v dest
+              with
+              | () -> Printf.printf "archived %s -> %s\n" v dest
+              | exception Sys_error msg ->
+                Printf.eprintf "mmsynth cache gc: %s\n" msg;
+                incr failures)
+            | None -> (
+              match Sys.remove v with
+              | () -> Printf.printf "deleted %s\n" v
+              | exception Sys_error msg ->
+                Printf.eprintf "mmsynth cache gc: %s\n" msg;
+                incr failures))
+          victims;
+        if !failures > 0 then `Error (false, "some quarantine files survived")
+        else `Ok 0
+      end
+    in
+    Cmd.v
+      (Cmd.info "gc"
+         ~doc:"Delete (or $(b,--archive) into a directory) the \
+               $(b,<cache>.corrupt) quarantine files left by damaged-cache \
+               recovery.")
+      Term.(ret (const run $ cache_path $ archive))
+  in
+  Cmd.group
+    (Cmd.info "cache" ~doc:"Inspect and clean persistent result caches.")
+    [ info_cmd; gc_cmd ]
 
 let main =
   let doc = "optimal synthesis of memristive mixed-mode circuits" in
   Cmd.group (Cmd.info "mmsynth" ~version:"1.0.0" ~doc)
-    [ synth_cmd; check_cmd; baseline_cmd; simulate_cmd; batch_cmd ]
+    [ synth_cmd; check_cmd; baseline_cmd; simulate_cmd; batch_cmd; serve_cmd;
+      client_cmd; cache_cmd ]
 
 let () = exit (Cmd.eval' main)

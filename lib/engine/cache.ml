@@ -235,3 +235,62 @@ let reset_counters t =
       t.hits <- 0;
       t.misses <- 0;
       t.stale <- 0)
+
+(* ---- offline inspection (never moves or modifies files) -------------- *)
+
+type info = {
+  size_bytes : int option;
+  version : int option;
+  status : load;
+  entries : int;
+  corrupt_siblings : string list;
+}
+
+let quarantined_siblings path =
+  let rec go n acc =
+    let candidate =
+      if n = 0 then path ^ ".corrupt" else Printf.sprintf "%s.corrupt.%d" path n
+    in
+    if Sys.file_exists candidate then go (n + 1) (candidate :: acc)
+    else List.rev acc
+  in
+  go 0 []
+
+let peek_version path =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+    let v =
+      try
+        let m = really_input_string ic (String.length magic) in
+        if m <> magic then None else Some (Marshal.from_channel ic : int)
+      with End_of_file | Failure _ -> None
+    in
+    close_in_noerr ic;
+    v
+
+let inspect path =
+  let size_bytes =
+    match Unix.stat path with
+    | { Unix.st_size; _ } -> Some st_size
+    | exception Unix.Unix_error _ -> None
+  in
+  let table, raw =
+    if size_bytes = None then (Hashtbl.create 1, R_fresh) else read_file path
+  in
+  let status =
+    match raw with
+    | R_fresh -> Fresh
+    | R_loaded n -> Loaded n
+    | R_invalid_version v -> Invalid_version { version = v; quarantined = None }
+    | R_corrupt -> Corrupt { quarantined = None }
+    | R_salvaged (kept, dropped) ->
+      Salvaged { kept; dropped; quarantined = None }
+  in
+  {
+    size_bytes;
+    version = (if size_bytes = None then None else peek_version path);
+    status;
+    entries = Hashtbl.length table;
+    corrupt_siblings = quarantined_siblings path;
+  }

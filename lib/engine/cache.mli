@@ -81,6 +81,28 @@ val counters : t -> counters
 val reset_counters : t -> unit
 val format_version : int
 
+(** {2 Offline inspection ([mmsynth cache info]/[cache gc])}
+
+    Unlike {!create}, these never move or modify files — safe to run
+    against a live daemon's cache. *)
+
+(** What a read-only parse of [path] found. [status] reuses {!load} with
+    [quarantined = None] (nothing is quarantined by inspection). *)
+type info = {
+  size_bytes : int option;  (** [None] when the file does not exist *)
+  version : int option;  (** on-disk format version, [None] if unreadable *)
+  status : load;
+  entries : int;  (** records that parse and pass their checksum *)
+  corrupt_siblings : string list;
+      (** existing [<path>.corrupt{,.N}] quarantine files *)
+}
+
+val inspect : string -> info
+
+(** The [<path>.corrupt], [<path>.corrupt.1], ... files that exist,
+    in quarantine order. *)
+val quarantined_siblings : string -> string list
+
 (**/**)
 
 (** Test hook: persist with an arbitrary format version. *)

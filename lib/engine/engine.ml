@@ -378,6 +378,70 @@ let run (cfg : config) specs =
   in
   (results, summary)
 
+let empty_summary =
+  { functions = 0; classes = 0; sat = 0; unsat = 0; timeout = 0;
+    fallbacks = 0; retries_used = 0; deadline_hit = false; wall_s = 0.;
+    solves_per_s = 0.; solver_calls = 0; cache = None }
+
+let add_summary a b =
+  let cache =
+    match (a.cache, b.cache) with
+    | None, c | c, None -> c
+    | Some x, Some y ->
+      Some
+        { Cache.hits = x.Cache.hits + y.Cache.hits;
+          misses = x.Cache.misses + y.Cache.misses;
+          stale = x.Cache.stale + y.Cache.stale;
+          (* per-run counters add; entries is a point-in-time cache size *)
+          entries = max x.Cache.entries y.Cache.entries }
+  in
+  let wall_s = a.wall_s +. b.wall_s in
+  {
+    functions = a.functions + b.functions;
+    classes = a.classes + b.classes;
+    sat = a.sat + b.sat;
+    unsat = a.unsat + b.unsat;
+    timeout = a.timeout + b.timeout;
+    fallbacks = a.fallbacks + b.fallbacks;
+    retries_used = a.retries_used + b.retries_used;
+    deadline_hit = a.deadline_hit || b.deadline_hit;
+    wall_s;
+    solves_per_s =
+      (if wall_s > 0. then float_of_int (a.functions + b.functions) /. wall_s
+       else 0.);
+    solver_calls = a.solver_calls + b.solver_calls;
+    cache;
+  }
+
+let stats_to_json s =
+  let open Mm_report.Json in
+  Obj
+    [
+      ("schema", String "mmsynth-stats-v1");
+      ("functions", Int s.functions);
+      ("classes", Int s.classes);
+      ("sat", Int s.sat);
+      ("unsat", Int s.unsat);
+      ("timeout", Int s.timeout);
+      ("fallbacks", Int s.fallbacks);
+      ("retries_used", Int s.retries_used);
+      ("deadline_hit", Bool s.deadline_hit);
+      ("wall_s", Float s.wall_s);
+      ("solves_per_s", Float s.solves_per_s);
+      ("solver_calls", Int s.solver_calls);
+      ( "cache",
+        match s.cache with
+        | None -> Null
+        | Some c ->
+          Obj
+            [
+              ("hits", Int c.Cache.hits);
+              ("misses", Int c.Cache.misses);
+              ("stale", Int c.Cache.stale);
+              ("entries", Int c.Cache.entries);
+            ] );
+    ]
+
 let pp_summary ppf s =
   Format.fprintf ppf
     "%d functions in %d classes: %d SAT, %d UNSAT, %d timeout; %.2fs wall \

@@ -128,6 +128,22 @@ type summary = {
     returning. *)
 val run : config -> Spec.t array -> job_result array * summary
 
+(** The all-zero summary — identity of {!add_summary}. *)
+val empty_summary : summary
+
+(** Pointwise accumulation for long-running consumers (the serve daemon
+    keeps one cumulative summary across all its batches): counters add,
+    [deadline_hit] ORs, [solves_per_s] is recomputed from the combined
+    totals, and [cache] adds hit/miss/stale with the latest entry count
+    (counters are per-run, entries are a point-in-time size). *)
+val add_summary : summary -> summary -> summary
+
+(** The shared stats schema ([mmsynth-stats-v1]): one JSON object with the
+    summary counters and the cache counters (or [null]). The CLI's
+    [batch --json], the serve daemon's [stats] endpoint and the bench
+    writers all emit this same shape. *)
+val stats_to_json : summary -> Mm_report.Json.t
+
 (** All [2^2^n] single-output functions of [arity] [n <= 4], in
     truth-table-integer order — the sweep universe of Tables III/IV. *)
 val all_functions : arity:int -> Spec.t array

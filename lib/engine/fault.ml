@@ -1,6 +1,6 @@
 module Rng = Mm_device.Rng
 
-type stage = Worker | Solver | Cache_read | Cache_write | Verify
+type stage = Worker | Solver | Cache_read | Cache_write | Verify | Conn
 
 type action = Crash | Delay of float | Unknown_result
 
@@ -16,6 +16,7 @@ let stage_tag = function
   | Cache_read -> "cache-read"
   | Cache_write -> "cache-write"
   | Verify -> "verify"
+  | Conn -> "conn"
 
 let rule ?only stage rate action =
   { stage; rate = Float.min 1. (Float.max 0. rate); action; only }
@@ -97,10 +98,12 @@ let parse_spec s =
         | "cache-read" -> Ok (rule Cache_read rate Crash)
         | "cache-write" -> Ok (rule Cache_write rate Crash)
         | "verify" -> Ok (rule Verify rate Crash)
+        | "conn" -> Ok (rule Conn rate Crash)
         | _ ->
           Error
             (Printf.sprintf
-               "unknown stage %S (worker|solver|cache-read|cache-write|verify)"
+               "unknown stage %S \
+                (worker|solver|cache-read|cache-write|verify|conn)"
                stage)))
     | _ -> Error (Printf.sprintf "expected stage:rate, got %S" part)
   in

@@ -22,6 +22,9 @@ type stage =
   | Cache_read  (** cache probe inside the solve loop *)
   | Cache_write  (** persisting the cache to disk *)
   | Verify  (** decanonicalization + truth-table re-verification *)
+  | Conn
+      (** serve-layer connection handling: [Crash] drops the connection
+          without a reply, [Delay] slows the response *)
 
 type action =
   | Crash  (** raise {!Injected} *)
@@ -72,5 +75,6 @@ val corrupt_file : ?seed:int -> ?offset:int -> string -> unit
 (** Parse a CLI plan: comma-separated [stage:rate] pairs, e.g.
     ["worker:0.3,solver:0.1"]. Stages: [worker] (crash), [solver]
     (unknown), [cache-read] (crash), [cache-write] (corrupt-on-flush,
-    interpreted by the engine), [verify] (crash). *)
+    interpreted by the engine), [verify] (crash), [conn]
+    (connection drop, interpreted by the serve layer). *)
 val parse_spec : string -> (rule list, string) result

@@ -1,0 +1,305 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ---- printing -------------------------------------------------------- *)
+
+let escape_to buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+(* JSON has no NaN/inf; "%.12g" round-trips every stat we emit and stays
+   readable. Integral floats keep a ".0" so they re-parse as Float. *)
+let float_to buf f =
+  if not (Float.is_finite f) then Buffer.add_string buf "null"
+  else begin
+    let s = Printf.sprintf "%.12g" f in
+    Buffer.add_string buf s;
+    if String.for_all (function '-' | '0' .. '9' -> true | _ -> false) s then
+      Buffer.add_string buf ".0"
+  end
+
+let rec compact_to buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> float_to buf f
+  | String s -> escape_to buf s
+  | List l ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_char buf ',';
+        compact_to buf x)
+      l;
+    Buffer.add_char buf ']'
+  | Obj kvs ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        escape_to buf k;
+        Buffer.add_char buf ':';
+        compact_to buf v)
+      kvs;
+    Buffer.add_char buf '}'
+
+let to_string j =
+  let buf = Buffer.create 256 in
+  compact_to buf j;
+  Buffer.contents buf
+
+let rec pretty_to buf indent = function
+  | (Null | Bool _ | Int _ | Float _ | String _) as j -> compact_to buf j
+  | List [] -> Buffer.add_string buf "[]"
+  | Obj [] -> Buffer.add_string buf "{}"
+  | List l ->
+    let pad = String.make (indent + 2) ' ' in
+    Buffer.add_string buf "[\n";
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_string buf ",\n";
+        Buffer.add_string buf pad;
+        pretty_to buf (indent + 2) x)
+      l;
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf (String.make indent ' ');
+    Buffer.add_char buf ']'
+  | Obj kvs ->
+    let pad = String.make (indent + 2) ' ' in
+    Buffer.add_string buf "{\n";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_string buf ",\n";
+        Buffer.add_string buf pad;
+        escape_to buf k;
+        Buffer.add_string buf ": ";
+        pretty_to buf (indent + 2) v)
+      kvs;
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf (String.make indent ' ');
+    Buffer.add_char buf '}'
+
+let to_string_pretty j =
+  let buf = Buffer.create 512 in
+  pretty_to buf 0 j;
+  Buffer.contents buf
+
+(* ---- parsing --------------------------------------------------------- *)
+
+exception Parse of int * string
+
+let of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse (!pos, msg)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %C" c)
+  in
+  let skip_ws () =
+    while
+      !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      advance ()
+    done
+  in
+  let literal word v =
+    let m = String.length word in
+    if !pos + m <= n && String.sub s !pos m = word then begin
+      pos := !pos + m;
+      v
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  (* UTF-8 encode one code point (surrogate pairs are recombined below) *)
+  let add_utf8 buf cp =
+    if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+    else if cp < 0x800 then begin
+      Buffer.add_char buf (Char.chr (0xc0 lor (cp lsr 6)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
+    end
+    else if cp < 0x10000 then begin
+      Buffer.add_char buf (Char.chr (0xe0 lor (cp lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3f)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xf0 lor (cp lsr 18)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3f)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3f)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
+    end
+  in
+  let hex4 () =
+    if !pos + 4 > n then fail "truncated \\u escape";
+    let v =
+      try int_of_string ("0x" ^ String.sub s !pos 4)
+      with Failure _ -> fail "bad \\u escape"
+    in
+    pos := !pos + 4;
+    v
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      match s.[!pos] with
+      | '"' -> advance ()
+      | '\\' ->
+        advance ();
+        (if !pos >= n then fail "unterminated escape";
+         match s.[!pos] with
+         | '"' -> Buffer.add_char buf '"'; advance ()
+         | '\\' -> Buffer.add_char buf '\\'; advance ()
+         | '/' -> Buffer.add_char buf '/'; advance ()
+         | 'n' -> Buffer.add_char buf '\n'; advance ()
+         | 'r' -> Buffer.add_char buf '\r'; advance ()
+         | 't' -> Buffer.add_char buf '\t'; advance ()
+         | 'b' -> Buffer.add_char buf '\b'; advance ()
+         | 'f' -> Buffer.add_char buf '\012'; advance ()
+         | 'u' ->
+           advance ();
+           let hi = hex4 () in
+           let cp =
+             if hi >= 0xd800 && hi <= 0xdbff && !pos + 6 <= n
+                && s.[!pos] = '\\' && s.[!pos + 1] = 'u'
+             then begin
+               pos := !pos + 2;
+               let lo = hex4 () in
+               if lo >= 0xdc00 && lo <= 0xdfff then
+                 0x10000 + ((hi - 0xd800) lsl 10) + (lo - 0xdc00)
+               else lo
+             end
+             else hi
+           in
+           add_utf8 buf cp
+         | c -> fail (Printf.sprintf "bad escape \\%c" c));
+        go ()
+      | c -> Buffer.add_char buf c; advance (); go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_float = ref false in
+    while
+      !pos < n
+      && (match s.[!pos] with
+          | '0' .. '9' | '-' | '+' -> true
+          | '.' | 'e' | 'E' -> is_float := true; true
+          | _ -> false)
+    do
+      advance ()
+    done;
+    let tok = String.sub s start (!pos - start) in
+    if !is_float then
+      match float_of_string_opt tok with
+      | Some f -> Float f
+      | None -> fail (Printf.sprintf "bad number %S" tok)
+    else
+      match int_of_string_opt tok with
+      | Some i -> Int i
+      | None -> (
+        match float_of_string_opt tok with
+        | Some f -> Float f
+        | None -> fail (Printf.sprintf "bad number %S" tok))
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '"' -> String (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin advance (); List [] end
+      else begin
+        let rec items acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' -> advance (); items (v :: acc)
+          | Some ']' -> advance (); List (List.rev (v :: acc))
+          | _ -> fail "expected ',' or ']'"
+        in
+        items []
+      end
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin advance (); Obj [] end
+      else begin
+        let rec fields acc =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' -> advance (); fields ((k, v) :: acc)
+          | Some '}' -> advance (); Obj (List.rev ((k, v) :: acc))
+          | _ -> fail "expected ',' or '}'"
+        in
+        fields []
+      end
+    | Some c -> fail (Printf.sprintf "unexpected %C" c)
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Parse (p, msg) ->
+    Error (Printf.sprintf "JSON parse error at offset %d: %s" p msg)
+
+(* ---- accessors ------------------------------------------------------- *)
+
+let member k = function
+  | Obj kvs -> List.assoc_opt k kvs
+  | _ -> None
+
+let to_bool = function Bool b -> Some b | _ -> None
+let to_int = function Int i -> Some i | _ -> None
+
+let to_float = function
+  | Float f -> Some f
+  | Int i -> Some (float_of_int i)
+  | _ -> None
+
+let to_str = function String s -> Some s | _ -> None
+let to_list = function List l -> Some l | _ -> None
+let bindings = function Obj kvs -> Some kvs | _ -> None
+
+let get conv k j = Option.bind (member k j) conv

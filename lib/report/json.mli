@@ -1,0 +1,43 @@
+(** Minimal JSON values, printer and parser.
+
+    The repository has no third-party JSON dependency; every component that
+    speaks JSON — the engine's stats schema ({!Mm_engine.Engine.stats_to_json}),
+    the serve layer's wire protocol ([Mm_serve.Wire]), the CLI and the bench
+    writers — goes through this one module so the schemas stay consistent.
+
+    The printer emits compact single-line JSON ({!to_string}) or a 2-space
+    indented form ({!to_string_pretty}). Non-finite floats print as [null]
+    (JSON has no NaN/inf). The parser accepts standard JSON with the usual
+    escapes; [\uXXXX] escapes are decoded to UTF-8. Numbers without a
+    fraction or exponent parse as {!Int}, everything else as {!Float}. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+val to_string_pretty : t -> string
+
+(** [Error msg] names the first offending position. *)
+val of_string : string -> (t, string) result
+
+(** Field of an {!Obj} (first binding wins); [None] on anything else. *)
+val member : string -> t -> t option
+
+val to_bool : t -> bool option
+val to_int : t -> int option
+
+(** {!Int} values promote. *)
+val to_float : t -> float option
+
+val to_str : t -> string option
+val to_list : t -> t list option
+val bindings : t -> (string * t) list option
+
+(** [member] composed with a converter, e.g. [get to_int "id" j]. *)
+val get : (t -> 'a option) -> string -> t -> 'a option

@@ -1,0 +1,88 @@
+module Json = Mm_report.Json
+module Spec = Mm_boolfun.Spec
+
+type addr = Unix_sock of string | Tcp of string * int
+
+type t = { fd : Unix.file_descr; m : Mutex.t; mutable next_id : int }
+
+let connect ?(read_timeout = 60.) addr =
+  let mk () =
+    match addr with
+    | Unix_sock path ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (fd, Unix.ADDR_UNIX path)
+    | Tcp (host, port) ->
+      let ip =
+        try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+        with Not_found -> Unix.inet_addr_of_string host
+      in
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      (fd, Unix.ADDR_INET (ip, port))
+  in
+  match mk () with
+  | exception (Unix.Unix_error (e, _, _)) ->
+    Error (Unix.error_message e)
+  | exception Failure msg -> Error msg
+  | fd, sockaddr -> (
+    match Unix.connect fd sockaddr with
+    | () ->
+      (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO read_timeout
+       with Unix.Unix_error _ -> ());
+      Ok { fd; m = Mutex.create (); next_id = 0 }
+    | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error
+        (Printf.sprintf "connect %s: %s"
+           (match addr with
+            | Unix_sock p -> p
+            | Tcp (h, p) -> Printf.sprintf "%s:%d" h p)
+           (Unix.error_message e)))
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let wait_ready ?(timeout = 5.) addr =
+  let t0 = Unix.gettimeofday () in
+  let rec go () =
+    match connect addr with
+    | Ok _ as ok -> ok
+    | Error msg ->
+      if Unix.gettimeofday () -. t0 >= timeout then
+        Error (Printf.sprintf "daemon not ready after %.1fs: %s" timeout msg)
+      else begin
+        Thread.delay 0.05;
+        go ()
+      end
+  in
+  go ()
+
+let request t req =
+  Mutex.protect t.m (fun () ->
+      t.next_id <- t.next_id + 1;
+      let id = t.next_id in
+      let payload = Json.to_string (Wire.request_to_json ~id req) in
+      match Wire.write_frame t.fd payload with
+      | Error e -> Error (Wire.pp_io_error e)
+      | Ok () -> (
+        match Wire.read_frame t.fd with
+        | Error e -> Error (Wire.pp_io_error e)
+        | Ok resp -> (
+          match Json.of_string resp with
+          | Error msg -> Error (Printf.sprintf "bad reply JSON: %s" msg)
+          | Ok j -> (
+            match Wire.reply_of_json j with
+            | Error msg -> Error (Printf.sprintf "bad reply: %s" msg)
+            | Ok (rid, reply) ->
+              if rid <> id && rid <> 0 then
+                Error
+                  (Printf.sprintf "reply id %d does not match request id %d"
+                     rid id)
+              else Ok reply))))
+
+let synth ?timeout ?deadline ?fallback t spec =
+  request t
+    (Wire.Synth { spec; params = { Wire.timeout; deadline; fallback } })
+
+let stats t = request t Wire.Stats
+let health t = request t Wire.Health
+let ping t = request t Wire.Ping
+let shutdown t = request t Wire.Shutdown

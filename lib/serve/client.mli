@@ -1,0 +1,43 @@
+(** Synchronous client for the {!Server} wire protocol.
+
+    One [t] wraps one connection; requests are serialized under a mutex
+    (one in-flight request per connection — the daemon replies in order)
+    and matched to replies by frame id. All failures are returned, never
+    raised: transport problems ([Error msg]) are distinct from typed
+    daemon refusals ([Ok (Err _)]). *)
+
+module Json = Mm_report.Json
+module Spec = Mm_boolfun.Spec
+
+type addr = Unix_sock of string | Tcp of string * int
+
+type t
+
+(** [connect addr] — [read_timeout] (default 60 s) bounds each reply wait
+    so a hung daemon cannot block the client forever. *)
+val connect : ?read_timeout:float -> addr -> (t, string) result
+
+val close : t -> unit
+
+(** [wait_ready addr] polls [connect] until the daemon accepts (startup
+    race helper for tests and scripts). Total budget [timeout] seconds
+    (default 5). *)
+val wait_ready : ?timeout:float -> addr -> (t, string) result
+
+(** One round trip: send, block for the matching reply. *)
+val request : t -> Wire.request -> (Wire.reply, string) result
+
+val synth :
+  ?timeout:float ->
+  ?deadline:float ->
+  ?fallback:string ->
+  t ->
+  Spec.t ->
+  (Wire.reply, string) result
+
+val stats : t -> (Wire.reply, string) result
+val health : t -> (Wire.reply, string) result
+val ping : t -> (Wire.reply, string) result
+
+(** Ask the daemon to drain. The [ok] reply arrives before the drain. *)
+val shutdown : t -> (Wire.reply, string) result

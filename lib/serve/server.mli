@@ -1,0 +1,107 @@
+(** The resident synthesis daemon.
+
+    One [mmsynth serve] process holds the expensive state warm — the open
+    persistent {!Mm_engine.Cache}, the NPN canonicalization tables, the
+    resident OCaml heap — and answers {!Wire} requests over a Unix-domain
+    socket (and optionally a loopback TCP port). Compared to a cold
+    [mmsynth batch] run, a warm request skips process startup, cache load
+    and NPN table construction entirely, and almost always answers straight
+    from the cache.
+
+    {2 Architecture}
+
+    - One {e accept} thread per listener hands connections to per-connection
+      threads (blocking frame reads; [stats]/[health]/[ping] are answered
+      inline so observability stays live under synthesis load).
+    - Synthesis requests pass {e admission control}: a bounded pending queue
+      of at most [max_pending] jobs. A full queue sheds the request with a
+      typed [overloaded] reply (plus [retry_after_s]) instead of queueing
+      without bound; a draining daemon refuses with [unavailable].
+    - A single {e dispatcher} thread drains the queue in micro-batches of up
+      to [max_batch] jobs per {!Mm_engine.Engine.run} call, so concurrent
+      requests share one Domain pool spin-up and NPN-deduplicate against
+      each other, all through the shared warm cache.
+    - Each job's {e deadline} (request [params.deadline], else
+      [default_deadline]) covers queue wait plus synthesis: a job whose
+      deadline passed while queued is answered [deadline_exceeded] without
+      touching the solver, and the remaining budget of the batch is enforced
+      by the engine's {!Mm_engine.Deadline} manager.
+
+    {2 Drain semantics}
+
+    [SIGTERM], [SIGINT] (via {!run}) or a [shutdown] request triggers a
+    {e graceful drain}: queued and in-flight jobs finish and their replies
+    are delivered; new synthesis requests are refused with [unavailable];
+    once the queue is empty, connected clients get [drain_grace] seconds to
+    disconnect before remaining connections are closed; the cache is
+    flushed and the socket file removed. A clean drain exits 0.
+
+    {2 Fault injection}
+
+    [fault] applies {!Mm_engine.Fault} rules at the [Conn] stage, keyed
+    ["conn<N>/req<M>"]: [Crash] drops the connection without a reply (the
+    client sees a reset; the daemon must not crash), [Delay] slows the
+    response. Worker/solver faults are injected through the engine config
+    as in batch mode. *)
+
+module Engine = Mm_engine.Engine
+module Fault = Mm_engine.Fault
+module Json = Mm_report.Json
+
+type config = {
+  socket_path : string;
+  tcp_port : int option;  (** also listen on 127.0.0.1:port *)
+  engine : Engine.config;
+      (** template for every batch; its [cache] is the daemon's warm cache *)
+  max_pending : int;  (** admission bound on the queue (≥ 1) *)
+  max_batch : int;  (** jobs per engine micro-batch (≥ 1) *)
+  default_deadline : float option;
+      (** per-request deadline when the request carries none *)
+  drain_grace : float;  (** seconds to let clients disconnect on drain *)
+  fault : Fault.t option;  (** [Conn]-stage injection plan *)
+  log : (string -> unit) option;
+}
+
+val config :
+  ?tcp_port:int ->
+  ?engine:Engine.config ->
+  ?max_pending:int ->
+  ?max_batch:int ->
+  ?default_deadline:float ->
+  ?drain_grace:float ->
+  ?fault:Fault.t ->
+  ?log:(string -> unit) ->
+  socket_path:string ->
+  unit ->
+  config
+
+type t
+
+(** Bind, warm the NPN tables, spawn the accept/dispatcher threads.
+    [Error] when the socket path is already served by a live daemon or
+    cannot be bound. A stale socket file (no listener behind it) is
+    replaced. *)
+val start : config -> (t, string) result
+
+(** Begin a graceful drain (idempotent, non-blocking). *)
+val request_drain : t -> unit
+
+val draining : t -> bool
+val stopped : t -> bool
+
+(** Active client connections right now. *)
+val active_conns : t -> int
+
+(** Block until fully drained, then join every thread, flush the cache and
+    remove the socket file. *)
+val wait : t -> unit
+
+(** {!request_drain} + {!wait}. *)
+val stop : t -> unit
+
+(** The [stats] endpoint's JSON, for in-process consumers. *)
+val stats_json : t -> Json.t
+
+(** [start] + install SIGTERM/SIGINT→drain handlers + [wait]: the body of
+    [mmsynth serve]. Returns when the daemon has drained. *)
+val run : config -> (unit, string) result

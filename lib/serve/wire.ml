@@ -1,0 +1,261 @@
+module Json = Mm_report.Json
+module Spec = Mm_boolfun.Spec
+module Tt = Mm_boolfun.Truth_table
+
+let protocol_version = 1
+let max_frame = 8 * 1024 * 1024
+
+type io_error = Closed | Too_large of int | Malformed of string
+
+let pp_io_error = function
+  | Closed -> "connection closed"
+  | Too_large n -> Printf.sprintf "frame of %d bytes exceeds limit %d" n max_frame
+  | Malformed msg -> Printf.sprintf "malformed frame: %s" msg
+
+(* All Unix-level failures (EPIPE, ECONNRESET, EBADF, receive timeout...)
+   collapse to [Closed]: the peer is gone as far as the protocol cares. *)
+let really_write fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let rec go off =
+    if off >= n then Ok ()
+    else
+      match Unix.write fd b off (n - off) with
+      | 0 -> Error Closed
+      | w -> go (off + w)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error _ -> Error Closed
+  in
+  go 0
+
+let really_read fd n =
+  let b = Bytes.create n in
+  let rec go off =
+    if off >= n then Ok (Bytes.to_string b)
+    else
+      match Unix.read fd b off (n - off) with
+      | 0 -> Error Closed
+      | r -> go (off + r)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error _ -> Error Closed
+  in
+  go 0
+
+let write_frame fd payload =
+  let n = String.length payload in
+  if n > max_frame then Error (Too_large n)
+  else begin
+    let hdr = Bytes.create 4 in
+    Bytes.set hdr 0 (Char.chr ((n lsr 24) land 0xff));
+    Bytes.set hdr 1 (Char.chr ((n lsr 16) land 0xff));
+    Bytes.set hdr 2 (Char.chr ((n lsr 8) land 0xff));
+    Bytes.set hdr 3 (Char.chr (n land 0xff));
+    match really_write fd (Bytes.to_string hdr) with
+    | Error _ as e -> e
+    | Ok () -> really_write fd payload
+  end
+
+let read_frame fd =
+  match really_read fd 4 with
+  | Error _ as e -> e
+  | Ok hdr ->
+    let b i = Char.code hdr.[i] in
+    let n = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
+    if n > max_frame then Error (Too_large n)
+    else if n = 0 then Error (Malformed "empty payload")
+    else really_read fd n
+
+(* ---- typed messages -------------------------------------------------- *)
+
+type synth_params = {
+  timeout : float option;
+  deadline : float option;
+  fallback : string option;
+}
+
+let no_params = { timeout = None; deadline = None; fallback = None }
+
+type request =
+  | Synth of { spec : Spec.t; params : synth_params }
+  | Stats
+  | Health
+  | Ping
+  | Shutdown
+
+type error_code =
+  | Bad_request
+  | Overloaded
+  | Unavailable
+  | Deadline_exceeded
+  | Internal
+
+let code_tag = function
+  | Bad_request -> "bad_request"
+  | Overloaded -> "overloaded"
+  | Unavailable -> "unavailable"
+  | Deadline_exceeded -> "deadline_exceeded"
+  | Internal -> "internal"
+
+let code_of_tag = function
+  | "bad_request" -> Some Bad_request
+  | "overloaded" -> Some Overloaded
+  | "unavailable" -> Some Unavailable
+  | "deadline_exceeded" -> Some Deadline_exceeded
+  | "internal" -> Some Internal
+  | _ -> None
+
+type error = { code : error_code; msg : string; retry_after_s : float option }
+
+type reply = Result of Json.t | Err of error
+
+let spec_to_json spec =
+  Json.Obj
+    [
+      ("name", Json.String (Spec.name spec));
+      ("arity", Json.Int (Spec.arity spec));
+      ( "outputs",
+        Json.List
+          (Array.to_list
+             (Array.map
+                (fun tt -> Json.String (Tt.to_string tt))
+                (Spec.outputs spec))) );
+    ]
+
+let spec_of_json j =
+  match
+    ( Json.get Json.to_int "arity" j,
+      Json.get Json.to_list "outputs" j,
+      Json.get Json.to_str "name" j )
+  with
+  | Some arity, Some outputs, name -> (
+    if arity < 1 || arity > 16 then Error "arity out of range 1..16"
+    else if outputs = [] then Error "no outputs"
+    else
+      let name = Option.value name ~default:"wire" in
+      match
+        List.map
+          (fun o ->
+            match Json.to_str o with
+            | None -> invalid_arg "output is not a string"
+            | Some s -> Tt.of_string arity s)
+          outputs
+      with
+      | tts -> Ok (Spec.make ~name (Array.of_list tts))
+      | exception Invalid_argument msg -> Error msg
+      | exception Failure msg -> Error msg)
+  | None, _, _ -> Error "spec: missing integer \"arity\""
+  | _, None, _ -> Error "spec: missing \"outputs\" array"
+
+let params_to_json p =
+  Json.Obj
+    (List.filter_map Fun.id
+       [
+         Option.map (fun t -> ("timeout", Json.Float t)) p.timeout;
+         Option.map (fun d -> ("deadline", Json.Float d)) p.deadline;
+         Option.map (fun f -> ("fallback", Json.String f)) p.fallback;
+       ])
+
+let params_of_json = function
+  | None -> Ok no_params
+  | Some j -> (
+    match Json.bindings j with
+    | None -> Error "params must be an object"
+    | Some _ ->
+      let fallback = Json.get Json.to_str "fallback" j in
+      (match fallback with
+       | Some ("none" | "baseline" | "heuristic") | None ->
+         Ok
+           {
+             timeout = Json.get Json.to_float "timeout" j;
+             deadline = Json.get Json.to_float "deadline" j;
+             fallback;
+           }
+       | Some f ->
+         Error
+           (Printf.sprintf "unknown fallback %S (none|baseline|heuristic)" f)))
+
+let request_to_json ~id req =
+  let base op rest =
+    Json.Obj
+      ([ ("v", Json.Int protocol_version); ("id", Json.Int id);
+         ("op", Json.String op) ]
+      @ rest)
+  in
+  match req with
+  | Synth { spec; params } ->
+    base "synth"
+      [ ("spec", spec_to_json spec); ("params", params_to_json params) ]
+  | Stats -> base "stats" []
+  | Health -> base "health" []
+  | Ping -> base "ping" []
+  | Shutdown -> base "shutdown" []
+
+let request_of_json j =
+  let id = Option.value (Json.get Json.to_int "id" j) ~default:0 in
+  match Json.get Json.to_int "v" j with
+  | Some v when v <> protocol_version ->
+    Error
+      (id, Printf.sprintf "protocol version %d unsupported (this daemon \
+                           speaks version %d)" v protocol_version)
+  | None -> Error (id, "missing integer \"v\" (protocol version)")
+  | Some _ -> (
+    match Json.get Json.to_str "op" j with
+    | None -> Error (id, "missing \"op\"")
+    | Some "stats" -> Ok (id, Stats)
+    | Some "health" -> Ok (id, Health)
+    | Some "ping" -> Ok (id, Ping)
+    | Some "shutdown" -> Ok (id, Shutdown)
+    | Some "synth" -> (
+      match Json.member "spec" j with
+      | None -> Error (id, "synth: missing \"spec\"")
+      | Some sj -> (
+        match spec_of_json sj with
+        | Error msg -> Error (id, msg)
+        | Ok spec -> (
+          match params_of_json (Json.member "params" j) with
+          | Error msg -> Error (id, msg)
+          | Ok params -> Ok (id, Synth { spec; params }))))
+    | Some op -> Error (id, Printf.sprintf "unknown op %S" op))
+
+let ok_json ~id result =
+  Json.Obj
+    [
+      ("v", Json.Int protocol_version);
+      ("id", Json.Int id);
+      ("ok", Json.Bool true);
+      ("result", result);
+    ]
+
+let error_json ~id e =
+  Json.Obj
+    [
+      ("v", Json.Int protocol_version);
+      ("id", Json.Int id);
+      ("ok", Json.Bool false);
+      ( "error",
+        Json.Obj
+          ([ ("code", Json.String (code_tag e.code));
+             ("msg", Json.String e.msg) ]
+          @
+          match e.retry_after_s with
+          | None -> []
+          | Some s -> [ ("retry_after_s", Json.Float s) ]) );
+    ]
+
+let reply_of_json j =
+  let id = Option.value (Json.get Json.to_int "id" j) ~default:0 in
+  match Json.get Json.to_bool "ok" j with
+  | Some true -> (
+    match Json.member "result" j with
+    | Some r -> Ok (id, Result r)
+    | None -> Error "ok response without \"result\"")
+  | Some false -> (
+    match Json.member "error" j with
+    | None -> Error "error response without \"error\""
+    | Some e -> (
+      let msg = Option.value (Json.get Json.to_str "msg" e) ~default:"" in
+      let retry_after_s = Json.get Json.to_float "retry_after_s" e in
+      match Option.bind (Json.get Json.to_str "code" e) code_of_tag with
+      | None -> Error "error response with unknown code"
+      | Some code -> Ok (id, Err { code; msg; retry_after_s })))
+  | None -> Error "response without boolean \"ok\""

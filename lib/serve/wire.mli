@@ -1,0 +1,98 @@
+(** The mmsynth wire protocol: length-prefixed, versioned JSON frames.
+
+    {2 Frame layout}
+
+    Every message — request and response — is one frame:
+    {v
+      +----------------+---------------------------+
+      | 4 bytes        | N bytes                   |
+      | N, big-endian  | UTF-8 JSON payload        |
+      +----------------+---------------------------+
+    v}
+    [N] is bounded by {!max_frame}; an oversized prefix is a protocol
+    error, not an allocation request. Frames never span messages and
+    messages never span frames, so a reader is always one [read] loop away
+    from a complete JSON document.
+
+    {2 Payloads}
+
+    Requests: [{"v": 1, "id": <int>, "op": <op>, ...}] where [op] is one of
+    [synth] (with ["spec"] and optional ["params"]), [stats], [health],
+    [ping], [shutdown]. The version field is checked first; a mismatch is
+    answered with a [bad_request] error naming {!protocol_version}.
+
+    Responses: [{"v": 1, "id": <id>, "ok": true, "result": {...}}] or
+    [{"v": 1, "id": <id>, "ok": false, "error": {"code": <code>,
+    "msg": ..., "retry_after_s": ...?}}]. Error codes are the typed
+    {!error_code} set — notably [overloaded] (admission queue full, the
+    load-shedding reply) and [unavailable] (daemon draining). *)
+
+module Json = Mm_report.Json
+module Spec = Mm_boolfun.Spec
+
+val protocol_version : int
+
+(** Hard bound on a frame payload (8 MiB). *)
+val max_frame : int
+
+type io_error =
+  | Closed  (** EOF, reset or broken pipe mid-frame *)
+  | Too_large of int  (** advertised payload length over {!max_frame} *)
+  | Malformed of string  (** framing or JSON damage *)
+
+val pp_io_error : io_error -> string
+
+(** Blocking single-frame I/O over a connected socket. Both loop over
+    partial reads/writes; all [Unix] errors map to [Closed]. *)
+val write_frame : Unix.file_descr -> string -> (unit, io_error) result
+
+val read_frame : Unix.file_descr -> (string, io_error) result
+
+(** Per-request knobs carried in ["params"], all optional. [deadline] is
+    seconds from submission: queue wait counts against it (admission
+    control refuses to start jobs whose deadline already passed). *)
+type synth_params = {
+  timeout : float option;  (** per-SAT-call budget, seconds *)
+  deadline : float option;  (** whole-request budget, seconds *)
+  fallback : string option;  (** ["none" | "baseline" | "heuristic"] *)
+}
+
+val no_params : synth_params
+
+type request =
+  | Synth of { spec : Spec.t; params : synth_params }
+  | Stats
+  | Health
+  | Ping
+  | Shutdown
+
+type error_code =
+  | Bad_request
+  | Overloaded  (** admission queue full: shed, retry later *)
+  | Unavailable  (** draining: no new work accepted *)
+  | Deadline_exceeded
+  | Internal
+
+val code_tag : error_code -> string
+val code_of_tag : string -> error_code option
+
+type error = { code : error_code; msg : string; retry_after_s : float option }
+
+type reply = Result of Json.t | Err of error
+
+(** Spec as wire JSON: [{"name", "arity", "outputs": ["0110", ...]}]. *)
+val spec_to_json : Spec.t -> Json.t
+
+val spec_of_json : Json.t -> (Spec.t, string) result
+
+val request_to_json : id:int -> request -> Json.t
+
+(** [Error (id, msg)] is answered with a [bad_request] frame carrying
+    [id] (0 when no id could be read). *)
+val request_of_json : Json.t -> (int * request, int * string) result
+
+val ok_json : id:int -> Json.t -> Json.t
+val error_json : id:int -> error -> Json.t
+
+(** Decode a response; [Error] is a transport-level protocol violation. *)
+val reply_of_json : Json.t -> (int * reply, string) result

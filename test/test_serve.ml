@@ -1,0 +1,424 @@
+(* The serve layer: wire protocol round trips, framing, the latency
+   histogram, and a live daemon exercised end-to-end over a real Unix
+   socket — including overload shedding, injected connection drops,
+   per-request deadlines and graceful drain. *)
+
+module Server = Mm_serve.Server
+module Client = Mm_serve.Client
+module Wire = Mm_serve.Wire
+module Stats = Mm_serve.Stats
+module Json = Mm_report.Json
+module Engine = Mm_engine.Engine
+module Fault = Mm_engine.Fault
+module Spec = Mm_boolfun.Spec
+module Tt = Mm_boolfun.Truth_table
+
+let spec_of ?(name = "t") n v = Spec.make ~name [| Tt.of_int n v |]
+let xor2 = spec_of ~name:"xor2" 2 0b0110
+
+let fresh_socket =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "mmserve-%d-%d.sock" (Unix.getpid ()) !n)
+
+let with_server ?fault ?engine ?max_pending ?max_batch ?default_deadline
+    ?(drain_grace = 0.3) f =
+  let engine =
+    match engine with Some e -> e | None -> Engine.config ~domains:1 ()
+  in
+  let sock = fresh_socket () in
+  let cfg =
+    Server.config ?fault ~engine ?max_pending ?max_batch ?default_deadline
+      ~drain_grace ~socket_path:sock ()
+  in
+  match Server.start cfg with
+  | Error msg -> Alcotest.failf "server start: %s" msg
+  | Ok t ->
+    Fun.protect
+      ~finally:(fun () -> if not (Server.stopped t) then Server.stop t)
+      (fun () -> f sock t)
+
+let connect sock =
+  match Client.wait_ready (Client.Unix_sock sock) with
+  | Ok c -> c
+  | Error msg -> Alcotest.failf "connect: %s" msg
+
+let get_str k j = Json.get Json.to_str k j
+let get_int k j = Json.get Json.to_int k j
+
+(* ---- wire protocol --------------------------------------------------- *)
+
+let test_request_roundtrip () =
+  let params =
+    { Wire.timeout = Some 2.5; deadline = Some 10.; fallback = Some "baseline" }
+  in
+  let req = Wire.Synth { spec = xor2; params } in
+  let j = Wire.request_to_json ~id:7 req in
+  let j' =
+    match Json.of_string (Json.to_string j) with
+    | Ok j -> j
+    | Error msg -> Alcotest.failf "reparse: %s" msg
+  in
+  match Wire.request_of_json j' with
+  | Error (_, msg) -> Alcotest.failf "request_of_json: %s" msg
+  | Ok (id, Wire.Synth { spec; params = p }) ->
+    Alcotest.(check int) "id" 7 id;
+    Alcotest.(check bool) "spec" true (Spec.equal spec xor2);
+    Alcotest.(check (option (float 1e-9))) "timeout" (Some 2.5) p.Wire.timeout;
+    Alcotest.(check (option (float 1e-9))) "deadline" (Some 10.) p.Wire.deadline;
+    Alcotest.(check (option string)) "fallback" (Some "baseline") p.Wire.fallback
+  | Ok _ -> Alcotest.fail "wrong op"
+
+let test_request_validation () =
+  let bad j =
+    match Wire.request_of_json j with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail "accepted invalid request"
+  in
+  (* wrong protocol version *)
+  bad
+    (Json.Obj
+       [ ("v", Json.Int 99); ("id", Json.Int 1); ("op", Json.String "ping") ]);
+  (* missing version *)
+  bad (Json.Obj [ ("id", Json.Int 1); ("op", Json.String "ping") ]);
+  (* unknown op *)
+  bad
+    (Json.Obj
+       [ ("v", Json.Int 1); ("id", Json.Int 1); ("op", Json.String "nope") ]);
+  (* synth without spec *)
+  bad
+    (Json.Obj
+       [ ("v", Json.Int 1); ("id", Json.Int 1); ("op", Json.String "synth") ]);
+  (* arity out of range *)
+  bad
+    (Json.Obj
+       [
+         ("v", Json.Int 1);
+         ("id", Json.Int 1);
+         ("op", Json.String "synth");
+         ( "spec",
+           Json.Obj
+             [
+               ("arity", Json.Int 40);
+               ("outputs", Json.List [ Json.String "01" ]);
+             ] );
+       ])
+
+let test_error_roundtrip () =
+  let e =
+    { Wire.code = Wire.Overloaded; msg = "queue full"; retry_after_s = Some 1.5 }
+  in
+  let j =
+    match Json.of_string (Json.to_string (Wire.error_json ~id:3 e)) with
+    | Ok j -> j
+    | Error msg -> Alcotest.failf "reparse: %s" msg
+  in
+  match Wire.reply_of_json j with
+  | Ok (3, Wire.Err e') ->
+    Alcotest.(check string) "code" "overloaded" (Wire.code_tag e'.Wire.code);
+    Alcotest.(check string) "msg" "queue full" e'.Wire.msg;
+    Alcotest.(check (option (float 1e-9)))
+      "retry" (Some 1.5) e'.Wire.retry_after_s
+  | Ok _ -> Alcotest.fail "wrong shape"
+  | Error msg -> Alcotest.failf "reply_of_json: %s" msg
+
+let test_frame_roundtrip () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) [ a; b ])
+    (fun () ->
+      let payload = "{\"v\":1,\"op\":\"ping\",\"id\":42}" in
+      (match Wire.write_frame a payload with
+       | Ok () -> ()
+       | Error e -> Alcotest.failf "write: %s" (Wire.pp_io_error e));
+      (match Wire.read_frame b with
+       | Ok got -> Alcotest.(check string) "payload" payload got
+       | Error e -> Alcotest.failf "read: %s" (Wire.pp_io_error e));
+      (* several frames back to back survive intact *)
+      List.iter
+        (fun p ->
+          match Wire.write_frame a p with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "write: %s" (Wire.pp_io_error e))
+        [ "x"; String.make 100_000 'y'; "z" ];
+      List.iter
+        (fun expect ->
+          match Wire.read_frame b with
+          | Ok got -> Alcotest.(check string) "frame" expect got
+          | Error e -> Alcotest.failf "read: %s" (Wire.pp_io_error e))
+        [ "x"; String.make 100_000 'y'; "z" ];
+      (* oversize frames are refused before touching the socket *)
+      (match Wire.write_frame a (String.make (Wire.max_frame + 1) 'q') with
+       | Error (Wire.Too_large _) -> ()
+       | Ok () | Error _ -> Alcotest.fail "oversize frame accepted");
+      (* peer hangup reads as Closed *)
+      Unix.close a;
+      match Wire.read_frame b with
+      | Error Wire.Closed -> ()
+      | Ok _ | Error _ -> Alcotest.fail "expected Closed after hangup")
+
+let test_hist () =
+  let h = Stats.Hist.create () in
+  Alcotest.(check (float 0.)) "empty p50" 0. (Stats.Hist.percentile h 0.5);
+  for _ = 1 to 90 do Stats.Hist.observe h 0.001 done;
+  for _ = 1 to 10 do Stats.Hist.observe h 0.5 done;
+  Alcotest.(check int) "count" 100 (Stats.Hist.count h);
+  let p50 = Stats.Hist.percentile h 0.5 in
+  (* the percentile is the bucket's upper bound: never below the true
+     value, at most one bucket ratio (10^(1/6) ~ 1.47) above it *)
+  Alcotest.(check bool) "p50 >= true value" true (p50 >= 0.001);
+  Alcotest.(check bool) "p50 within a bucket" true (p50 <= 0.001 *. 1.5);
+  let p99 = Stats.Hist.percentile h 0.99 in
+  Alcotest.(check bool) "p99 reaches the slow tail" true (p99 >= 0.5);
+  Alcotest.(check (float 1e-9)) "max" 0.5 (Stats.Hist.max_seen h);
+  Alcotest.(check bool) "p100 clamps to max" true
+    (Stats.Hist.percentile h 1.0 <= Stats.Hist.max_seen h)
+
+(* ---- live daemon ----------------------------------------------------- *)
+
+let test_end_to_end () =
+  with_server (fun sock t ->
+      let c = connect sock in
+      (match Client.ping c with
+       | Ok (Wire.Result r) ->
+         Alcotest.(check (option bool)) "pong" (Some true)
+           (Json.get Json.to_bool "pong" r)
+       | Ok (Wire.Err e) -> Alcotest.failf "ping refused: %s" e.Wire.msg
+       | Error msg -> Alcotest.failf "ping: %s" msg);
+      (match Client.synth c xor2 with
+       | Ok (Wire.Result r) ->
+         Alcotest.(check (option string)) "verdict" (Some "sat")
+           (get_str "verdict" r);
+         Alcotest.(check (option string)) "provenance" (Some "exact")
+           (get_str "provenance" r);
+         Alcotest.(check bool) "circuit present" true
+           (match Json.member "circuit" r with
+            | Some (Json.Obj _) -> true
+            | _ -> false)
+       | Ok (Wire.Err e) -> Alcotest.failf "synth refused: %s" e.Wire.msg
+       | Error msg -> Alcotest.failf "synth: %s" msg);
+      (match Client.health c with
+       | Ok (Wire.Result r) ->
+         Alcotest.(check (option string)) "health" (Some "ok")
+           (get_str "status" r)
+       | Ok (Wire.Err e) -> Alcotest.failf "health refused: %s" e.Wire.msg
+       | Error msg -> Alcotest.failf "health: %s" msg);
+      (match Client.stats c with
+       | Ok (Wire.Result r) ->
+         Alcotest.(check (option string)) "stats schema"
+           (Some "mmsynth-serve-stats-v1") (get_str "schema" r);
+         Alcotest.(check bool) "synth counted" true
+           (match Json.member "requests" r with
+            | Some reqs -> get_int "synth" reqs = Some 1
+            | None -> false);
+         Alcotest.(check bool) "engine summary embedded" true
+           (match Json.member "engine" r with
+            | Some e -> get_str "schema" e = Some "mmsynth-stats-v1"
+            | None -> false)
+       | Ok (Wire.Err e) -> Alcotest.failf "stats refused: %s" e.Wire.msg
+       | Error msg -> Alcotest.failf "stats: %s" msg);
+      (* a second identical request is answered from the warm cache *)
+      (match Client.synth c xor2 with
+       | Ok (Wire.Result r) ->
+         Alcotest.(check (option string)) "verdict 2" (Some "sat")
+           (get_str "verdict" r)
+       | Ok (Wire.Err e) -> Alcotest.failf "synth 2 refused: %s" e.Wire.msg
+       | Error msg -> Alcotest.failf "synth 2: %s" msg);
+      (* shutdown over the wire: ok reply first, then the daemon drains *)
+      (match Client.shutdown c with
+       | Ok (Wire.Result _) -> ()
+       | Ok (Wire.Err e) -> Alcotest.failf "shutdown refused: %s" e.Wire.msg
+       | Error msg -> Alcotest.failf "shutdown: %s" msg);
+      Client.close c;
+      Server.wait t;
+      Alcotest.(check bool) "stopped" true (Server.stopped t);
+      Alcotest.(check bool) "socket removed" false (Sys.file_exists sock))
+
+let test_overload_shedding () =
+  (* one slow job at a time (worker delay, batch size 1) and a queue of
+     one: a burst of six concurrent requests must shed most of the burst
+     with typed overloaded replies while the daemon keeps serving *)
+  let engine =
+    Engine.config ~domains:1
+      ~fault:
+        (Fault.create ~seed:11 [ Fault.rule Fault.Worker 1.0 (Fault.Delay 0.6) ])
+      ()
+  in
+  with_server ~engine ~max_pending:1 ~max_batch:1 (fun sock t ->
+      let outcomes = Array.make 6 `Pending in
+      let worker i () =
+        match Client.wait_ready (Client.Unix_sock sock) with
+        | Error _ -> outcomes.(i) <- `Transport
+        | Ok c ->
+          (match Client.synth c (spec_of ~name:(Printf.sprintf "f%d" i) 2 i) with
+           | Ok (Wire.Result _) -> outcomes.(i) <- `Answered
+           | Ok (Wire.Err e) -> outcomes.(i) <- `Refused e.Wire.code
+           | Error _ -> outcomes.(i) <- `Transport);
+          Client.close c
+      in
+      let threads = Array.init 6 (fun i -> Thread.create (worker i) ()) in
+      Array.iter Thread.join threads;
+      let count p = Array.to_list outcomes |> List.filter p |> List.length in
+      let answered = count (fun o -> o = `Answered) in
+      let shed = count (fun o -> o = `Refused Wire.Overloaded) in
+      Alcotest.(check bool) "some answered" true (answered >= 1);
+      Alcotest.(check bool) "some shed" true (shed >= 1);
+      Alcotest.(check int) "no transport failures" 0 (count (fun o -> o = `Transport));
+      (* the daemon survived the burst *)
+      let c = connect sock in
+      (match Client.ping c with
+       | Ok (Wire.Result _) -> ()
+       | Ok (Wire.Err e) -> Alcotest.failf "ping after burst: %s" e.Wire.msg
+       | Error msg -> Alcotest.failf "ping after burst: %s" msg);
+      Client.close c;
+      (* the shed replies are visible in the live stats *)
+      match Json.member "replies" (Server.stats_json t) with
+      | Some replies ->
+        Alcotest.(check bool) "overloaded counted" true
+          (match get_int "overloaded" replies with
+           | Some n -> n >= shed
+           | None -> false)
+      | None -> Alcotest.fail "stats without replies section")
+
+let test_conn_drop_injection () =
+  (* first connection is killed mid-request by the fault plan; the daemon
+     neither crashes nor stops serving the second connection *)
+  let fault =
+    Fault.create ~seed:5 [ Fault.rule ~only:"conn1/" Fault.Conn 1.0 Fault.Crash ]
+  in
+  with_server ~fault (fun sock t ->
+      let c1 = connect sock in
+      (match Client.ping c1 with
+       | Error _ -> ()  (* dropped without a reply, as injected *)
+       | Ok _ -> Alcotest.fail "conn1 should have been dropped");
+      Client.close c1;
+      let c2 = connect sock in
+      (match Client.synth c2 xor2 with
+       | Ok (Wire.Result r) ->
+         Alcotest.(check (option string)) "conn2 verdict" (Some "sat")
+           (get_str "verdict" r)
+       | Ok (Wire.Err e) -> Alcotest.failf "conn2 refused: %s" e.Wire.msg
+       | Error msg -> Alcotest.failf "conn2: %s" msg);
+      Client.close c2;
+      match Json.member "connections" (Server.stats_json t) with
+      | Some conns ->
+        Alcotest.(check bool) "drop counted" true
+          (match get_int "dropped" conns with Some n -> n >= 1 | None -> false)
+      | None -> Alcotest.fail "stats without connections section")
+
+let test_deadline_exceeded () =
+  (* a request whose deadline passes while it queues behind a slow job is
+     answered with the typed error, without running the solver *)
+  let engine =
+    Engine.config ~domains:1
+      ~fault:
+        (Fault.create ~seed:7 [ Fault.rule Fault.Worker 1.0 (Fault.Delay 0.5) ])
+      ()
+  in
+  with_server ~engine ~max_batch:1 ~max_pending:8 (fun sock _t ->
+      let slow_done = ref `Pending in
+      let slow =
+        Thread.create
+          (fun () ->
+            let c = connect sock in
+            (match Client.synth c (spec_of ~name:"slow" 2 0b0110) with
+             | Ok (Wire.Result _) -> slow_done := `Answered
+             | Ok (Wire.Err _) -> slow_done := `Refused
+             | Error _ -> slow_done := `Transport);
+            Client.close c)
+          ()
+      in
+      Thread.delay 0.1;  (* let the slow job reach the dispatcher first *)
+      let c = connect sock in
+      (match Client.synth ~deadline:0.2 c (spec_of ~name:"hurried" 2 0b1001) with
+       | Ok (Wire.Err e) ->
+         Alcotest.(check string) "code" "deadline_exceeded"
+           (Wire.code_tag e.Wire.code)
+       | Ok (Wire.Result _) -> Alcotest.fail "deadline ignored"
+       | Error msg -> Alcotest.failf "transport: %s" msg);
+      Client.close c;
+      Thread.join slow;
+      Alcotest.(check bool) "slow request still answered" true
+        (!slow_done = `Answered))
+
+let test_drain_refuses_new_work () =
+  with_server ~drain_grace:1.0 (fun sock t ->
+      let c = connect sock in
+      (* make sure the connection is fully established and served *)
+      (match Client.ping c with
+       | Ok _ -> ()
+       | Error msg -> Alcotest.failf "ping: %s" msg);
+      Server.request_drain t;
+      Alcotest.(check bool) "draining" true (Server.draining t);
+      (match Client.synth c xor2 with
+       | Ok (Wire.Err e) ->
+         Alcotest.(check string) "code" "unavailable" (Wire.code_tag e.Wire.code)
+       | Ok (Wire.Result _) -> Alcotest.fail "admitted during drain"
+       | Error msg -> Alcotest.failf "transport during drain: %s" msg);
+      Client.close c;
+      Server.wait t;
+      Alcotest.(check bool) "stopped" true (Server.stopped t);
+      Alcotest.(check bool) "socket removed" false (Sys.file_exists sock))
+
+let test_stale_socket_replaced () =
+  (* a socket file left by a dead daemon must not block a restart *)
+  let sock = fresh_socket () in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX sock);
+  Unix.close fd;  (* bound then closed: the path remains, nobody listens *)
+  Alcotest.(check bool) "stale file exists" true (Sys.file_exists sock);
+  let cfg =
+    Server.config ~engine:(Engine.config ~domains:1 ()) ~socket_path:sock ()
+  in
+  (match Server.start cfg with
+   | Error msg -> Alcotest.failf "start over stale socket: %s" msg
+   | Ok t ->
+     let c = connect sock in
+     (match Client.ping c with
+      | Ok (Wire.Result _) -> ()
+      | Ok (Wire.Err e) -> Alcotest.failf "ping: %s" e.Wire.msg
+      | Error msg -> Alcotest.failf "ping: %s" msg);
+     Client.close c;
+     Server.stop t);
+  (* and a live daemon refuses a second daemon on the same path *)
+  let cfg2 =
+    Server.config ~engine:(Engine.config ~domains:1 ()) ~socket_path:sock ()
+  in
+  match Server.start cfg2 with
+  | Ok t2 ->
+    (* first daemon is gone, so this must succeed; now a third must not *)
+    let cfg3 =
+      Server.config ~engine:(Engine.config ~domains:1 ()) ~socket_path:sock ()
+    in
+    (match Server.start cfg3 with
+     | Ok t3 -> Server.stop t3; Server.stop t2;
+       Alcotest.fail "two daemons accepted the same socket"
+     | Error _ -> Server.stop t2)
+  | Error msg -> Alcotest.failf "restart: %s" msg
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "wire",
+        [
+          Alcotest.test_case "request roundtrip" `Quick test_request_roundtrip;
+          Alcotest.test_case "request validation" `Quick test_request_validation;
+          Alcotest.test_case "error roundtrip" `Quick test_error_roundtrip;
+          Alcotest.test_case "frame roundtrip" `Quick test_frame_roundtrip;
+        ] );
+      ("stats", [ Alcotest.test_case "histogram" `Quick test_hist ]);
+      ( "daemon",
+        [
+          Alcotest.test_case "end to end" `Quick test_end_to_end;
+          Alcotest.test_case "overload shedding" `Quick test_overload_shedding;
+          Alcotest.test_case "conn drop injection" `Quick test_conn_drop_injection;
+          Alcotest.test_case "deadline exceeded" `Quick test_deadline_exceeded;
+          Alcotest.test_case "drain refuses new work" `Quick
+            test_drain_refuses_new_work;
+          Alcotest.test_case "stale socket replaced" `Quick
+            test_stale_socket_replaced;
+        ] );
+    ]
