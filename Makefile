@@ -4,7 +4,10 @@
 # smoke: the batch must survive injected worker crashes and a corrupted
 # cache file (quarantining it) and still exit 0 via retries + fallbacks,
 # plus a serve smoke: daemon round trip over a Unix socket, SIGTERM drain,
-# clean exit and no leaked socket file.
+# clean exit and no leaked socket file, plus a ladder smoke: the incremental
+# assumption-ladder sweep and the monolithic fresh-solver oracle must agree
+# on every verdict, both minima and circuit re-verification over a small
+# spec set.
 
 SMOKE_CACHE := $(shell mktemp -u /tmp/mmsynth_smoke_XXXXXX.cache)
 FAULT_CACHE := $(shell mktemp -u /tmp/mmsynth_fault_XXXXXX.cache)
@@ -12,8 +15,8 @@ SERVE_SOCK  := $(shell mktemp -u /tmp/mmsynth_serve_XXXXXX.sock)
 SERVE_CACHE := $(shell mktemp -u /tmp/mmsynth_serve_XXXXXX.cache)
 MMSYNTH     := _build/default/bin/mmsynth.exe
 
-.PHONY: all build test smoke smoke-fault smoke-serve check bench \
-  bench-robustness bench-serve clean
+.PHONY: all build test smoke smoke-fault smoke-serve smoke-ladder check \
+  bench bench-ladder bench-robustness bench-serve clean
 
 all: build
 
@@ -60,10 +63,36 @@ smoke-serve: build
 	rm -f $(SERVE_CACHE); \
 	echo "smoke-serve: OK (round trip + graceful drain, no leaked socket)"
 
-check: test smoke smoke-fault smoke-serve
+# Differential gate for the incremental ladder: the same minimization run
+# through the assumption ladder and through the monolithic oracle must
+# produce identical attempt verdicts, identical N_R/N_VS minima and a
+# re-verified circuit on both paths. Solve times and encoding sizes are
+# expected to differ, so those fields are stripped before diffing.
+smoke-ladder: build
+	@set -e; \
+	tmp=$$(mktemp -d /tmp/mmsynth_ladder_XXXXXX); \
+	for e in 'x1 ^ x2' '(x1 | x2) & x3' '(x1 & x2) | (~x1 & x3)' \
+	  'x1 ^ x2 ^ x3' 'x1 & (x2 | ~x3)'; do \
+	  $(MMSYNTH) synth --minimize --timeout 30 -e "$$e" \
+	    | grep -E '^(tried|N_R minimal|simulator validation)' \
+	    | sed -E 's/ *\([0-9]+ vars.*\)//' > $$tmp/inc.txt; \
+	  $(MMSYNTH) synth --minimize --timeout 30 --no-incremental -e "$$e" \
+	    | grep -E '^(tried|N_R minimal|simulator validation)' \
+	    | sed -E 's/ *\([0-9]+ vars.*\)//' > $$tmp/mono.txt; \
+	  diff -u $$tmp/mono.txt $$tmp/inc.txt || { \
+	    echo "smoke-ladder: incremental/monolithic divergence on '$$e'"; \
+	    rm -rf $$tmp; exit 1; }; \
+	done; \
+	rm -rf $$tmp; \
+	echo "smoke-ladder: OK (verdicts, minima, re-verification identical across paths)"
+
+check: test smoke smoke-fault smoke-serve smoke-ladder
 
 bench:
 	dune exec bench/main.exe -- engine
+
+bench-ladder:
+	dune exec bench/main.exe -- ladder
 
 bench-robustness:
 	dune exec bench/main.exe -- robustness

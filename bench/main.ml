@@ -672,6 +672,183 @@ let engine_bench () =
     speedup cores domains (100. *. hit_rate warm)
 
 (* ------------------------------------------------------------------ *)
+(* Ladder: incremental assumption sweeps vs monolithic re-encoding     *)
+(* ------------------------------------------------------------------ *)
+
+let ladder_bench ?(budget = 60.) ?(limit = 24) () =
+  let module Npn = Mm_engine.Npn in
+  section "Ladder: incremental assumption sweep vs monolithic re-encoding";
+  (* Deterministic sample of 4-input NPN class representatives: enumerate
+     all 2^16 tables, canonicalize, then take an evenly spaced slice of the
+     sorted class list so easy and hard classes are both represented. *)
+  let seen = Hashtbl.create 512 in
+  for v = 0 to 65535 do
+    let rep, _ = Npn.canon (Tt.of_int 4 v) in
+    Hashtbl.replace seen (Tt.to_int rep) ()
+  done;
+  let reps =
+    Array.of_list
+      (List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) seen []))
+  in
+  let n_total = Array.length reps in
+  let limit = max 1 (min limit n_total) in
+  let sample = Array.init limit (fun i -> reps.(i * n_total / limit)) in
+  let specs =
+    Array.map
+      (fun v ->
+        Spec.make ~name:(Printf.sprintf "npn-%04x" v) [| Tt.of_int 4 v |])
+      sample
+  in
+  (* identical caps on every mode keep the sweeps point-for-point
+     comparable: same budget points, same verdicts, different solvers *)
+  let sweep ~incremental ~racing spec =
+    let t0 = Unix.gettimeofday () in
+    let r =
+      Synth.minimize ~timeout_per_call:budget ~max_rops:4 ~max_steps:3
+        ~incremental ~racing spec
+    in
+    let wall = Unix.gettimeofday () -. t0 in
+    let conflicts =
+      List.fold_left
+        (fun acc a -> acc + a.Synth.solver_stats.Mm_sat.Solver.conflicts)
+        0 r.Synth.attempts
+    in
+    (r, wall, conflicts)
+  in
+  let fingerprint (r : Synth.report) =
+    ( (match r.Synth.best with
+       | Some (_, a) -> Some (a.Synth.n_rops, a.Synth.n_legs, a.Synth.steps_per_leg)
+       | None -> None),
+      r.Synth.rops_proven_minimal,
+      r.Synth.steps_proven_minimal )
+  in
+  let timed_out (r : Synth.report) =
+    List.exists (fun a -> a.Synth.verdict = Synth.Timeout) r.Synth.attempts
+  in
+  let t =
+    Table.create
+      [ "class"; "verdict"; "mono(s)"; "inc(s)"; "race(s)"; "confl mono";
+        "confl inc"; "match" ]
+  in
+  let rows = ref [] in
+  let mismatches = ref 0 in
+  let skipped = ref 0 in
+  Array.iter
+    (fun spec ->
+      (* The incremental sweep runs first as a screen: a class that cannot
+         finish inside the per-call budget is reported but excluded from
+         the aggregate — walls of budget-capped runs measure the budget,
+         not the solver, and a timeout verdict is nondeterministic across
+         paths so it cannot participate in the differential check either. *)
+      let ri, wi, ci = sweep ~incremental:true ~racing:false spec in
+      if timed_out ri then begin
+        incr skipped;
+        Table.add_row t
+          [ Spec.name spec; "budget"; "-"; Printf.sprintf "%.2f" wi; "-"; "-";
+            string_of_int ci; "t/o" ];
+        rows := (Spec.name spec, "budget", 0., 0., 0., 0, 0, 0, true, true)
+                :: !rows
+      end
+      else begin
+        let rm, wm, cm = sweep ~incremental:false ~racing:false spec in
+        let rr, wr, cr = sweep ~incremental:true ~racing:true spec in
+        if timed_out rm || timed_out rr then begin
+          incr skipped;
+          Table.add_row t
+            [ Spec.name spec; "budget"; Printf.sprintf "%.2f" wm;
+              Printf.sprintf "%.2f" wi; Printf.sprintf "%.2f" wr;
+              string_of_int cm; string_of_int ci; "t/o" ];
+          rows := (Spec.name spec, "budget", 0., 0., 0., 0, 0, 0, true, true)
+                  :: !rows
+        end
+        else begin
+          let same =
+            fingerprint rm = fingerprint ri && fingerprint rm = fingerprint rr
+          in
+          if not same then incr mismatches;
+          let verdict =
+            match rm.Synth.best with
+            | Some (_, a) ->
+              Printf.sprintf "N_R=%d N_VS=%d" a.Synth.n_rops
+                a.Synth.steps_per_leg
+            | None -> "none"
+          in
+          Table.add_row t
+            [ Spec.name spec; verdict; Printf.sprintf "%.2f" wm;
+              Printf.sprintf "%.2f" wi; Printf.sprintf "%.2f" wr;
+              string_of_int cm; string_of_int ci;
+              (if same then "yes" else "NO") ];
+          rows :=
+            (Spec.name spec, verdict, wm, wi, wr, cm, ci, cr, same, false)
+            :: !rows
+        end
+      end)
+    specs;
+  Table.print t;
+  let rows = List.rev !rows in
+  let done_rows =
+    List.filter (fun (_, _, _, _, _, _, _, _, _, skip) -> not skip) rows
+  in
+  let tot f = List.fold_left (fun acc r -> acc +. f r) 0. done_rows in
+  let wall_mono = tot (fun (_, _, w, _, _, _, _, _, _, _) -> w) in
+  let wall_inc = tot (fun (_, _, _, w, _, _, _, _, _, _) -> w) in
+  let wall_race = tot (fun (_, _, _, _, w, _, _, _, _, _) -> w) in
+  let toti f = List.fold_left (fun acc r -> acc + f r) 0 done_rows in
+  let confl_mono = toti (fun (_, _, _, _, _, c, _, _, _, _) -> c) in
+  let confl_inc = toti (fun (_, _, _, _, _, _, c, _, _, _) -> c) in
+  let confl_race = toti (fun (_, _, _, _, _, _, _, c, _, _) -> c) in
+  let speedup_inc = if wall_inc > 0. then wall_mono /. wall_inc else 0. in
+  let speedup_race = if wall_race > 0. then wall_mono /. wall_race else 0. in
+  let per_class =
+    String.concat ",\n"
+      (List.map
+         (fun (name, verdict, wm, wi, wr, cm, ci, cr, same, skip) ->
+           Printf.sprintf
+             "    { \"class\": \"%s\", \"verdict\": \"%s\", \
+              \"monolithic_wall_s\": %.4f, \"incremental_wall_s\": %.4f, \
+              \"racing_wall_s\": %.4f, \"monolithic_conflicts\": %d, \
+              \"incremental_conflicts\": %d, \"racing_conflicts\": %d, \
+              \"verdicts_match\": %b, \"excluded_over_budget\": %b }"
+             name verdict wm wi wr cm ci cr same skip)
+         rows)
+  in
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"schema\": \"mmsynth-bench-ladder-v1\",\n\
+      \  \"workload\": \"4-input NPN class representatives, minimize sweep \
+       (max_rops=4, max_steps=3)\",\n\
+      \  \"cores\": %d,\n\
+      \  \"budget_per_call_s\": %.1f,\n\
+      \  \"classes_total\": %d,\n\
+      \  \"classes_sampled\": %d,\n\
+      \  \"classes_over_budget\": %d,\n\
+      \  \"monolithic_wall_s\": %.3f,\n\
+      \  \"incremental_wall_s\": %.3f,\n\
+      \  \"racing_wall_s\": %.3f,\n\
+      \  \"monolithic_conflicts\": %d,\n\
+      \  \"incremental_conflicts\": %d,\n\
+      \  \"racing_conflicts\": %d,\n\
+      \  \"speedup_incremental\": %.2f,\n\
+      \  \"speedup_racing\": %.2f,\n\
+      \  \"verdict_mismatches\": %d,\n\
+      \  \"per_class\": [\n%s\n  ]\n\
+       }"
+      (Domain.recommended_domain_count ())
+      budget n_total limit !skipped wall_mono wall_inc wall_race confl_mono
+      confl_inc confl_race speedup_inc speedup_race !mismatches per_class
+  in
+  let oc = open_out "BENCH_ladder.json" in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf
+    "\nincremental %.2fx, incremental+racing %.2fx vs monolithic \
+     (%d/%d classes, %d over budget, %d mismatches); written to \
+     BENCH_ladder.json\n"
+    speedup_inc speedup_race limit n_total !skipped !mismatches
+
+(* ------------------------------------------------------------------ *)
 (* Robustness: batch completion and overhead under injected faults     *)
 (* ------------------------------------------------------------------ *)
 
@@ -1056,6 +1233,11 @@ let usage () =
     \  crossbar     line array vs crossbar latency (extension D)\n\
     \  heuristic    scalable heuristic synthesis (extension E)\n\
     \  engine       batch engine: NPN classes + cache + domain pool -> BENCH_engine.json\n\
+    \  ladder       incremental assumption sweep vs monolithic -> BENCH_ladder.json;\n\
+    \               --budget SECONDS, --limit N classes\n\
+    \  ladder-probe TABLE   per-attempt diagnostic for one 4-input class, both\n\
+    \               paths (all-digit table ids need an x prefix, e.g. x0690)\n\
+    \  ladder-scan  depth/hardness map of all 4-input classes, incremental only\n\
     \  robustness   completion/overhead under injected faults -> BENCH_robustness.json\n\
     \  serve        resident daemon load test, warm vs cold -> BENCH_serve.json\n\
     \  perf         Bechamel micro-benchmarks\n\
@@ -1074,6 +1256,7 @@ let () =
   in
   let budget = value "--budget" 120. in
   let trials = int_of_float (value "--trials" 40.) in
+  let limit = int_of_float (value "--limit" 24.) in
   let full = has "--full" in
   let run_all () =
     table1 ();
@@ -1089,6 +1272,7 @@ let () =
     crossbar ();
     heuristic_bench ();
     engine_bench ();
+    ladder_bench ~budget:60. ~limit ();
     robustness_bench ();
     serve_bench ();
     perf ()
@@ -1115,6 +1299,81 @@ let () =
   | [ "crossbar" ] -> crossbar ()
   | [ "heuristic" ] -> heuristic_bench ()
   | [ "engine" ] -> engine_bench ()
+  | [ "ladder" ] ->
+    ladder_bench ~budget:(value "--budget" 60.) ~limit ()
+  | [ "ladder-scan" ] ->
+    (* depth/hardness map of all 4-input NPN classes, incremental path only *)
+    let module Npn = Mm_engine.Npn in
+    let seen = Hashtbl.create 512 in
+    for v = 0 to 65535 do
+      let rep, _ = Npn.canon (Tt.of_int 4 v) in
+      Hashtbl.replace seen (Tt.to_int rep) ()
+    done;
+    let reps =
+      List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) seen [])
+    in
+    List.iter
+      (fun v ->
+        let spec =
+          Spec.make ~name:(Printf.sprintf "npn-%04x" v) [| Tt.of_int 4 v |]
+        in
+        let t0 = Unix.gettimeofday () in
+        let r =
+          Synth.minimize ~timeout_per_call:(value "--budget" 3.) ~max_rops:4
+            ~max_steps:3 spec
+        in
+        let wall = Unix.gettimeofday () -. t0 in
+        let verdict =
+          match r.Synth.best with
+          | Some (_, a) ->
+            Printf.sprintf "N_R=%d N_VS=%d" a.Synth.n_rops a.Synth.steps_per_leg
+          | None -> "none"
+        in
+        Printf.printf "%04x %-14s %5.2fs attempts=%d%s\n%!" v verdict wall
+          (List.length r.Synth.attempts)
+          (if
+             List.exists
+               (fun a -> a.Synth.verdict = Synth.Timeout)
+               r.Synth.attempts
+           then " TIMEOUT"
+           else ""))
+      reps
+  | [ "ladder-probe"; hex ] ->
+    (* per-attempt diagnostic for one 4-input class, both paths; an all-digit
+       table id must be written with an `x` prefix (e.g. x0690) or it is
+       swallowed by the numeric-option filter above *)
+    let hex =
+      if String.length hex > 0 && hex.[0] = 'x' then
+        String.sub hex 1 (String.length hex - 1)
+      else hex
+    in
+    let v = int_of_string ("0x" ^ hex) land 0xffff in
+    let spec =
+      Spec.make ~name:(Printf.sprintf "npn-%04x" v) [| Tt.of_int 4 v |]
+    in
+    List.iter
+      (fun (label, incremental) ->
+        let t0 = Unix.gettimeofday () in
+        let r =
+          Synth.minimize ~timeout_per_call:(value "--budget" 10.) ~max_rops:4
+            ~max_steps:3 ~incremental spec
+        in
+        Printf.printf "%s: %.3fs\n" label (Unix.gettimeofday () -. t0);
+        List.iter
+          (fun a ->
+            let s = a.Synth.solver_stats in
+            Printf.printf
+              "  N_R=%d N_L=%d N_VS=%d %-7s t=%.3fs confl=%d props=%d \
+               decisions=%d\n"
+              a.Synth.n_rops a.Synth.n_legs a.Synth.steps_per_leg
+              (match a.Synth.verdict with
+               | Synth.Sat _ -> "SAT"
+               | Synth.Unsat -> "UNSAT"
+               | Synth.Timeout -> "timeout")
+              a.Synth.time_s s.Mm_sat.Solver.conflicts
+              s.Mm_sat.Solver.propagations s.Mm_sat.Solver.decisions)
+          r.Synth.attempts)
+      [ ("mono", false); ("inc", true) ]
   | [ "robustness" ] -> robustness_bench ()
   | [ "serve" ] -> serve_bench ()
   | [ "perf" ] -> perf ()

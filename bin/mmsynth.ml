@@ -90,6 +90,12 @@ let final_taps =
          ~doc:"Restrict R-op inputs to leg-final values (directly \
                schedulable; the paper's formula allows intermediate taps).")
 
+let no_incremental =
+  Arg.(value & flag & info [ "no-incremental" ]
+         ~doc:"Disable the incremental assumption-ladder sweep and solve \
+               every budget point on a fresh solver (the monolithic \
+               differential-testing oracle; slower).")
+
 let dot_out = Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"FILE"
                      ~doc:"Write the circuit as Graphviz dot.")
 
@@ -113,15 +119,19 @@ let print_circuit ~json ~dot c =
 
 let synth_cmd =
   let run exprs pla tables arity name timeout rops legs steps minimize r_only
-      final json dot =
+      final no_inc json dot =
     match spec_of_inputs name exprs arity pla tables with
     | Error msg -> `Error (false, msg)
     | Ok spec ->
     let n_out = Spec.output_count spec in
     if minimize then begin
+      let incremental = not no_inc in
       let report =
-        if r_only then Synth.minimize_r_only ~timeout_per_call:timeout spec
-        else Synth.minimize ~timeout_per_call:timeout ~taps:(taps_of final) spec
+        if r_only then
+          Synth.minimize_r_only ~timeout_per_call:timeout ~incremental spec
+        else
+          Synth.minimize ~timeout_per_call:timeout ~taps:(taps_of final)
+            ~incremental spec
       in
       List.iter (fun a -> Format.printf "tried %a@." Synth.pp_attempt a)
         report.Synth.attempts;
@@ -169,7 +179,7 @@ let synth_cmd =
       ret
         (const run $ exprs $ pla_file $ tables_file $ arity $ name_t $ timeout
         $ rops $ legs $ steps $ minimize_flag $ r_only $ final_taps
-        $ json_flag $ dot_out))
+        $ no_incremental $ json_flag $ dot_out))
   in
   Cmd.v
     (Cmd.info "synth" ~doc:"Synthesize a mixed-mode memristive circuit via SAT.")
@@ -332,12 +342,12 @@ let batch_cmd =
   let json_stats_flag =
     Arg.(value & flag & info [ "json" ]
            ~doc:"Also print the run summary as JSON (the shared \
-                 $(b,mmsynth-stats-v1) schema used by the serve daemon's \
+                 $(b,mmsynth-stats-v2) schema used by the serve daemon's \
                  stats endpoint and the benches).")
   in
   let run exprs pla tables arity name timeout batch_arity jobs cache_file
-      no_npn final stats limit deadline retries fallback inject inject_seed
-      json_stats =
+      no_npn final no_inc stats limit deadline retries fallback inject
+      inject_seed json_stats =
     let specs =
       match batch_arity with
       | Some n when n >= 1 && n <= 4 -> Ok (Engine.all_functions ~arity:n)
@@ -381,7 +391,7 @@ let batch_cmd =
       let cfg =
         Engine.config ~timeout_per_call:timeout ?domains:jobs
           ~canonicalize:(not no_npn) ~taps:(taps_of final) ?cache
-          ?deadline ~retries ~fallback ?fault ()
+          ?deadline ~retries ~fallback ?fault ~incremental:(not no_inc) ()
       in
       Printf.printf "batch: %d functions, %d domains%s\n%!"
         (Array.length specs) cfg.Engine.domains
@@ -513,9 +523,9 @@ let batch_cmd =
     Term.(
       ret
         (const run $ exprs $ pla_file $ tables_file $ arity $ name_t $ timeout
-        $ batch_arity $ jobs $ cache_file $ no_npn $ final_taps $ stats_flag
-        $ limit $ deadline_flag $ retries_flag $ fallback_flag $ inject_flag
-        $ inject_seed_flag $ json_stats_flag))
+        $ batch_arity $ jobs $ cache_file $ no_npn $ final_taps
+        $ no_incremental $ stats_flag $ limit $ deadline_flag $ retries_flag
+        $ fallback_flag $ inject_flag $ inject_seed_flag $ json_stats_flag))
 
 (* ---- serve / client: resident synthesis daemon ------------------------ *)
 
@@ -584,7 +594,7 @@ let serve_cmd =
     Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"No log lines on stderr.")
   in
   let run socket tcp jobs cache_file timeout max_pending max_batch
-      request_deadline drain_grace fallback inject inject_seed quiet =
+      request_deadline drain_grace fallback inject inject_seed no_inc quiet =
     let fault =
       match inject with
       | None -> Ok None
@@ -605,7 +615,7 @@ let serve_cmd =
       in
       let engine =
         Engine.config ~timeout_per_call:timeout ?domains:jobs ?cache
-          ~fallback:fb ?fault ()
+          ~fallback:fb ?fault ~incremental:(not no_inc) ()
       in
       let log =
         if quiet then None
@@ -632,7 +642,7 @@ let serve_cmd =
       ret
         (const run $ socket_arg $ tcp $ jobs $ cache_file $ timeout
         $ max_pending $ max_batch $ request_deadline $ drain_grace
-        $ fallback_tag $ inject $ inject_seed $ quiet))
+        $ fallback_tag $ inject $ inject_seed $ no_incremental $ quiet))
 
 let client_cmd =
   let tcp =

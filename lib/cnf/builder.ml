@@ -100,3 +100,8 @@ let implies_equiv t antecedent a b =
 
 let equiv t a b = implies_equiv t [] a b
 let fix t l b = add t [ (if b then l else Lit.negate l) ]
+
+let chain_implies t lits =
+  for k = 0 to Array.length lits - 2 do
+    add t [ Lit.negate lits.(k + 1); lits.(k) ]
+  done

@@ -64,3 +64,10 @@ val equiv : t -> Lit.t -> Lit.t -> unit
 
 (** [fix t l b]: unit clause assigning [l] the value [b]. *)
 val fix : t -> Lit.t -> bool -> unit
+
+(** [chain_implies t lits]: the monotone chain [lits.(k+1) → lits.(k)] for
+    every consecutive pair — an activation ladder: once literal [k+1] holds,
+    all lower-indexed literals are forced. Fixing a single boundary pair then
+    pins the whole vector (used by the incremental synthesis ladder's
+    activation selectors). *)
+val chain_implies : t -> Lit.t array -> unit

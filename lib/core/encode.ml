@@ -124,7 +124,30 @@ let exactly_one b ~style lits =
 
 (* ---------------------------------------------------------------------- *)
 
-let build b cfg spec =
+(* Activation selectors for the incremental budget ladder: one variable per
+   leg, per V-step (shared across legs) and per R-op. The formula is built
+   once at the maximum dimensions; assuming a prefix of each vector true and
+   the rest false restricts it to exactly the sub-budget instance:
+
+   - the V-op semantics of (leg, step) only apply while both are active;
+   - a deactivated step on an active leg is FORCED to hold the previous
+     state (not merely released): leg-final taps read the last row, so a
+     floating suffix step could invent a value the active prefix cannot
+     produce, making a SAT answer under assumptions decode to a circuit
+     that does not realize f at the truncated dimensions;
+   - R-op semantics only apply to active R-ops, and an active R-op (or an
+     output, which is always active) may only select active sources. The
+     exclusion is released for inactive R-ops so their exactly-one input
+     selectors stay trivially satisfiable. *)
+type activation = {
+  leg_act : int array;
+  step_act : int array;
+  rop_act : int array;
+  live : int array array;
+  susp : int array array;
+}
+
+let build_gen act b cfg spec =
   let n = Spec.arity spec in
   let nt = 1 lsl n in
   let nlits = Literal.count n in
@@ -223,16 +246,39 @@ let build b cfg spec =
      (* state evolution *)
      for leg = 0 to cfg.n_legs - 1 do
        for step = 0 to cfg.steps_per_leg - 1 do
+         (* activation: semantics only bind while leg and step are active.
+            [live] is the defined product leg_act ∧ step_act, so the guard
+            costs one literal per clause instead of two. *)
+         let guard =
+           match act with
+           | None -> []
+           | Some a -> [ neg a.live.(leg).(step) ]
+         in
          for q = 0 to nt - 1 do
            let prev =
              if step = 0 then Const false else Var v_var.(leg).(step - 1).(q)
            in
            vop_semantics
-             ~clause:(Builder.add b)
+             ~clause:(fun c -> Builder.add b (guard @ c))
              ~v':v_var.(leg).(step).(q) ~prev
              ~te:(Var te_sig.(leg).(step).(q))
              ~be:(Var (be_sig_of leg step).(q))
-         done
+         done;
+         (* active leg + deactivated step: forced no-op (hold) so leg-final
+            taps read through the deactivated suffix *)
+         (match act with
+          | None -> ()
+          | Some a ->
+            let hold = [ neg a.susp.(leg).(step) ] in
+            for q = 0 to nt - 1 do
+              let v' = v_var.(leg).(step).(q) in
+              if step = 0 then Builder.add b (hold @ [ neg v' ])
+              else begin
+                let prev = v_var.(leg).(step - 1).(q) in
+                Builder.add b (hold @ [ neg v'; pos prev ]);
+                Builder.add b (hold @ [ pos v'; neg prev ])
+              end
+            done)
        done
      done
    | Direct ->
@@ -343,8 +389,14 @@ let build b cfg spec =
      for i = 0 to cfg.n_rops - 1 do
        bind gin1.(i) in1_sig.(i) rop_cand_arrays.(i);
        bind gin2.(i) in2_sig.(i) rop_cand_arrays.(i);
+       (* activation: an inactive R-op's semantics are released entirely *)
+       let guard =
+         match act with None -> [] | Some a -> [ neg a.rop_act.(i) ]
+       in
        for q = 0 to nt - 1 do
-         rop_semantics cfg.rop_kind ~clause:(Builder.add b) ~r:r_var.(i).(q)
+         rop_semantics cfg.rop_kind
+           ~clause:(fun c -> Builder.add b (guard @ c))
+           ~r:r_var.(i).(q)
            ~a:(Var in1_sig.(i).(q)) ~b:(Var in2_sig.(i).(q))
        done
      done
@@ -408,6 +460,35 @@ let build b cfg spec =
          out_cand_array
      done);
 
+  (* --- activation: selecting a source requires that source be active --- *)
+  (match act with
+   | None -> ()
+   | Some a ->
+     let src_requires = function
+       | Circuit.From_literal _ -> []
+       | Circuit.From_leg l -> [ pos a.leg_act.(l) ]
+       | Circuit.From_vop (l, s) -> [ pos a.live.(l).(s) ]
+       | Circuit.From_rop r -> [ pos a.rop_act.(r) ]
+     in
+     let exclude release gsel cands =
+       Array.iteri
+         (fun jc (src, _) ->
+           List.iter
+             (fun need -> Builder.add b (release @ [ neg gsel.(jc); need ]))
+             (src_requires src))
+         cands
+     in
+     for i = 0 to cfg.n_rops - 1 do
+       (* released when the selecting R-op is itself inactive, so its
+          exactly-one input groups stay satisfiable at every budget point *)
+       let release = [ neg a.rop_act.(i) ] in
+       exclude release gin1.(i) rop_cand_arrays.(i);
+       exclude release gin2.(i) rop_cand_arrays.(i)
+     done;
+     for o = 0 to n_out - 1 do
+       exclude [] gout.(o) out_cand_array
+     done);
+
   (* --- designer constraints --- *)
   List.iter
     (fun (leg, step, l) ->
@@ -459,6 +540,51 @@ let build b cfg spec =
     out_sources = Array.map fst out_cand_array;
   }
 
+let build b cfg spec = build_gen None b cfg spec
+
+let build_with_activation b cfg spec =
+  if cfg.style <> Compact then
+    invalid_arg "Encode.build_with_activation: requires Compact style";
+  (* activation variables first: chained so a single boundary assumption
+     pins the whole vector, and dense so assumption arrays stay small *)
+  let fresh k = Array.init k (fun _ -> Builder.fresh_var b) in
+  let leg_act = fresh cfg.n_legs in
+  let step_act = fresh cfg.steps_per_leg in
+  let rop_act = fresh cfg.n_rops in
+  let chain v = Builder.chain_implies b (Array.map pos v) in
+  chain leg_act;
+  chain step_act;
+  chain rop_act;
+  (* Product literals: every clause of the V-machine is gated by one
+     literal instead of two. Both implication directions are required —
+     a [live] floating true on a deactivated step would impose V-op
+     semantics the hold clauses contradict, and a floating [susp] would
+     pin an active step to holding; either is a spurious UNSAT. *)
+  let product define =
+    Array.init cfg.n_legs (fun l ->
+        Array.init cfg.steps_per_leg (fun s ->
+            let v = Builder.fresh_var b in
+            define v leg_act.(l) step_act.(s);
+            v))
+  in
+  let live =
+    (* live(l,s) <-> leg_act(l) /\ step_act(s) *)
+    product (fun v la sa ->
+        Builder.add b [ neg v; pos la ];
+        Builder.add b [ neg v; pos sa ];
+        Builder.add b [ pos v; neg la; neg sa ])
+  in
+  let susp =
+    (* susp(l,s) <-> leg_act(l) /\ ~step_act(s) *)
+    product (fun v la sa ->
+        Builder.add b [ neg v; pos la ];
+        Builder.add b [ neg v; neg sa ];
+        Builder.add b [ pos v; neg la; pos sa ])
+  in
+  let a = { leg_act; step_act; rop_act; live; susp } in
+  let t = build_gen (Some a) b cfg spec in
+  (t, a)
+
 let selected ~value sel what =
   let chosen = ref [] in
   Array.iteri (fun j v -> if value v then chosen := j :: !chosen) sel;
@@ -469,16 +595,27 @@ let selected ~value sel what =
       (Printf.sprintf "Encode.decode: %s selector has %d true entries" what
          (List.length l))
 
-let decode t ~value =
+let decode_prefix t ~value ~n_legs ~steps_per_leg ~n_rops =
   let cfg = t.cfg in
+  if
+    n_legs < 0 || n_legs > cfg.n_legs
+    || steps_per_leg < 0
+    || steps_per_leg > cfg.steps_per_leg
+    || n_rops < 0
+    || n_rops > cfg.n_rops
+  then invalid_arg "Encode.decode_prefix: dimensions exceed the encoding";
+  (* same normalization as [config]: no legs and no steps go together *)
+  let n_legs, steps_per_leg =
+    if n_legs = 0 || steps_per_leg = 0 then (0, 0) else (n_legs, steps_per_leg)
+  in
   let be_sel_of leg step =
     match cfg.style, cfg.shared_be with
     | Compact, true -> t.be_sel.(0).(step)
     | Compact, false | Direct, _ -> t.be_sel.(leg).(step)
   in
   let legs =
-    Array.init cfg.n_legs (fun leg ->
-        Array.init cfg.steps_per_leg (fun step ->
+    Array.init n_legs (fun leg ->
+        Array.init steps_per_leg (fun step ->
             let te_j = selected ~value t.te_sel.(leg).(step) "TE" in
             let be_j = selected ~value (be_sel_of leg step) "BE" in
             {
@@ -487,7 +624,7 @@ let decode t ~value =
             }))
   in
   let rops =
-    Array.init cfg.n_rops (fun i ->
+    Array.init n_rops (fun i ->
         let j1 = selected ~value t.gin1.(i) "In1" in
         let j2 = selected ~value t.gin2.(i) "In2" in
         { Circuit.in1 = t.rop_sources.(i).(j1); in2 = t.rop_sources.(i).(j2) })
@@ -500,6 +637,10 @@ let decode t ~value =
         t.out_sources.(j))
   in
   Circuit.make ~arity:t.n ~rop_kind:cfg.rop_kind ~legs ~rops ~outputs ()
+
+let decode t ~value =
+  decode_prefix t ~value ~n_legs:t.cfg.n_legs
+    ~steps_per_leg:t.cfg.steps_per_leg ~n_rops:t.cfg.n_rops
 
 let size cfg spec =
   let b = Builder.create () in

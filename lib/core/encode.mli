@@ -46,10 +46,10 @@ type config = {
 }
 
 (** Solver-ready defaults: compact style, final taps, shared BE. Symmetry
-    breaking defaults to {e off}: ablation C (bench harness) measures that
-    on these instance sizes the leg-ordering and input-ordering constraints
-    interact badly with phase saving and slow the solver down; it remains
-    available for larger instances. *)
+    breaking defaults to {e off} at this layer ({!Synth.minimize} turns it
+    on): ablation C (bench harness) measures its interaction with phase
+    saving on these instance sizes, and keeping the raw encoding neutral
+    lets that ablation keep comparing both polarities. *)
 val config :
   ?rop_kind:Rop.kind ->
   ?shared_be:bool ->
@@ -74,11 +74,52 @@ type t
     available sources). *)
 val build : Builder.t -> config -> Spec.t -> t
 
+(** Activation selectors for the incremental budget ladder ({!Ladder}): one
+    variable per leg, per V-step (shared across legs) and per R-op, each
+    vector chained [act(k+1) → act(k)] so a prefix assumption pins it.
+    Assuming the first [k] variables of a vector true and the rest false
+    restricts the max-budget formula to the exact sub-budget instance:
+    deactivated steps on active legs are {e forced} to hold the previous
+    state (a merely unconstrained suffix step could invent values the
+    active prefix cannot produce — leg-final taps read the last row), and
+    active R-ops and outputs may only select active sources. *)
+type activation = {
+  leg_act : int array;
+  step_act : int array;
+  rop_act : int array;
+  live : int array array;
+      (** [live.(l).(s)] is the defined product [leg_act.(l) ∧ step_act.(s)]
+          — the single guard literal on every V-op semantics clause. *)
+  susp : int array array;
+      (** [susp.(l).(s)] is [leg_act.(l) ∧ ¬step_act.(s)] — the single guard
+          literal on the forced-hold clauses of deactivated steps. *)
+}
+
+(** [build_with_activation builder cfg spec] emits Φ at the dimensions of
+    [cfg] plus the activation machinery, returning the layout and the
+    activation variables. Raises [Invalid_argument] unless
+    [cfg.style = Compact]. *)
+val build_with_activation : Builder.t -> config -> Spec.t -> t * activation
+
 (** [decode t ~value] reconstructs the synthesized circuit from a model
     ([value] maps solver variables to booleans). Raises [Failure] if a
     selector group is not exactly-one (which would indicate an encoder
     bug). *)
 val decode : t -> value:(int -> bool) -> Circuit.t
+
+(** [decode_prefix t ~value ~n_legs ~steps_per_leg ~n_rops] decodes only the
+    active prefix of a model obtained under activation assumptions: the
+    first [n_legs] legs with their first [steps_per_leg] steps, and the
+    first [n_rops] R-ops. The activation exclusion clauses guarantee every
+    decoded source falls inside that prefix. Raises [Invalid_argument] if a
+    dimension exceeds the encoded maximum. *)
+val decode_prefix :
+  t ->
+  value:(int -> bool) ->
+  n_legs:int ->
+  steps_per_leg:int ->
+  n_rops:int ->
+  Circuit.t
 
 (** Formula size of a configuration without solving: (variables, clauses). *)
 val size : config -> Spec.t -> int * int

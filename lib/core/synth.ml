@@ -2,9 +2,9 @@ module Spec = Mm_boolfun.Spec
 module Solver = Mm_sat.Solver
 module Builder = Mm_cnf.Builder
 
-type verdict = Sat of Circuit.t | Unsat | Timeout
+type verdict = Ladder.verdict = Sat of Circuit.t | Unsat | Timeout
 
-type attempt = {
+type attempt = Ladder.attempt = {
   n_legs : int;
   steps_per_leg : int;
   n_rops : int;
@@ -70,9 +70,20 @@ let pp_attempt ppf a =
 
 (* The paper's outer loop. Phase 1 fixes N_VS = max_steps and grows N_R from
    0 until SAT; every UNSAT on the way is an optimality certificate for that
-   N_R. Phase 2 keeps the minimal N_R and grows N_VS from 1 until SAT. *)
+   N_R. Phase 2 keeps the minimal N_R and grows N_VS from 1 until SAT.
+
+   With [incremental] (the default) both phases run as assumption-restricted
+   points of one max-budget {!Ladder} encoding on a single solver; the
+   monolithic fresh-solver-per-point path is retained as the
+   differential-testing oracle. [racing] additionally overlaps each frontier
+   point with its successor on a second, independent ladder instance running
+   in its own domain — the speculation is consumed when the frontier answer
+   is UNSAT/timeout (the sweep was going to solve it next anyway) and
+   cancelled through the solver's [stop] hook when the frontier answer is
+   SAT. *)
 let minimize ?(timeout_per_call = 60.) ?max_rops ?(max_steps = 0) ?legs_of
-    ?(rop_kind = Rop.Nor) ?(taps = Encode.Any_vop) ?lookup ?store spec =
+    ?(rop_kind = Rop.Nor) ?(taps = Encode.Any_vop) ?(symmetry_breaking = true)
+    ?(incremental = true) ?(racing = false) ?lookup ?store spec =
   let max_steps =
     if max_steps > 0 then max_steps else Spec.arity spec + 2
   in
@@ -84,41 +95,138 @@ let minimize ?(timeout_per_call = 60.) ?max_rops ?(max_steps = 0) ?legs_of
     | Some f -> f
     | None -> fun n_rops -> default_legs spec ~n_rops
   in
+  let racing = racing && incremental in
+  let make_ladder enc_rops =
+    let max_legs = ref 0 in
+    for r = 0 to enc_rops do
+      max_legs := max !max_legs (legs_of r)
+    done;
+    Ladder.create ~rop_kind ~taps ~symmetry_breaking ~max_legs:!max_legs
+      ~max_steps ~max_rops:enc_rops spec
+  in
+  (* The shared encoding is sized for the budget points actually visited,
+     not the worst case: an encoding at [max_rops] would tax every
+     propagation of every point with clauses for budgets the sweep never
+     reaches. Start near the bottom of the sweep and rebuild exactly as far
+     as the requested point when it exceeds the current caps: a rebuild
+     forfeits the learnt clauses accumulated so far either way (they are
+     forfeited at the same moment under any growth rule — the rebuild
+     happens when the out-of-range point is first requested), so
+     over-shooting the new cap buys no extra reuse and only re-introduces
+     the oversized-encoding tax for the remaining points. *)
+  let ladder_for cell ~n_rops =
+    match !cell with
+    | Some (enc, l) when n_rops <= enc -> l
+    | _ ->
+      let enc = min max_rops (max 2 n_rops) in
+      let l = make_ladder enc in
+      cell := Some (enc, l);
+      l
+  in
+  let ladder = ref None in
+  (* the racing instance: same encoding, its own solver, touched only by
+     the speculative domain *)
+  let race_ladder = ref None in
   let attempts = ref [] in
   (* Dimensions answered once in this call are never re-solved: a custom
      [legs_of] can map different N_R to the same (N_L, N_VS, N_R) request,
      and an UNSAT certificate for those dimensions stays valid. *)
   let memo : (int * int * int, attempt) Hashtbl.t = Hashtbl.create 8 in
+  let record (n_legs, steps, n_rops) a =
+    Hashtbl.replace memo (n_legs, steps, n_rops) a;
+    attempts := a :: !attempts
+  in
   let run ~n_rops ~steps =
     let n_legs = legs_of n_rops in
     match Hashtbl.find_opt memo (n_legs, steps, n_rops) with
     | Some a -> a
     | None ->
       let cfg =
-        Encode.config ~rop_kind ~taps ~n_legs ~steps_per_leg:steps ~n_rops ()
+        Encode.config ~rop_kind ~taps ~symmetry_breaking ~n_legs
+          ~steps_per_leg:steps ~n_rops ()
       in
       let cached = match lookup with Some f -> f cfg | None -> None in
       let a =
         match cached with
         | Some a -> a
         | None ->
-          let a = solve_instance ~timeout:timeout_per_call cfg spec in
+          let a =
+            if incremental then
+              Ladder.solve_point ~timeout:timeout_per_call
+                (ladder_for ladder ~n_rops) ~n_legs ~steps ~n_rops
+            else solve_instance ~timeout:timeout_per_call cfg spec
+          in
           (match store with Some g -> g cfg a | None -> ());
           a
       in
-      Hashtbl.replace memo (n_legs, steps, n_rops) a;
-      attempts := a :: !attempts;
+      record (n_legs, steps, n_rops) a;
       a
+  in
+  (* Speculative solve of a successor point. The domain touches only the
+     racing ladder; all shared bookkeeping happens after the join, on the
+     calling domain. *)
+  let race_next ~n_rops ~steps =
+    let n_legs = legs_of n_rops in
+    if (not racing) || Hashtbl.mem memo (n_legs, steps, n_rops) then None
+    else begin
+      let stop = Atomic.make false in
+      let dom =
+        Domain.spawn (fun () ->
+            try
+              Ok
+                (Ladder.solve_point
+                   ~stop:(fun () -> Atomic.get stop)
+                   ~timeout:timeout_per_call
+                   (ladder_for race_ladder ~n_rops)
+                   ~n_legs ~steps ~n_rops)
+            with e -> Error e)
+      in
+      Some (stop, dom, (n_legs, steps, n_rops))
+    end
+  in
+  let join_race ~cancel (stop, dom, key) =
+    if cancel then Atomic.set stop true;
+    match Domain.join dom with
+    | Error e -> raise e
+    | Ok a ->
+      if cancel then None
+      else begin
+        let n_legs, steps, n_rops = key in
+        let cfg =
+          Encode.config ~rop_kind ~taps ~symmetry_breaking ~n_legs
+            ~steps_per_leg:steps ~n_rops ()
+        in
+        (match store with Some g -> g cfg a | None -> ());
+        record key a;
+        Some a
+      end
   in
   (* Phase 1: minimal N_R at generous N_VS *)
   let rec find_rops n_rops all_proven =
     if n_rops > max_rops then (None, all_proven)
-    else
+    else begin
+      let speculation =
+        if n_rops + 1 <= max_rops then
+          race_next ~n_rops:(n_rops + 1) ~steps:max_steps
+        else None
+      in
       let a = run ~n_rops ~steps:max_steps in
       match a.verdict with
-      | Sat c -> (Some (n_rops, c, a), all_proven)
-      | Unsat -> find_rops (n_rops + 1) all_proven
-      | Timeout -> find_rops (n_rops + 1) false
+      | Sat c ->
+        Option.iter (fun h -> ignore (join_race ~cancel:true h)) speculation;
+        (Some (n_rops, c, a), all_proven)
+      | Unsat | Timeout -> (
+        let proven =
+          all_proven && (match a.verdict with Unsat -> true | _ -> false)
+        in
+        match Option.bind speculation (join_race ~cancel:false) with
+        | None -> find_rops (n_rops + 1) proven
+        | Some a2 -> (
+          match a2.verdict with
+          | Sat c -> (Some (n_rops + 1, c, a2), proven)
+          | Unsat -> find_rops (n_rops + 2) proven
+          | Timeout -> find_rops (n_rops + 2) false))
+    end
   in
   match find_rops 0 true with
   | None, proven ->
@@ -128,12 +236,28 @@ let minimize ?(timeout_per_call = 60.) ?max_rops ?(max_steps = 0) ?legs_of
     (* Phase 2: minimal N_VS for this N_R *)
     let rec find_steps steps all_proven =
       if steps >= max_steps then (None, all_proven)
-      else
+      else begin
+        let speculation =
+          if steps + 1 < max_steps then race_next ~n_rops ~steps:(steps + 1)
+          else None
+        in
         let a = run ~n_rops ~steps in
         match a.verdict with
-        | Sat c -> (Some (c, a), all_proven)
-        | Unsat -> find_steps (steps + 1) all_proven
-        | Timeout -> find_steps (steps + 1) false
+        | Sat c ->
+          Option.iter (fun h -> ignore (join_race ~cancel:true h)) speculation;
+          (Some (c, a), all_proven)
+        | Unsat | Timeout -> (
+          let proven =
+            all_proven && (match a.verdict with Unsat -> true | _ -> false)
+          in
+          match Option.bind speculation (join_race ~cancel:false) with
+          | None -> find_steps (steps + 1) proven
+          | Some a2 -> (
+            match a2.verdict with
+            | Sat c -> (Some (c, a2), proven)
+            | Unsat -> find_steps (steps + 2) proven
+            | Timeout -> find_steps (steps + 2) false))
+      end
     in
     let best, steps_proven =
       match find_steps 1 true with
@@ -148,17 +272,36 @@ let minimize ?(timeout_per_call = 60.) ?max_rops ?(max_steps = 0) ?legs_of
     }
 
 let minimize_r_only ?(timeout_per_call = 60.) ?max_rops ?(rop_kind = Rop.Nor)
-    spec =
+    ?(symmetry_breaking = true) ?(incremental = true) ?lookup ?store spec =
   let baseline = Baseline.nor_network spec in
   let max_rops =
     match max_rops with Some m -> m | None -> Circuit.n_rops baseline
   in
+  let ladder =
+    lazy
+      (Ladder.create ~rop_kind ~symmetry_breaking ~max_legs:0 ~max_steps:0
+         ~max_rops spec)
+  in
   let attempts = ref [] in
   let run n_rops =
     let cfg =
-      Encode.config ~rop_kind ~n_legs:0 ~steps_per_leg:0 ~n_rops ()
+      Encode.config ~rop_kind ~symmetry_breaking ~n_legs:0 ~steps_per_leg:0
+        ~n_rops ()
     in
-    let a = solve_instance ~timeout:timeout_per_call cfg spec in
+    let cached = match lookup with Some f -> f cfg | None -> None in
+    let a =
+      match cached with
+      | Some a -> a
+      | None ->
+        let a =
+          if incremental then
+            Ladder.solve_point ~timeout:timeout_per_call (Lazy.force ladder)
+              ~n_legs:0 ~steps:0 ~n_rops
+          else solve_instance ~timeout:timeout_per_call cfg spec
+        in
+        (match store with Some g -> g cfg a | None -> ());
+        a
+    in
     attempts := a :: !attempts;
     a
   in

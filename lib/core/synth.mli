@@ -9,12 +9,16 @@
 
 module Spec = Mm_boolfun.Spec
 
-type verdict =
+type verdict = Ladder.verdict =
   | Sat of Circuit.t
   | Unsat
   | Timeout
 
-type attempt = {
+(** On the incremental path ({!minimize} with [~incremental:true], the
+    default) [vars]/[clauses] are those of the shared ladder encoding —
+    identical for every attempt solved on the same ladder instance — and
+    [solver_stats] carries per-call deltas; see {!Ladder.attempt}. *)
+type attempt = Ladder.attempt = {
   n_legs : int;
   steps_per_leg : int;
   n_rops : int;
@@ -51,6 +55,25 @@ type report = {
     results — the paper's dimension claims are only reachable with
     [Any_vop]).
 
+    [symmetry_breaking] (default on) forwards to {!Encode.config}: the
+    commutative-input and leg-ordering constraints prune equivalent models
+    without changing any verdict or minimum (pinned by the test suite).
+
+    Incrementality: with [incremental] (the default) both phases run as
+    assumption-restricted budget points of a shared {!Ladder} encoding on
+    one solver — learned clauses and VSIDS activity carry across the whole
+    sweep, and every UNSAT under assumptions remains a per-budget
+    optimality certificate. The shared encoding is sized for the budgets
+    actually visited: it starts near the bottom of the sweep and is
+    rebuilt exactly as far as the requested point when the sweep climbs
+    past its caps (an encoding at the worst-case budgets would tax every
+    propagation of every point). [~incremental:false] retains the
+    fresh-solver-per-point monolithic path as a differential-testing
+    oracle ([make smoke-ladder] diffs the two).
+    [racing] (off by default, implies [incremental]) overlaps each frontier
+    point with its successor on a second ladder instance in its own domain,
+    cancelling the loser through the solver's cooperative [stop] hook.
+
     Result reuse: dimensions already answered inside this call (possible
     when a custom [legs_of] maps different N_R to identical N_L) are never
     re-solved — in particular a cached UNSAT at (N_R, N_VS) is reused as an
@@ -66,13 +89,27 @@ val minimize :
   ?legs_of:(int -> int) ->
   ?rop_kind:Rop.kind ->
   ?taps:Encode.taps ->
+  ?symmetry_breaking:bool ->
+  ?incremental:bool ->
+  ?racing:bool ->
   ?lookup:(Encode.config -> attempt option) ->
   ?store:(Encode.config -> attempt -> unit) ->
   Spec.t ->
   report
 
-(** R-only minimization (N_V = 0): decrease N_R from the baseline bound. *)
+(** R-only minimization (N_V = 0): decrease N_R from the baseline bound.
+    Shares {!minimize}'s cache hooks ([lookup]/[store] — R-only sweeps hit
+    the same [Mm_engine.Cache] keyspace via their 0-leg configs), its
+    [symmetry_breaking] default and its [incremental] ladder path. *)
 val minimize_r_only :
-  ?timeout_per_call:float -> ?max_rops:int -> ?rop_kind:Rop.kind -> Spec.t -> report
+  ?timeout_per_call:float ->
+  ?max_rops:int ->
+  ?rop_kind:Rop.kind ->
+  ?symmetry_breaking:bool ->
+  ?incremental:bool ->
+  ?lookup:(Encode.config -> attempt option) ->
+  ?store:(Encode.config -> attempt -> unit) ->
+  Spec.t ->
+  report
 
 val pp_attempt : Format.formatter -> attempt -> unit

@@ -4,7 +4,9 @@ module Spec = Mm_boolfun.Spec
 module Literal = Mm_boolfun.Literal
 
 let magic = "MMSYNTH-ENGINE-CACHE"
-let format_version = 2
+(* v3: Solver.stats grew peak_learnts/props_per_s, changing the Marshal
+   layout of cached attempts — v2 files are quarantined on load. *)
+let format_version = 3
 
 type entry = { budget : float; attempt : Synth.attempt }
 

@@ -21,17 +21,19 @@ type config = {
   retry_backoff_s : float;
   fallback : degrade;
   fault : Fault.t option;
+  incremental : bool;
 }
 
 let config ?(rop_kind = Mm_core.Rop.Nor) ?(taps = Mm_core.Encode.Any_vop)
     ?(timeout_per_call = 60.) ?max_rops ?max_steps
     ?(domains = Pool.default_domains ()) ?(canonicalize = true) ?cache
     ?deadline ?(retries = 1) ?(retry_backoff_s = 0.05)
-    ?(fallback = No_fallback) ?fault () =
+    ?(fallback = No_fallback) ?fault ?(incremental = true) () =
   { rop_kind; taps; timeout_per_call; max_rops; max_steps;
     domains = max 1 domains; canonicalize; cache;
     deadline; retries = max 0 retries;
-    retry_backoff_s = Float.max 0. retry_backoff_s; fallback; fault }
+    retry_backoff_s = Float.max 0. retry_backoff_s; fallback; fault;
+    incremental }
 
 type provenance = Exact | Via_baseline | Via_heuristic
 
@@ -62,6 +64,9 @@ type summary = {
   wall_s : float;
   solves_per_s : float;
   solver_calls : int;
+  propagations : int;
+  peak_learnts : int;
+  props_per_s : float;
   cache : Cache.counters option;
 }
 
@@ -209,7 +214,8 @@ let run (cfg : config) specs =
                 in
                 Synth.minimize ~timeout_per_call:budget ?max_rops:cfg.max_rops
                   ?max_steps:cfg.max_steps ~rop_kind:cfg.rop_kind
-                  ~taps:cfg.taps ?lookup ?store target
+                  ~taps:cfg.taps ~incremental:cfg.incremental ?lookup ?store
+                  target
               end
             in
             Deadline.finish mgr;
@@ -349,14 +355,19 @@ let run (cfg : config) specs =
         then incr unsat
         else incr timeout)
     results;
-  let solver_calls =
+  let solver_calls, propagations, peak_learnts =
     Array.fold_left
-      (fun acc o ->
+      (fun (calls, props, peak) o ->
         match o with
         | Some { Pool.result = Ok (Solved r); _ } ->
-          acc + List.length r.Synth.attempts
-        | Some _ | None -> acc)
-      0 outcomes
+          List.fold_left
+            (fun (calls, props, peak) a ->
+              ( calls + 1,
+                props + a.Synth.solver_stats.Mm_sat.Solver.propagations,
+                max peak a.Synth.solver_stats.Mm_sat.Solver.peak_learnts ))
+            (calls, props, peak) r.Synth.attempts
+        | Some _ | None -> (calls, props, peak))
+      (0, 0, 0) outcomes
   in
   let summary =
     {
@@ -373,6 +384,10 @@ let run (cfg : config) specs =
         (if wall_s > 0. then float_of_int (Array.length specs) /. wall_s
          else 0.);
       solver_calls;
+      propagations;
+      peak_learnts;
+      props_per_s =
+        (if wall_s > 0. then float_of_int propagations /. wall_s else 0.);
       cache = Option.map Cache.counters cfg.cache;
     }
   in
@@ -381,7 +396,8 @@ let run (cfg : config) specs =
 let empty_summary =
   { functions = 0; classes = 0; sat = 0; unsat = 0; timeout = 0;
     fallbacks = 0; retries_used = 0; deadline_hit = false; wall_s = 0.;
-    solves_per_s = 0.; solver_calls = 0; cache = None }
+    solves_per_s = 0.; solver_calls = 0; propagations = 0; peak_learnts = 0;
+    props_per_s = 0.; cache = None }
 
 let add_summary a b =
   let cache =
@@ -410,6 +426,12 @@ let add_summary a b =
       (if wall_s > 0. then float_of_int (a.functions + b.functions) /. wall_s
        else 0.);
     solver_calls = a.solver_calls + b.solver_calls;
+    propagations = a.propagations + b.propagations;
+    peak_learnts = max a.peak_learnts b.peak_learnts;
+    props_per_s =
+      (if wall_s > 0. then
+         float_of_int (a.propagations + b.propagations) /. wall_s
+       else 0.);
     cache;
   }
 
@@ -417,7 +439,7 @@ let stats_to_json s =
   let open Mm_report.Json in
   Obj
     [
-      ("schema", String "mmsynth-stats-v1");
+      ("schema", String "mmsynth-stats-v2");
       ("functions", Int s.functions);
       ("classes", Int s.classes);
       ("sat", Int s.sat);
@@ -429,6 +451,9 @@ let stats_to_json s =
       ("wall_s", Float s.wall_s);
       ("solves_per_s", Float s.solves_per_s);
       ("solver_calls", Int s.solver_calls);
+      ("propagations", Int s.propagations);
+      ("peak_learnts", Int s.peak_learnts);
+      ("props_per_s", Float s.props_per_s);
       ( "cache",
         match s.cache with
         | None -> Null
@@ -448,6 +473,9 @@ let pp_summary ppf s =
      (%.1f functions/s, %d solver calls)"
     s.functions s.classes s.sat s.unsat s.timeout s.wall_s s.solves_per_s
     s.solver_calls;
+  if s.propagations > 0 then
+    Format.fprintf ppf "@.solver: %d propagations (%.0f/s), peak learnt DB %d"
+      s.propagations s.props_per_s s.peak_learnts;
   if s.fallbacks > 0 || s.retries_used > 0 || s.deadline_hit then
     Format.fprintf ppf
       "@.robustness: %d fallback circuits, %d retries%s"

@@ -61,6 +61,10 @@ type config = {
       (** base of the bounded exponential backoff between retry rounds *)
   fallback : degrade;
   fault : Fault.t option;  (** injection plan ([None] in production) *)
+  incremental : bool;
+      (** drive each job through the assumption-ladder path
+          ({!Mm_core.Synth.minimize} [~incremental], default on); [false]
+          selects the monolithic fresh-solver-per-point oracle *)
 }
 
 val config :
@@ -77,6 +81,7 @@ val config :
   ?retry_backoff_s:float ->
   ?fallback:degrade ->
   ?fault:Fault.t ->
+  ?incremental:bool ->
   unit ->
   config
 
@@ -120,6 +125,9 @@ type summary = {
   wall_s : float;
   solves_per_s : float;  (** functions answered per wall-clock second *)
   solver_calls : int;  (** SAT instances dispatched (memo/cache hits included) *)
+  propagations : int;  (** summed unit propagations across all attempts *)
+  peak_learnts : int;  (** largest learnt-clause DB any solver reached *)
+  props_per_s : float;  (** propagation throughput over the batch wall time *)
   cache : Cache.counters option;
 }
 
@@ -138,10 +146,11 @@ val empty_summary : summary
     (counters are per-run, entries are a point-in-time size). *)
 val add_summary : summary -> summary -> summary
 
-(** The shared stats schema ([mmsynth-stats-v1]): one JSON object with the
-    summary counters and the cache counters (or [null]). The CLI's
-    [batch --json], the serve daemon's [stats] endpoint and the bench
-    writers all emit this same shape. *)
+(** The shared stats schema ([mmsynth-stats-v2]): one JSON object with the
+    summary counters, the solver-internals counters ([propagations],
+    [peak_learnts], [props_per_s] — new in v2, see DESIGN.md) and the cache
+    counters (or [null]). The CLI's [batch --json], the serve daemon's
+    [stats] endpoint and the bench writers all emit this same shape. *)
 val stats_to_json : summary -> Mm_report.Json.t
 
 (** All [2^2^n] single-output functions of [arity] [n <= 4], in

@@ -25,6 +25,8 @@ type stats = {
   propagations : int;
   restarts : int;
   learnt_clauses : int;
+  peak_learnts : int;
+  props_per_s : float;
 }
 
 type t = {
@@ -55,6 +57,9 @@ type t = {
   mutable model : int array; (* copy of assigns at last Sat *)
   mutable has_model : bool;
   to_clear : int Vec.t;
+  mutable peak_learnts : int;
+  mutable solve_time_s : float;
+  mutable failed : int list; (* failed assumptions of the last Unsat *)
 }
 
 let create () =
@@ -87,6 +92,9 @@ let create () =
       model = [||];
       has_model = false;
       to_clear = Vec.create ~dummy:(-1);
+      peak_learnts = 0;
+      solve_time_s = 0.;
+      failed = [];
     }
   in
   t.heap <- Heap.create ~prio:(fun v -> t.var_act.(v));
@@ -388,7 +396,11 @@ let analyze t confl =
     Vec.set minimized !max_i tmp;
     bt_level := t.level.(Lit.var (Vec.get minimized 1))
   end;
-  (* LBD = number of distinct decision levels *)
+  (* LBD = number of distinct decision levels. Assumption pseudo-levels
+     count like any other: discounting them (tried) floods the
+     [reduce_db] glue bucket — any clause spanning two real levels plus
+     assumption literals is kept forever — and measurably bloats the
+     learnt DB on assumption-ladder sweeps. *)
   let levels = Hashtbl.create 8 in
   Vec.iter (fun l -> Hashtbl.replace levels t.level.(Lit.var l) ()) minimized;
   (Array.init (Vec.size minimized) (Vec.get minimized), !bt_level, Hashtbl.length levels)
@@ -398,10 +410,48 @@ let record_learnt t lits lbd =
   else begin
     let c = { lits; learnt = true; activity = 0.; lbd; removed = false } in
     Vec.push t.learnts c;
+    if Vec.size t.learnts > t.peak_learnts then t.peak_learnts <- Vec.size t.learnts;
     attach t c;
     cla_bump t c;
     enqueue t lits.(0) c
   end
+
+(* Which assumptions entailed the falsification of assumption [p]?
+   MiniSat's analyzeFinal: walk the implication graph backwards from ¬p,
+   collecting the pseudo-decisions (reason = dummy) it hangs on. This only
+   runs while [decision_level t <= number of assumptions], so every decision
+   on the trail is itself an assumption. Level-0 antecedents are root facts
+   and are skipped: an empty tail means ¬p is a root consequence and the
+   core is [p] alone. *)
+let analyze_final t p =
+  let core = ref [ p ] in
+  if decision_level t > 0 then begin
+    let marked = Vec.create ~dummy:(-1) in
+    let mark v =
+      if not t.seen.(v) then begin
+        t.seen.(v) <- true;
+        Vec.push marked v
+      end
+    in
+    mark (Lit.var p);
+    let bottom = Vec.get t.trail_lim 0 in
+    for i = Vec.size t.trail - 1 downto bottom do
+      let l = Vec.get t.trail i in
+      let v = Lit.var l in
+      if t.seen.(v) then begin
+        let c = t.reason.(v) in
+        if c == dummy_clause then core := l :: !core
+        else
+          Array.iter
+            (fun q ->
+              let w = Lit.var q in
+              if t.level.(w) > 0 then mark w)
+            c.lits
+      end
+    done;
+    Vec.iter (fun v -> t.seen.(v) <- false) marked
+  end;
+  !core
 
 (* --- learnt DB reduction -------------------------------------------------- *)
 
@@ -465,7 +515,7 @@ let luby y x =
 let budget_check_iters = 256
 let budget_check_props = 20_000
 
-let search t ~assumptions ~conflict_budget ~deadline ~global_conflicts =
+let search t ~assumptions ~conflict_budget ~deadline ~global_conflicts ~stop =
   let local_conflicts = ref 0 in
   let result = ref Unknown in
   let since_check = ref 0 in
@@ -475,6 +525,9 @@ let search t ~assumptions ~conflict_budget ~deadline ~global_conflicts =
     props_mark := t.propagations;
     (match deadline with
      | Some d when Unix.gettimeofday () > d -> raise (Found Unknown)
+     | _ -> ());
+    (match stop with
+     | Some f when f () -> raise (Found Unknown)
      | _ -> ());
     match global_conflicts with
     | Some g when t.conflicts >= g -> raise (Found Unknown)
@@ -493,6 +546,7 @@ let search t ~assumptions ~conflict_budget ~deadline ~global_conflicts =
          incr local_conflicts;
          if decision_level t = 0 then begin
            t.ok <- false;
+           t.failed <- [];
            raise (Found Unsat)
          end;
          let lits, bt_level, lbd = analyze t confl in
@@ -503,7 +557,12 @@ let search t ~assumptions ~conflict_budget ~deadline ~global_conflicts =
        end
        else begin
          if !local_conflicts >= conflict_budget then begin
-           (* restart *)
+           (* Restart to level 0, not merely to the assumption prefix:
+              re-enqueuing the assumptions re-propagates them against the
+              clauses learnt since the last restart, strengthening the
+              trail prefix every restart. Restarting onto a frozen prefix
+              (tried) saves that propagation but runs the rest of the
+              solve on a stale prefix and measurably slows ladder sweeps. *)
            cancel_until t 0;
            raise Exit
          end;
@@ -515,7 +574,9 @@ let search t ~assumptions ~conflict_budget ~deadline ~global_conflicts =
            let p = assumptions.(decision_level t) in
            match value_lit t p with
            | 1 -> new_decision_level t
-           | -1 -> raise (Found Unsat)
+           | -1 ->
+             t.failed <- analyze_final t p;
+             raise (Found Unsat)
            | _ ->
              new_decision_level t;
              enqueue t p dummy_clause
@@ -541,10 +602,15 @@ let search t ~assumptions ~conflict_budget ~deadline ~global_conflicts =
      !result
    | Exit -> Unknown)
 
-let solve ?(assumptions = []) ?max_conflicts ?timeout t =
-  if not t.ok then Unsat
+let solve ?(assumptions = []) ?max_conflicts ?timeout ?stop t =
+  if not t.ok then begin
+    t.failed <- [];
+    Unsat
+  end
   else begin
     t.has_model <- false;
+    t.failed <- [];
+    let t0 = Unix.gettimeofday () in
     let assumptions = Array.of_list assumptions in
     let deadline = Option.map (fun s -> Unix.gettimeofday () +. s) timeout in
     let base_conflicts = t.conflicts in
@@ -557,7 +623,10 @@ let solve ?(assumptions = []) ?max_conflicts ?timeout t =
     while !continue do
       let budget = int_of_float (luby 2.0 !restart *. 100.) in
       t.restarts <- t.restarts + (if !restart > 0 then 1 else 0);
-      (match search t ~assumptions ~conflict_budget:budget ~deadline ~global_conflicts with
+      (match
+         search t ~assumptions ~conflict_budget:budget ~deadline
+           ~global_conflicts ~stop
+       with
        | Sat ->
          result := Sat;
          continue := false
@@ -572,7 +641,8 @@ let solve ?(assumptions = []) ?max_conflicts ?timeout t =
          let out_of_conflicts =
            match global_conflicts with Some g -> t.conflicts >= g | None -> false
          in
-         if out_of_time || out_of_conflicts then begin
+         let stopped = match stop with Some f -> f () | None -> false in
+         if out_of_time || out_of_conflicts || stopped then begin
            result := Unknown;
            continue := false
          end
@@ -583,6 +653,7 @@ let solve ?(assumptions = []) ?max_conflicts ?timeout t =
       ()
     done;
     cancel_until t 0;
+    t.solve_time_s <- t.solve_time_s +. (Unix.gettimeofday () -. t0);
     !result
   end
 
@@ -593,6 +664,10 @@ let value t l =
 
 let value_var t v = value t (Lit.pos v)
 
+let reset_phases t = Array.fill t.phase 0 (Array.length t.phase) false
+
+let failed_assumptions t = t.failed
+
 let stats t =
   {
     conflicts = t.conflicts;
@@ -600,9 +675,16 @@ let stats t =
     propagations = t.propagations;
     restarts = t.restarts;
     learnt_clauses = Vec.size t.learnts;
+    peak_learnts = t.peak_learnts;
+    props_per_s =
+      (if t.solve_time_s > 0. then
+         float_of_int t.propagations /. t.solve_time_s
+       else 0.);
   }
 
 let pp_stats ppf (s : stats) =
   Format.fprintf ppf
-    "conflicts=%d decisions=%d propagations=%d restarts=%d learnt=%d"
+    "conflicts=%d decisions=%d propagations=%d restarts=%d learnt=%d \
+     peak_learnt=%d props/s=%.0f"
     s.conflicts s.decisions s.propagations s.restarts s.learnt_clauses
+    s.peak_learnts s.props_per_s

@@ -39,9 +39,31 @@ val add_clause : t -> Lit.t list -> unit
 val add_clause_a : t -> Lit.t array -> unit
 
 (** [solve t] under optional [assumptions]. [Unknown] is returned only when
-    a [timeout] (seconds) or [max_conflicts] budget is exhausted. *)
+    a [timeout] (seconds) or [max_conflicts] budget is exhausted, or when
+    the cooperative [stop] hook returns [true]. [stop] is polled on the
+    same amortized schedule as the other budgets, so a raced solver is
+    cancelled within a bounded number of decisions/propagations. *)
 val solve :
-  ?assumptions:Lit.t list -> ?max_conflicts:int -> ?timeout:float -> t -> result
+  ?assumptions:Lit.t list ->
+  ?max_conflicts:int ->
+  ?timeout:float ->
+  ?stop:(unit -> bool) ->
+  t ->
+  result
+
+(** Forget saved phases (reset to the default polarity). Learnt clauses,
+    activities and everything else are kept. Useful between incremental
+    [solve] calls whose assumptions change the satisfiable region: phases
+    saved while refuting one budget keep steering the search into the
+    refuted region at the next one. *)
+val reset_phases : t -> unit
+
+(** After [solve ~assumptions] returned {!Unsat}: the subset of the
+    assumptions the refutation actually depends on (MiniSat's final
+    conflict analysis). The empty list means the clause set is UNSAT
+    regardless of assumptions — a certificate that subsumes {e every}
+    assumption set. Meaningless after {!Sat}/{!Unknown} (returns []). *)
+val failed_assumptions : t -> Lit.t list
 
 (** [value t l]: the literal's value in the model of the last [Sat] answer.
     Raises [Invalid_argument] if the last call did not return [Sat]. *)
@@ -58,7 +80,11 @@ type stats = {
   decisions : int;
   propagations : int;
   restarts : int;
-  learnt_clauses : int;
+  learnt_clauses : int;  (** current learnt-DB size *)
+  peak_learnts : int;  (** high-water mark of the learnt DB *)
+  props_per_s : float;
+      (** propagations per second of in-solver wall time, cumulative over
+          all [solve] calls on this instance *)
 }
 
 val stats : t -> stats

@@ -122,6 +122,75 @@ let test_incremental () =
   Solver.add_clause s [ Lit.neg_of 1 ];
   Alcotest.check result "unsat" Solver.Unsat (Solver.solve s)
 
+let test_incremental_with_assumptions () =
+  (* interleave clause addition with assumption solves on one solver *)
+  let s = fresh 3 in
+  Solver.add_clause s [ Lit.pos 0; Lit.pos 1 ];
+  Alcotest.check result "sat assuming ~x0" Solver.Sat
+    (Solver.solve ~assumptions:[ Lit.neg_of 0 ] s);
+  Solver.add_clause s [ Lit.neg_of 1; Lit.pos 2 ];
+  Alcotest.check result "sat assuming ~x0 ~x2" Solver.Unsat
+    (Solver.solve ~assumptions:[ Lit.neg_of 0; Lit.neg_of 2 ] s);
+  Solver.add_clause s [ Lit.neg_of 2 ];
+  Alcotest.check result "now x0 is forced" Solver.Sat (Solver.solve s);
+  Alcotest.(check bool) "x0" true (Solver.value_var s 0);
+  Alcotest.check result "assuming ~x0 is refuted" Solver.Unsat
+    (Solver.solve ~assumptions:[ Lit.neg_of 0 ] s)
+
+let test_assumption_polarity_flips () =
+  (* x0 -> x2, x1 -> x3, never both x2 and x3; flip assumption polarities
+     back and forth — clauses learned under one polarity must not
+     contaminate answers under another *)
+  let s = fresh 4 in
+  Solver.add_clause s [ Lit.neg_of 0; Lit.pos 2 ];
+  Solver.add_clause s [ Lit.neg_of 1; Lit.pos 3 ];
+  Solver.add_clause s [ Lit.neg_of 2; Lit.neg_of 3 ];
+  Alcotest.check result "both on" Solver.Unsat
+    (Solver.solve ~assumptions:[ Lit.pos 0; Lit.pos 1 ] s);
+  Alcotest.check result "x0 only" Solver.Sat
+    (Solver.solve ~assumptions:[ Lit.pos 0; Lit.neg_of 1 ] s);
+  Alcotest.(check bool) "x2 implied" true (Solver.value_var s 2);
+  Alcotest.check result "x1 only" Solver.Sat
+    (Solver.solve ~assumptions:[ Lit.neg_of 0; Lit.pos 1 ] s);
+  Alcotest.(check bool) "x3 implied" true (Solver.value_var s 3);
+  Alcotest.check result "both on again" Solver.Unsat
+    (Solver.solve ~assumptions:[ Lit.pos 0; Lit.pos 1 ] s);
+  Alcotest.check result "both off" Solver.Sat
+    (Solver.solve ~assumptions:[ Lit.neg_of 0; Lit.neg_of 1 ] s);
+  Alcotest.check result "unconstrained" Solver.Sat (Solver.solve s)
+
+let test_failed_assumptions () =
+  let s = fresh 4 in
+  Solver.add_clause s [ Lit.neg_of 0; Lit.pos 1 ];
+  Solver.add_clause s [ Lit.neg_of 1; Lit.neg_of 2 ];
+  (* {x0, x2} is inconsistent with the clauses; x3 is irrelevant *)
+  Alcotest.check result "unsat under assumptions" Solver.Unsat
+    (Solver.solve ~assumptions:[ Lit.pos 0; Lit.pos 2; Lit.pos 3 ] s);
+  let failed = Solver.failed_assumptions s in
+  Alcotest.(check bool) "core is nonempty" true (failed <> []);
+  List.iter
+    (fun l ->
+      Alcotest.(check bool) "core within assumptions" true
+        (List.mem l [ Lit.pos 0; Lit.pos 2; Lit.pos 3 ]))
+    failed;
+  Alcotest.(check bool) "irrelevant x3 not blamed" true
+    (not (List.mem (Lit.pos 3) failed));
+  (* the extracted core alone still refutes the formula *)
+  Alcotest.check result "core refutes" Solver.Unsat
+    (Solver.solve ~assumptions:failed s);
+  (* and the formula is satisfiable without the assumptions *)
+  Alcotest.check result "sat without" Solver.Sat (Solver.solve s)
+
+let test_failed_assumptions_root_unsat () =
+  (* a formula unsat on its own yields the empty core: no assumption is to
+     blame, the refutation holds under every assignment *)
+  let s = fresh 2 in
+  Solver.add_clause s [ Lit.pos 0 ];
+  Solver.add_clause s [ Lit.neg_of 0 ];
+  Alcotest.check result "unsat" Solver.Unsat
+    (Solver.solve ~assumptions:[ Lit.pos 1 ] s);
+  Alcotest.(check (list int)) "empty core" [] (Solver.failed_assumptions s)
+
 let test_value_without_model () =
   let s = fresh 1 in
   Solver.add_clause s [ Lit.pos 0 ];
@@ -187,7 +256,11 @@ let test_stats () =
   ignore (Solver.solve s);
   let st = Solver.stats s in
   Alcotest.(check bool) "conflicts happened" true (st.Solver.conflicts > 0);
-  Alcotest.(check bool) "propagations happened" true (st.Solver.propagations > 0)
+  Alcotest.(check bool) "propagations happened" true (st.Solver.propagations > 0);
+  Alcotest.(check bool) "learnt DB peak tracked" true
+    (st.Solver.peak_learnts > 0);
+  Alcotest.(check bool) "propagation throughput tracked" true
+    (st.Solver.props_per_s >= 0.)
 
 (* --- DIMACS --- *)
 
@@ -240,6 +313,14 @@ let () =
           Alcotest.test_case "budget -> Unknown" `Quick test_budget_unknown;
           Alcotest.test_case "assumptions" `Quick test_assumptions;
           Alcotest.test_case "incremental" `Quick test_incremental;
+          Alcotest.test_case "incremental with assumptions" `Quick
+            test_incremental_with_assumptions;
+          Alcotest.test_case "assumption polarity flips" `Quick
+            test_assumption_polarity_flips;
+          Alcotest.test_case "failed assumptions" `Quick
+            test_failed_assumptions;
+          Alcotest.test_case "failed assumptions, root unsat" `Quick
+            test_failed_assumptions_root_unsat;
           Alcotest.test_case "value without model" `Quick test_value_without_model;
           Alcotest.test_case "stats" `Quick test_stats;
           qtest prop_random_cnf;

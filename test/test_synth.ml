@@ -103,6 +103,148 @@ let test_attempt_pp () =
       in
       contains s "SAT"))
 
+(* --- incremental ladder vs monolithic oracle, symmetry breaking --- *)
+
+module L = Mm_core.Ladder
+
+let verdict_tag = function
+  | S.Sat _ -> "sat"
+  | S.Unsat -> "unsat"
+  | S.Timeout -> "timeout"
+
+(* the per-point trace of a sweep: dimensions and verdict of every attempt,
+   in order — two equivalent paths must agree on all of it *)
+let trace r =
+  List.map
+    (fun a ->
+      ((a.S.n_rops, a.S.n_legs), (a.S.steps_per_leg, verdict_tag a.S.verdict)))
+    r.S.attempts
+
+let fingerprint r =
+  ( (match r.S.best with
+     | Some (_, a) -> Some (a.S.n_rops, a.S.n_legs, a.S.steps_per_leg)
+     | None -> None),
+    r.S.rops_proven_minimal,
+    r.S.steps_proven_minimal )
+
+let pin_specs =
+  [ ("xor2", [ "x1 ^ x2" ]);
+    ("chain", [ "(x1 | x2) & x3" ]);
+    ("mux", [ "(x1 & x2) | (~x1 & x3)" ]);
+    ("and2", [ "x1 & x2" ]) ]
+
+let test_symmetry_equivalence () =
+  (* symmetry breaking prunes equivalent models only: same verdicts, same
+     minima, same proof flags, with and without *)
+  List.iter
+    (fun (name, exprs) ->
+      let spec = spec_of name exprs in
+      let run sb =
+        S.minimize ~timeout_per_call:30. ~max_steps:3 ~symmetry_breaking:sb
+          spec
+      in
+      let on = run true and off = run false in
+      Alcotest.(check (list (pair (pair int int) (pair int string))))
+        (name ^ ": same trace") (trace off) (trace on);
+      Alcotest.(check bool) (name ^ ": same outcome") true
+        (fingerprint on = fingerprint off))
+    pin_specs
+
+let test_incremental_vs_monolithic () =
+  (* the assumption ladder must be byte-identical to the fresh-solver
+     oracle on verdicts and minima — the in-process half of the
+     smoke-ladder differential gate *)
+  List.iter
+    (fun (name, exprs) ->
+      let spec = spec_of name exprs in
+      let run inc =
+        S.minimize ~timeout_per_call:30. ~max_steps:3 ~incremental:inc spec
+      in
+      let inc = run true and mono = run false in
+      Alcotest.(check (list (pair (pair int int) (pair int string))))
+        (name ^ ": same trace") (trace mono) (trace inc);
+      Alcotest.(check bool) (name ^ ": same outcome") true
+        (fingerprint inc = fingerprint mono))
+    pin_specs
+
+let test_incremental_r_only () =
+  List.iter
+    (fun (name, exprs) ->
+      let spec = spec_of name exprs in
+      let run inc =
+        S.minimize_r_only ~timeout_per_call:30. ~incremental:inc spec
+      in
+      let inc = run true and mono = run false in
+      Alcotest.(check (list (pair (pair int int) (pair int string))))
+        (name ^ ": same trace") (trace mono) (trace inc))
+    [ ("not1", [ "~x1" ]); ("and2", [ "x1 & x2" ]); ("xor2", [ "x1 ^ x2" ]) ]
+
+let test_r_only_cache_hooks () =
+  (* minimize_r_only must consult lookup and report fresh results to store *)
+  let spec = spec_of "and2" [ "x1 & x2" ] in
+  let stored : (E.config * S.attempt) list ref = ref [] in
+  let lookups = ref 0 in
+  let r =
+    S.minimize_r_only ~timeout_per_call:30.
+      ~lookup:(fun _ -> incr lookups; None)
+      ~store:(fun cfg a -> stored := (cfg, a) :: !stored)
+      spec
+  in
+  Alcotest.(check bool) "found" true (r.S.best <> None);
+  Alcotest.(check bool) "lookup consulted" true (!lookups > 0);
+  Alcotest.(check int) "every attempt stored" (List.length r.S.attempts)
+    (List.length !stored);
+  (* a second sweep answered entirely from the store performs no solving *)
+  let table = !stored in
+  let r2 =
+    S.minimize_r_only ~timeout_per_call:30.
+      ~lookup:(fun cfg -> List.assoc_opt cfg table)
+      ~store:(fun _ _ -> Alcotest.fail "store called on a full cache")
+      spec
+  in
+  Alcotest.(check (list (pair (pair int int) (pair int string)))) "same trace from cache"
+    (trace r) (trace r2)
+
+let test_racing_equivalence () =
+  List.iter
+    (fun (name, exprs) ->
+      let spec = spec_of name exprs in
+      let base = S.minimize ~timeout_per_call:30. ~max_steps:3 spec in
+      let raced =
+        S.minimize ~timeout_per_call:30. ~max_steps:3 ~racing:true spec
+      in
+      Alcotest.(check bool) (name ^ ": same minima") true
+        (fingerprint base = fingerprint raced))
+    pin_specs
+
+let test_ladder_direct () =
+  let xor = spec_of "xor2" [ "x1 ^ x2" ] in
+  let l = L.create ~taps:E.Any_vop ~max_legs:3 ~max_steps:3 ~max_rops:2 xor in
+  let a0 = L.solve_point ~timeout:30. l ~n_legs:1 ~steps:3 ~n_rops:0 in
+  (match a0.L.verdict with
+   | L.Unsat -> ()
+   | L.Sat _ | L.Timeout -> Alcotest.fail "XOR without R-ops must be UNSAT");
+  Alcotest.(check bool) "certificate recorded" true (L.certificates l >= 1);
+  (* a point covered by a recorded certificate is refuted without solving *)
+  let a0' = L.solve_point ~timeout:30. l ~n_legs:1 ~steps:3 ~n_rops:0 in
+  (match a0'.L.verdict with
+   | L.Unsat -> ()
+   | L.Sat _ | L.Timeout -> Alcotest.fail "covered point must stay UNSAT");
+  Alcotest.(check int) "no decisions on the covered point" 0
+    a0'.L.solver_stats.Mm_sat.Solver.decisions;
+  (* the SAT point decodes to a prefix-dimension circuit that realizes f *)
+  let a1 = L.solve_point ~timeout:30. l ~n_legs:2 ~steps:3 ~n_rops:1 in
+  (match a1.L.verdict with
+   | L.Sat c ->
+     Alcotest.(check int) "decoded N_R" 1 (C.n_rops c);
+     Alcotest.(check bool) "decoded within prefix" true (C.n_legs c <= 2)
+   | L.Unsat | L.Timeout -> Alcotest.fail "XOR with one NOR must be SAT");
+  (* dimensions beyond the encoding are rejected *)
+  (try
+     ignore (L.solve_point l ~n_legs:9 ~steps:3 ~n_rops:1);
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ())
+
 (* --- metrics --- *)
 
 let test_metrics () =
@@ -139,6 +281,20 @@ let () =
           Alcotest.test_case "r-only AND2" `Quick test_minimize_r_only_and2;
           Alcotest.test_case "timeout verdict" `Quick test_timeout_verdict;
           Alcotest.test_case "pp_attempt" `Quick test_attempt_pp;
+        ] );
+      ( "ladder",
+        [
+          Alcotest.test_case "symmetry on/off equivalent" `Slow
+            test_symmetry_equivalence;
+          Alcotest.test_case "incremental = monolithic" `Slow
+            test_incremental_vs_monolithic;
+          Alcotest.test_case "incremental r-only" `Quick
+            test_incremental_r_only;
+          Alcotest.test_case "r-only cache hooks" `Quick
+            test_r_only_cache_hooks;
+          Alcotest.test_case "racing equivalent" `Slow
+            test_racing_equivalence;
+          Alcotest.test_case "ladder direct" `Quick test_ladder_direct;
         ] );
       ("metrics", [ Alcotest.test_case "formulas and Table V" `Quick test_metrics ]);
     ]
