@@ -7,16 +7,19 @@
 # clean exit and no leaked socket file, plus a ladder smoke: the incremental
 # assumption-ladder sweep and the monolithic fresh-solver oracle must agree
 # on every verdict, both minima and circuit re-verification over a small
-# spec set.
+# spec set, plus a map smoke: the cut-based technology mapper must compile
+# two wider-than-SAT-cap workloads onto verified schedules (row-by-row
+# simulator validation is part of the command's own exit status).
 
 SMOKE_CACHE := $(shell mktemp -u /tmp/mmsynth_smoke_XXXXXX.cache)
+MAP_CACHE   := $(shell mktemp -u /tmp/mmsynth_map_XXXXXX.cache)
 FAULT_CACHE := $(shell mktemp -u /tmp/mmsynth_fault_XXXXXX.cache)
 SERVE_SOCK  := $(shell mktemp -u /tmp/mmsynth_serve_XXXXXX.sock)
 SERVE_CACHE := $(shell mktemp -u /tmp/mmsynth_serve_XXXXXX.cache)
 MMSYNTH     := _build/default/bin/mmsynth.exe
 
-.PHONY: all build test smoke smoke-fault smoke-serve smoke-ladder check \
-  bench bench-ladder bench-robustness bench-serve clean
+.PHONY: all build test smoke smoke-fault smoke-serve smoke-ladder smoke-map \
+  check bench bench-ladder bench-map bench-robustness bench-serve clean
 
 all: build
 
@@ -86,13 +89,28 @@ smoke-ladder: build
 	rm -rf $$tmp; \
 	echo "smoke-ladder: OK (verdicts, minima, re-verification identical across paths)"
 
-check: test smoke smoke-fault smoke-serve smoke-ladder
+# `mmsynth map` exits non-zero unless the stitched schedule re-verifies on
+# every input row, so the simulator check is implicit; the second adder run
+# must answer its library probes from the shared cache.
+smoke-map: build
+	dune exec bin/mmsynth.exe -- map --workload adder2 --effort 1 \
+	  --cache $(MAP_CACHE) > /dev/null
+	dune exec bin/mmsynth.exe -- map --workload adder2 --effort 1 \
+	  --cache $(MAP_CACHE) > /dev/null
+	dune exec bin/mmsynth.exe -- map --workload majority5 --effort 1 \
+	  --cache $(MAP_CACHE) --stats
+	rm -f $(MAP_CACHE)
+
+check: test smoke smoke-fault smoke-serve smoke-ladder smoke-map
 
 bench:
 	dune exec bench/main.exe -- engine
 
 bench-ladder:
 	dune exec bench/main.exe -- ladder
+
+bench-map:
+	dune exec bench/main.exe -- map
 
 bench-robustness:
 	dune exec bench/main.exe -- robustness

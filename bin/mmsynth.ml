@@ -11,35 +11,86 @@ open Cmdliner
 
 module Expr = Mm_boolfun.Expr
 module Spec = Mm_boolfun.Spec
+module Arith = Mm_boolfun.Arith
 module C = Mm_core.Circuit
 module E = Mm_core.Encode
 module Synth = Mm_core.Synth
 module Schedule = Mm_core.Schedule
 
-(* build the spec from -e expressions or a --pla/--tables file *)
-let spec_of_inputs names exprs arity pla tables =
+(* built-in benchmark specs addressable by name, e.g. adder3, parity8 *)
+let workload_of_name s =
+  let num prefix k =
+    let lp = String.length prefix in
+    if String.length s > lp && String.sub s 0 lp = prefix then
+      Option.map k (int_of_string_opt (String.sub s lp (String.length s - lp)))
+    else None
+  in
+  let first fs =
+    List.fold_left
+      (fun acc f -> match acc with Some _ -> acc | None -> f ())
+      None fs
+  in
+  let named =
+    match s with
+    | "mux21" -> Some Arith.mux21
+    | "mux41" -> Some Arith.mux41
+    | "andor4" -> Some Arith.and_or_4
+    | "table2" -> Some Arith.table2_spec
+    | "full_adder" -> Some Arith.full_adder
+    | _ ->
+      first
+        [ (fun () -> num "adder" Arith.adder_bits);
+          (fun () -> num "majority" Arith.majority);
+          (fun () -> num "parity" Arith.parity);
+          (fun () -> num "cmp3_" Arith.comparator3);
+          (fun () -> num "cmp" Arith.comparator);
+          (fun () -> num "mul" Arith.multiplier) ]
+  in
+  match named with
+  | Some spec -> Ok spec
+  | None | exception Invalid_argument _ | exception Failure _ ->
+    Error
+      (Printf.sprintf
+         "unknown workload %S (try adderN, majorityN, parityN, cmpN, cmp3_N, \
+          mulN, mux21, mux41, andor4, table2, full_adder)"
+         s)
+
+(* build the spec from -e expressions, a --pla/--tables file, or a named
+   --workload *)
+let spec_of_inputs names exprs arity pla tables workload =
   let name = match names with Some n -> n | None -> "cli" in
-  match exprs, pla, tables with
-  | [], None, None ->
-    Error "no specification: use -e EXPR, --pla FILE or --tables FILE"
-  | _ :: _, Some _, _ | _ :: _, _, Some _ | _, Some _, Some _ ->
-    Error "give exactly one of -e, --pla, --tables"
-  | _ :: _, None, None -> (
-    match List.map Expr.parse_exn exprs with
-    | parsed -> (
-      match arity with
-      | Some n -> Ok (Expr.spec ~name ~n parsed)
-      | None -> Ok (Expr.spec ~name parsed))
-    | exception Invalid_argument msg -> Error msg)
-  | [], Some path, None -> Mm_boolfun.Io.read_pla path
-  | [], None, Some path -> (
-    match open_in path with
-    | exception Sys_error msg -> Error msg
-    | ic ->
-      let len = in_channel_length ic in
-      let contents = really_input_string ic len in
-      close_in ic;
-      Mm_boolfun.Io.parse_tables ~name contents)
+  let sources =
+    (if exprs <> [] then 1 else 0)
+    + (if pla <> None then 1 else 0)
+    + (if tables <> None then 1 else 0)
+    + (if workload <> None then 1 else 0)
+  in
+  if sources = 0 then
+    Error
+      "no specification: use -e EXPR, --pla FILE, --tables FILE or \
+       --workload NAME"
+  else if sources > 1 then
+    Error "give exactly one of -e, --pla, --tables, --workload"
+  else
+    match workload, exprs, pla, tables with
+    | Some w, _, _, _ -> workload_of_name w
+    | None, (_ :: _), _, _ -> (
+      match List.map Expr.parse_exn exprs with
+      | parsed -> (
+        match arity with
+        | Some n -> Ok (Expr.spec ~name ~n parsed)
+        | None -> Ok (Expr.spec ~name parsed))
+      | exception Invalid_argument msg -> Error msg)
+    | None, [], Some path, _ -> Mm_boolfun.Io.read_pla path
+    | None, [], None, Some path -> (
+      match open_in path with
+      | exception Sys_error msg -> Error msg
+      | ic ->
+        let len = in_channel_length ic in
+        let contents = really_input_string ic len in
+        close_in ic;
+        Mm_boolfun.Io.parse_tables ~name contents)
+    | None, [], None, None -> assert false
 
 (* common options *)
 let exprs =
@@ -60,6 +111,14 @@ let tables_file =
 let arity =
   let doc = "Force the number of inputs (default: the largest variable used)." in
   Arg.(value & opt (some int) None & info [ "n"; "arity" ] ~docv:"N" ~doc)
+
+let workload_t =
+  Arg.(value & opt (some string) None & info [ "workload" ] ~docv:"NAME"
+         ~doc:"Built-in benchmark spec: $(b,adderN) (N-bit ripple adder, \
+               2N+1 inputs), $(b,majorityN), $(b,parityN), $(b,cmpN), \
+               $(b,cmp3_N) (full 3-output comparator), $(b,mulN), \
+               $(b,mux21), $(b,mux41), $(b,andor4), $(b,table2), \
+               $(b,full_adder).")
 
 let name_t =
   Arg.(value & opt (some string) None & info [ "name" ] ~docv:"NAME"
@@ -118,9 +177,9 @@ let print_circuit ~json ~dot c =
   | None -> ()
 
 let synth_cmd =
-  let run exprs pla tables arity name timeout rops legs steps minimize r_only
-      final no_inc json dot =
-    match spec_of_inputs name exprs arity pla tables with
+  let run exprs pla tables workload arity name timeout rops legs steps minimize
+      r_only final no_inc json dot =
+    match spec_of_inputs name exprs arity pla tables workload with
     | Error msg -> `Error (false, msg)
     | Ok spec ->
     let n_out = Spec.output_count spec in
@@ -177,17 +236,17 @@ let synth_cmd =
   let term =
     Term.(
       ret
-        (const run $ exprs $ pla_file $ tables_file $ arity $ name_t $ timeout
-        $ rops $ legs $ steps $ minimize_flag $ r_only $ final_taps
-        $ no_incremental $ json_flag $ dot_out))
+        (const run $ exprs $ pla_file $ tables_file $ workload_t $ arity
+        $ name_t $ timeout $ rops $ legs $ steps $ minimize_flag $ r_only
+        $ final_taps $ no_incremental $ json_flag $ dot_out))
   in
   Cmd.v
     (Cmd.info "synth" ~doc:"Synthesize a mixed-mode memristive circuit via SAT.")
     term
 
 let check_cmd =
-  let run exprs pla tables arity name =
-    match spec_of_inputs name exprs arity pla tables with
+  let run exprs pla tables workload arity name =
+    match spec_of_inputs name exprs arity pla tables workload with
     | Error msg -> `Error (false, msg)
     | Ok spec ->
     if Spec.arity spec > 4 then
@@ -206,11 +265,14 @@ let check_cmd =
   Cmd.v
     (Cmd.info "check"
        ~doc:"Check whether each output is realizable by V-ops alone (n <= 4).")
-    Term.(ret (const run $ exprs $ pla_file $ tables_file $ arity $ name_t))
+    Term.(
+      ret
+        (const run $ exprs $ pla_file $ tables_file $ workload_t $ arity
+        $ name_t))
 
 let baseline_cmd =
-  let run exprs pla tables arity name =
-    match spec_of_inputs name exprs arity pla tables with
+  let run exprs pla tables workload arity name =
+    match spec_of_inputs name exprs arity pla tables workload with
     | Error msg -> `Error (false, msg)
     | Ok spec ->
       let c = Mm_core.Baseline.nor_network spec in
@@ -223,15 +285,19 @@ let baseline_cmd =
   Cmd.v
     (Cmd.info "baseline"
        ~doc:"Gate-oriented baseline: Quine-McCluskey cover mapped to 2-input NORs.")
-    Term.(ret (const run $ exprs $ pla_file $ tables_file $ arity $ name_t))
+    Term.(
+      ret
+        (const run $ exprs $ pla_file $ tables_file $ workload_t $ arity
+        $ name_t))
 
 let simulate_cmd =
   let input =
     Arg.(value & opt (some int) None & info [ "input" ] ~docv:"ROW"
            ~doc:"Input row to trace (default: verify all rows).")
   in
-  let run exprs pla tables arity name timeout rops legs steps final input =
-    match spec_of_inputs name exprs arity pla tables with
+  let run exprs pla tables workload arity name timeout rops legs steps final
+      input =
+    match spec_of_inputs name exprs arity pla tables workload with
     | Error msg -> `Error (false, msg)
     | Ok spec ->
     let n_rops = Option.value rops ~default:1 in
@@ -266,8 +332,8 @@ let simulate_cmd =
        ~doc:"Synthesize, then execute on the behavioral line-array simulator.")
     Term.(
       ret
-        (const run $ exprs $ pla_file $ tables_file $ arity $ name_t $ timeout
-        $ rops $ legs $ steps $ final_taps $ input))
+        (const run $ exprs $ pla_file $ tables_file $ workload_t $ arity
+        $ name_t $ timeout $ rops $ legs $ steps $ final_taps $ input))
 
 (* ---- batch: NPN-canonicalizing, cached, multicore sweep ---------------- *)
 
@@ -345,15 +411,23 @@ let batch_cmd =
                  $(b,mmsynth-stats-v2) schema used by the serve daemon's \
                  stats endpoint and the benches).")
   in
-  let run exprs pla tables arity name timeout batch_arity jobs cache_file
-      no_npn final no_inc stats limit deadline retries fallback inject
-      inject_seed json_stats =
+  let map_large_flag =
+    Arg.(value & flag & info [ "map-large" ]
+           ~doc:"Divert specs wider than the 4-input exact-SAT/NPN cap \
+                 through the cut-based technology mapper ($(b,mmsynth map)) \
+                 instead of attempting a monolithic encoding. Mapped \
+                 circuits are verified row-by-row but built from \
+                 per-block-optimal pieces, not proven globally optimal.")
+  in
+  let run exprs pla tables workload arity name timeout batch_arity jobs
+      cache_file no_npn final no_inc stats limit deadline retries fallback
+      inject inject_seed json_stats map_large =
     let specs =
       match batch_arity with
       | Some n when n >= 1 && n <= 4 -> Ok (Engine.all_functions ~arity:n)
       | Some _ -> Error "batch --sweep must be 1..4"
       | None -> (
-        match spec_of_inputs name exprs arity pla tables with
+        match spec_of_inputs name exprs arity pla tables workload with
         | Ok spec ->
           (* each output is an independent single-output batch member *)
           Ok
@@ -380,6 +454,13 @@ let batch_cmd =
         match limit with
         | Some k when k < Array.length specs -> Array.sub specs 0 k
         | Some _ | None -> specs
+      in
+      let specs, mapped_specs =
+        if map_large then
+          ( Array.of_list
+              (List.filter (fun s -> Spec.arity s <= 4) (Array.to_list specs)),
+            List.filter (fun s -> Spec.arity s > 4) (Array.to_list specs) )
+        else (specs, [])
       in
       let cache = Option.map (fun path -> Cache.create ~path ()) cache_file in
       (match cache with
@@ -473,9 +554,36 @@ let batch_cmd =
       Array.iter
         (fun r -> Option.iter (Printf.printf "warning: %s\n") (fail_lines r))
         results;
+      (* specs diverted by --map-large go through the technology mapper:
+         each is a verified (not proven-optimal) composition of library
+         blocks, so it counts as answered *)
+      let map_failed = ref 0 in
+      if mapped_specs <> [] then begin
+        let map_cfg =
+          Engine.config ~timeout_per_call:(Float.min timeout 0.5) ~max_rops:8
+            ~domains:1 ~taps:(taps_of final) ?cache
+            ~incremental:(not no_inc) ()
+        in
+        List.iter
+          (fun spec ->
+            match Mm_map.Stitch.compile map_cfg spec with
+            | r ->
+              let c = r.Mm_map.Stitch.stitched.Mm_map.Stitch.circuit in
+              Printf.printf
+                "map: %s (arity %d): verified cover of %d blocks, %d (V) + \
+                 %d (R) steps\n"
+                (Spec.name spec) (Spec.arity spec)
+                (List.length r.Mm_map.Stitch.stitched.Mm_map.Stitch.placed)
+                (C.steps_per_leg c) (C.n_rops c)
+            | exception (Failure msg | Invalid_argument msg) ->
+              incr map_failed;
+              Printf.printf "warning: map: %s: %s\n" (Spec.name spec) msg)
+          mapped_specs
+      end;
       (* exit codes: 0 = every spec answered (exact circuit, proven UNSAT,
-         or verified fallback); 3 = budget exhausted without fallback;
-         4 = hard failures (unrescued crash or verification failure) *)
+         verified fallback, or verified mapper cover); 3 = budget exhausted
+         without fallback; 4 = hard failures (unrescued crash or
+         verification failure) *)
       let unsat_proven r =
         r.Engine.error = None
         && r.Engine.report.Synth.attempts <> []
@@ -484,13 +592,20 @@ let batch_cmd =
                 (fun a -> a.Synth.verdict = Synth.Timeout)
                 r.Engine.report.Synth.attempts)
       in
-      let hard = ref 0 and unanswered = ref 0 in
+      let hard = ref !map_failed and unanswered = ref 0 in
       Array.iter
         (fun r ->
           if r.Engine.circuit = None then
             if r.Engine.error <> None then incr hard
             else if not (unsat_proven r) then incr unanswered)
         results;
+      let wide_unanswered =
+        Array.exists
+          (fun r ->
+            r.Engine.circuit = None && Spec.arity r.Engine.spec > 4
+            && r.Engine.error = None && not (unsat_proven r))
+          results
+      in
       if !hard > 0 then begin
         Printf.printf "batch: %d hard failure(s) left unanswered\n" !hard;
         `Ok 4
@@ -498,8 +613,12 @@ let batch_cmd =
       else if !unanswered > 0 then begin
         Printf.printf
           "batch: %d spec(s) unanswered within the budget (consider \
-           --fallback)\n"
-          !unanswered;
+           --fallback%s)\n"
+          !unanswered
+          (if wide_unanswered then
+             "; specs wider than 4 inputs exceed the exact-SAT cap — use \
+              --map-large or mmsynth map"
+           else "");
         `Ok 3
       end
       else `Ok 0
@@ -522,10 +641,11 @@ let batch_cmd =
              heuristic circuits.")
     Term.(
       ret
-        (const run $ exprs $ pla_file $ tables_file $ arity $ name_t $ timeout
-        $ batch_arity $ jobs $ cache_file $ no_npn $ final_taps
-        $ no_incremental $ stats_flag $ limit $ deadline_flag $ retries_flag
-        $ fallback_flag $ inject_flag $ inject_seed_flag $ json_stats_flag))
+        (const run $ exprs $ pla_file $ tables_file $ workload_t $ arity
+        $ name_t $ timeout $ batch_arity $ jobs $ cache_file $ no_npn
+        $ final_taps $ no_incremental $ stats_flag $ limit $ deadline_flag
+        $ retries_flag $ fallback_flag $ inject_flag $ inject_seed_flag
+        $ json_stats_flag $ map_large_flag))
 
 (* ---- serve / client: resident synthesis daemon ------------------------ *)
 
@@ -715,8 +835,8 @@ let client_cmd =
       | exception Invalid_argument msg | exception Failure msg ->
         Error (Printf.sprintf "line %d: %s" idx msg)
   in
-  let run socket tcp exprs pla tables arity name stdin_mode stats health ping
-      shutdown req_timeout deadline fallback =
+  let run socket tcp exprs pla tables workload arity name stdin_mode stats
+      health ping shutdown req_timeout deadline fallback =
     match addr_of socket tcp with
     | Error msg -> `Error (false, msg)
     | Ok addr -> (
@@ -769,7 +889,7 @@ let client_cmd =
           finish !code
         end
         else (
-          match spec_of_inputs name exprs arity pla tables with
+          match spec_of_inputs name exprs arity pla tables workload with
           | Error msg -> Client.close c; `Error (false, msg)
           | Ok spec -> (
             match
@@ -796,9 +916,184 @@ let client_cmd =
              $(b,--shutdown).")
     Term.(
       ret
-        (const run $ socket_arg $ tcp $ exprs $ pla_file $ tables_file $ arity
-        $ name_t $ stdin_flag $ stats_flag $ health_flag $ ping_flag
-        $ shutdown_flag $ req_timeout $ deadline $ fallback_tag))
+        (const run $ socket_arg $ tcp $ exprs $ pla_file $ tables_file
+        $ workload_t $ arity $ name_t $ stdin_flag $ stats_flag $ health_flag
+        $ ping_flag $ shutdown_flag $ req_timeout $ deadline $ fallback_tag))
+
+(* ---- map: cut-based technology mapping onto SAT-optimal blocks --------- *)
+
+let map_cmd =
+  let module Cache = Mm_engine.Cache in
+  let module Stitch = Mm_map.Stitch in
+  let module Blocklib = Mm_map.Blocklib in
+  let module Table = Mm_report.Table in
+  let k_arg =
+    Arg.(value & opt int 4 & info [ "k" ] ~docv:"K"
+           ~doc:"Maximum cut width (2-4): every library block sees at most \
+                 K leaves.")
+  in
+  let cut_limit =
+    Arg.(value & opt int 8 & info [ "cut-limit" ] ~docv:"N"
+           ~doc:"Priority cuts kept per AIG node (larger = better covers, \
+                 slower).")
+  in
+  let passes =
+    Arg.(value & opt int 3 & info [ "passes" ] ~docv:"N"
+           ~doc:"Area-recovery refinement passes over the cover.")
+  in
+  let cache_file =
+    Arg.(value & opt (some string) None & info [ "cache" ] ~docv:"FILE"
+           ~doc:"Persistent library cache: block probes hit across runs \
+                 (shared format with $(b,batch)).")
+  in
+  let effort =
+    Arg.(value & opt int 2 & info [ "effort" ] ~docv:"LEVEL"
+           ~doc:"Library-probe budget: $(b,1) = 50ms/call with shallow \
+                 sweeps, $(b,2) = 0.5s, $(b,3) = 5s uncapped. Probes that \
+                 expire degrade to verified QMC\xe2\x86\x92NOR fallback blocks, so \
+                 the mapped circuit is correct at any effort.")
+  in
+  let stats_flag =
+    Arg.(value & flag & info [ "stats" ]
+           ~doc:"Print the per-block provenance table.")
+  in
+  let run exprs pla tables workload arity name k cut_limit passes cache_file
+      effort stats json dot =
+    match spec_of_inputs name exprs arity pla tables workload with
+    | Error msg -> `Error (false, msg)
+    | Ok spec ->
+      if k < 2 || k > 4 then `Error (false, "--k must be 2..4")
+      else if effort < 1 || effort > 3 then
+        `Error (false, "--effort must be 1..3")
+      else begin
+        let timeout_per_call, max_rops =
+          match effort with
+          | 1 -> (0.05, Some 5)
+          | 2 -> (0.5, Some 8)
+          | _ -> (5.0, None)
+        in
+        let cache = Option.map (fun path -> Cache.create ~path ()) cache_file in
+        (match cache with
+         | Some c ->
+           (match Cache.load_result c with
+            | Cache.Fresh -> ()
+            | l -> Format.printf "cache: %a@." Cache.pp_load l)
+         | None -> ());
+        let cfg =
+          Engine.config ~timeout_per_call ?max_rops ~domains:1
+            ~taps:E.Final_only ?cache ()
+        in
+        match Stitch.compile ~k ~cut_limit ~passes cfg spec with
+        | exception (Invalid_argument msg | Failure msg) -> `Error (false, msg)
+        | r ->
+          Option.iter Cache.flush cache;
+          let st = r.Stitch.stitched in
+          let c = st.Stitch.circuit in
+          Printf.printf
+            "aig: %d inputs, %d AND nodes; cover: %d blocks (%d exact, %d \
+             fallback), %d stitch inverter(s)\n"
+            r.Stitch.aig_inputs r.Stitch.aig_ands
+            (List.length st.Stitch.placed)
+            r.Stitch.lib_exact r.Stitch.lib_fallbacks st.Stitch.inverters;
+          Printf.printf
+            "library: %d lookups, %d memo hits\n\n"
+            r.Stitch.lib_lookups r.Stitch.lib_memo_hits;
+          if stats then begin
+            let t =
+              Table.create
+                [ "block"; "leaves"; "kind"; "source"; "optimal"; "N_L";
+                  "N_VS"; "N_R" ]
+            in
+            List.iter
+              (fun (p : Stitch.placed) ->
+                Table.add_row t
+                  [ Printf.sprintf "n%d" p.Stitch.root;
+                    String.concat ","
+                      (List.map string_of_int
+                         (Array.to_list p.Stitch.leaves));
+                    (match p.Stitch.kind with
+                     | Blocklib.Mixed -> "mixed"
+                     | Blocklib.R_only -> "r-only");
+                    (if p.Stitch.exact then "SAT" else "fallback");
+                    (if p.Stitch.optimal then "yes" else "no");
+                    string_of_int p.Stitch.legs;
+                    string_of_int p.Stitch.steps;
+                    string_of_int p.Stitch.rops ])
+              st.Stitch.placed;
+            Table.print t;
+            print_newline ()
+          end;
+          print_circuit ~json:false ~dot c;
+          let plan = Schedule.plan c in
+          let failures = Schedule.verify plan spec in
+          Printf.printf "simulator validation: %d/%d rows correct\n"
+            ((1 lsl Spec.arity spec) - List.length failures)
+            (1 lsl Spec.arity spec);
+          if json then begin
+            let block_json (p : Stitch.placed) =
+              Json.Obj
+                [ ("root", Json.Int p.Stitch.root);
+                  ( "leaves",
+                    Json.List
+                      (List.map (fun l -> Json.Int l)
+                         (Array.to_list p.Stitch.leaves)) );
+                  ( "kind",
+                    Json.String
+                      (match p.Stitch.kind with
+                       | Blocklib.Mixed -> "mixed"
+                       | Blocklib.R_only -> "r-only") );
+                  ("exact", Json.Bool p.Stitch.exact);
+                  ("optimal", Json.Bool p.Stitch.optimal);
+                  ("legs", Json.Int p.Stitch.legs);
+                  ("steps", Json.Int p.Stitch.steps);
+                  ("rops", Json.Int p.Stitch.rops) ]
+            in
+            print_endline
+              (Json.to_string_pretty
+                 (Json.Obj
+                    [ ("spec", Json.String (Spec.name spec));
+                      ("arity", Json.Int (Spec.arity spec));
+                      ("outputs", Json.Int (Spec.output_count spec));
+                      ( "aig",
+                        Json.Obj
+                          [ ("inputs", Json.Int r.Stitch.aig_inputs);
+                            ("ands", Json.Int r.Stitch.aig_ands) ] );
+                      ( "library",
+                        Json.Obj
+                          [ ("lookups", Json.Int r.Stitch.lib_lookups);
+                            ("memo_hits", Json.Int r.Stitch.lib_memo_hits);
+                            ("exact", Json.Int r.Stitch.lib_exact);
+                            ("fallbacks", Json.Int r.Stitch.lib_fallbacks) ]
+                      );
+                      ( "circuit",
+                        Json.Obj
+                          [ ("legs", Json.Int (C.n_legs c));
+                            ("steps_per_leg", Json.Int (C.steps_per_leg c));
+                            ("rops", Json.Int (C.n_rops c));
+                            ("total_steps", Json.Int (C.n_steps c));
+                            ("devices", Json.Int (C.n_devices c)) ] );
+                      ("inverters", Json.Int st.Stitch.inverters);
+                      ("verified", Json.Bool (failures = []));
+                      ( "blocks",
+                        Json.List (List.map block_json st.Stitch.placed) )
+                    ]))
+          end;
+          if failures = [] then `Ok 0
+          else `Error (false, "schedule simulation disagrees with the spec")
+      end
+  in
+  Cmd.v
+    (Cmd.info "map"
+       ~doc:"Compile a function of any width onto a library of SAT-optimal \
+             mixed-mode blocks: AIG construction, priority-cut enumeration \
+             (width <= 4), NPN-canonicalized library probes, DAG-aware \
+             area-flow covering, and stitching onto one verified line-array \
+             schedule.")
+    Term.(
+      ret
+        (const run $ exprs $ pla_file $ tables_file $ workload_t $ arity
+        $ name_t $ k_arg $ cut_limit $ passes $ cache_file $ effort
+        $ stats_flag $ json_flag $ dot_out))
 
 (* ---- cache info / gc --------------------------------------------------- *)
 
@@ -909,7 +1204,7 @@ let cache_cmd =
 let main =
   let doc = "optimal synthesis of memristive mixed-mode circuits" in
   Cmd.group (Cmd.info "mmsynth" ~version:"1.0.0" ~doc)
-    [ synth_cmd; check_cmd; baseline_cmd; simulate_cmd; batch_cmd; serve_cmd;
-      client_cmd; cache_cmd ]
+    [ synth_cmd; check_cmd; baseline_cmd; simulate_cmd; batch_cmd; map_cmd;
+      serve_cmd; client_cmd; cache_cmd ]
 
 let () = exit (Cmd.eval' main)

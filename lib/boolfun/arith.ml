@@ -45,6 +45,15 @@ let mux21 =
       if Truth_table.input_bit 3 row 1 then Truth_table.input_bit 3 row 2
       else Truth_table.input_bit 3 row 3)
 
+let mux41 =
+  Spec.of_fun ~name:"mux41" ~arity:6 ~outputs:1 (fun ~row ~output:_ ->
+      let b i = Truth_table.input_bit 6 row i in
+      match (b 1, b 2) with
+      | false, false -> b 3
+      | false, true -> b 4
+      | true, false -> b 5
+      | true, true -> b 6)
+
 let comparator width =
   let n = 2 * width in
   Spec.of_fun
@@ -54,6 +63,16 @@ let comparator width =
       let a = operand ~n ~width ~offset:0 row in
       let b = operand ~n ~width ~offset:width row in
       match output with 0 -> a < b | _ -> a = b)
+
+let comparator3 width =
+  let n = 2 * width in
+  Spec.of_fun
+    ~name:(Printf.sprintf "cmp3_%d" width)
+    ~arity:n ~outputs:3
+    (fun ~row ~output ->
+      let a = operand ~n ~width ~offset:0 row in
+      let b = operand ~n ~width ~offset:width row in
+      match output with 0 -> a < b | 1 -> a = b | _ -> a > b)
 
 let multiplier width =
   let n = 2 * width in

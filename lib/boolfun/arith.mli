@@ -23,8 +23,16 @@ val parity : int -> Spec.t
 (** [mux21]: 3 inputs (select, a, b), output = if x1 then x2 else x3. *)
 val mux21 : Spec.t
 
+(** [mux41]: 6 inputs (s1 s0, d0..d3), output = d_{(s1 s0)} — the 4-way
+    multiplexer mapping workload. *)
+val mux41 : Spec.t
+
 (** [comparator n]: 2n inputs (a, b), 2 outputs (a < b, a = b). *)
 val comparator : int -> Spec.t
+
+(** [comparator3 n]: 2n inputs (a, b), 3 outputs (a < b, a = b, a > b) —
+    the full unsigned comparator mapping workload. *)
+val comparator3 : int -> Spec.t
 
 (** [multiplier n]: binary (not GF) [n x n] multiplier, [2n] inputs, [2n]
     outputs, MSB first. *)

@@ -127,6 +127,17 @@ let with_extra_rops shell extra outputs =
     ()
 
 let rename_vars c ~arity ~mapping =
+  (* a non-injective mapping would silently alias two source variables onto
+     one target — always a caller bug, so reject it up front *)
+  let seen = Array.make (arity + 1) false in
+  Array.iter
+    (fun v ->
+      if v < 1 || v > arity then
+        invalid_arg "Compose.rename_vars: mapping target out of range";
+      if seen.(v) then
+        invalid_arg "Compose.rename_vars: mapping must be injective";
+      seen.(v) <- true)
+    mapping;
   let rename_literal = function
     | Literal.Const0 -> Literal.Const0
     | Literal.Const1 -> Literal.Const1

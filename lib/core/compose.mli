@@ -33,5 +33,12 @@ val with_extra_rops :
 (** [rename_vars c ~arity ~mapping] re-embeds a circuit over variables
     [x1..xk] into arity [arity], sending variable [i+1] (1-based) to
     [mapping.(i)]. Used to lift support-projected sub-circuits back to the
-    full input space. *)
+    full input space.
+
+    Precondition (checked, [Invalid_argument]): [mapping] must be injective
+    with every target in [1..arity] — identity, permutations and injections
+    into a larger arity are all fine; aliasing two variables onto one
+    target is always a caller bug and is rejected. A variable of [c] beyond
+    [Array.length mapping] is only rejected if the circuit actually uses
+    it. *)
 val rename_vars : Circuit.t -> arity:int -> mapping:int array -> Circuit.t

@@ -393,6 +393,55 @@ let run (cfg : config) specs =
   in
   (results, summary)
 
+type probe = {
+  probe_class_rep : Tt.t option;
+  probe_circuit : Circuit.t;
+  probe_report : Synth.report;
+  probe_exact : bool;
+  probe_optimal : bool;
+}
+
+let probe_class ?(r_only = false) (cfg : config) spec =
+  let p = plan_of cfg spec in
+  let target = p.target_spec in
+  let lookup, store =
+    match cfg.cache with
+    | None -> (None, None)
+    | Some c ->
+      ( Some
+          (fun ecfg ->
+            Cache.find c ~timeout:cfg.timeout_per_call (Cache.key ecfg target)),
+        Some
+          (fun ecfg a ->
+            Cache.add c ~timeout:cfg.timeout_per_call (Cache.key ecfg target) a)
+      )
+  in
+  let report =
+    if r_only then
+      Synth.minimize_r_only ~timeout_per_call:cfg.timeout_per_call
+        ?max_rops:cfg.max_rops ~rop_kind:cfg.rop_kind
+        ~incremental:cfg.incremental ?lookup ?store target
+    else
+      Synth.minimize ~timeout_per_call:cfg.timeout_per_call
+        ?max_rops:cfg.max_rops ?max_steps:cfg.max_steps ~rop_kind:cfg.rop_kind
+        ~taps:cfg.taps ~incremental:cfg.incremental ?lookup ?store target
+  in
+  match report.Synth.best with
+  | None -> None
+  | Some (c, _) -> (
+    let c_f = Npn.apply_circuit (Npn.inverse p.t_in) c in
+    match Circuit.realizes c_f spec with
+    | Ok () ->
+      Some
+        { probe_class_rep = p.class_rep;
+          probe_circuit = c_f;
+          probe_report = report;
+          probe_exact = true;
+          probe_optimal =
+            report.Synth.rops_proven_minimal
+            && report.Synth.steps_proven_minimal }
+    | Error _ -> None)
+
 let empty_summary =
   { functions = 0; classes = 0; sat = 0; unsat = 0; timeout = 0;
     fallbacks = 0; retries_used = 0; deadline_hit = false; wall_s = 0.;

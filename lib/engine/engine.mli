@@ -136,6 +136,32 @@ type summary = {
     returning. *)
 val run : config -> Spec.t array -> job_result array * summary
 
+(** {2 Library probe}
+
+    The mapping layer ({!Mm_map}) treats the engine as a cost oracle: one
+    cut function at a time, in-process, no pool/deadline/fault machinery —
+    just canonicalize → cache hooks → {!Mm_core.Synth.minimize} →
+    decanonicalize → verify. *)
+
+type probe = {
+  probe_class_rep : Tt.t option;  (** NPN representative, when canonicalized *)
+  probe_circuit : Mm_core.Circuit.t;  (** verified against the probed spec *)
+  probe_report : Synth.report;  (** attempts in canonical space *)
+  probe_exact : bool;  (** from the SAT pipeline, never a fallback *)
+  probe_optimal : bool;  (** both minimality proofs completed in budget *)
+}
+
+(** [probe_class cfg spec] synthesizes one (single-output, arity ≤ 4) spec
+    through the canonicalize/cache/minimize path of {!run}, synchronously on
+    the calling domain. [cfg.cache]'s [?lookup]/[?store] hooks are wired
+    exactly as in batch jobs (TIMEOUT entries recorded under
+    [cfg.timeout_per_call], so stale-budget reuse rules apply). [~r_only]
+    selects {!Mm_core.Synth.minimize_r_only} — 0-leg circuits whose inputs
+    are plain literals, the form the stitcher can re-source onto
+    intermediate signals. [None] when the budget expires with no circuit or
+    the decanonicalized circuit fails row verification. *)
+val probe_class : ?r_only:bool -> config -> Spec.t -> probe option
+
 (** The all-zero summary — identity of {!add_summary}. *)
 val empty_summary : summary
 

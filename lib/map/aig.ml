@@ -1,0 +1,173 @@
+module Tt = Mm_boolfun.Truth_table
+module Spec = Mm_boolfun.Spec
+module Expr = Mm_boolfun.Expr
+module Literal = Mm_boolfun.Literal
+module Qmc = Mm_boolfun.Qmc
+
+type lit = int
+
+let lit_false = 0
+let lit_true = 1
+let lit_neg l = l lxor 1
+let lit_node l = l lsr 1
+let lit_compl l = l land 1 = 1
+
+type t = {
+  n_inputs : int;
+  fanin : (lit * lit) array;  (** AND node [n_inputs + 1 + i] *)
+  outputs : lit array;
+}
+
+type builder = {
+  n : int;
+  mutable fan : (lit * lit) array;
+  mutable len : int;
+  strash : (lit * lit, lit) Hashtbl.t;
+  memo : (string, lit) Hashtbl.t;  (** truth-table translation memo *)
+}
+
+let create ~n_inputs =
+  if n_inputs < 1 then invalid_arg "Aig.create: n_inputs < 1";
+  { n = n_inputs; fan = Array.make 16 (0, 0); len = 0;
+    strash = Hashtbl.create 64; memo = Hashtbl.create 64 }
+
+let input b i =
+  if i < 1 || i > b.n then invalid_arg "Aig.input: variable out of range";
+  2 * i
+
+let mk_and b x y =
+  let x, y = if x <= y then (x, y) else (y, x) in
+  if x = lit_false then lit_false
+  else if x = lit_true then y
+  else if x = y then x
+  else if lit_neg x = y then lit_false
+  else
+    match Hashtbl.find_opt b.strash (x, y) with
+    | Some l -> l
+    | None ->
+      if b.len = Array.length b.fan then begin
+        let bigger = Array.make (2 * b.len) (0, 0) in
+        Array.blit b.fan 0 bigger 0 b.len;
+        b.fan <- bigger
+      end;
+      b.fan.(b.len) <- (x, y);
+      let l = 2 * (b.n + 1 + b.len) in
+      b.len <- b.len + 1;
+      Hashtbl.add b.strash (x, y) l;
+      l
+
+let mk_or b x y = lit_neg (mk_and b (lit_neg x) (lit_neg y))
+
+let mk_xor b x y = mk_or b (mk_and b x (lit_neg y)) (mk_and b (lit_neg x) y)
+
+let mk_mux b ~sel t e = mk_or b (mk_and b sel t) (mk_and b (lit_neg sel) e)
+
+let rec of_expr b = function
+  | Expr.Const v -> if v then lit_true else lit_false
+  | Expr.Var i -> input b i
+  | Expr.Not e -> lit_neg (of_expr b e)
+  | Expr.And (e1, e2) -> mk_and b (of_expr b e1) (of_expr b e2)
+  | Expr.Or (e1, e2) -> mk_or b (of_expr b e1) (of_expr b e2)
+  | Expr.Xor (e1, e2) -> mk_xor b (of_expr b e1) (of_expr b e2)
+
+(* two-level seed: OR of cube conjunctions from the QMC prime cover *)
+let sop b cubes =
+  List.fold_left
+    (fun acc cube ->
+      let conj =
+        List.fold_left
+          (fun c l ->
+            match l with
+            | Literal.Pos i -> mk_and b c (input b i)
+            | Literal.Neg i -> mk_and b c (lit_neg (input b i))
+            | Literal.Const0 -> lit_false
+            | Literal.Const1 -> c)
+          lit_true
+          (Qmc.cube_literals b.n cube)
+      in
+      mk_or b acc conj)
+    lit_false cubes
+
+(* small covers become two-level logic directly; anything wider splits on
+   the top support variable so XOR-rich functions keep BDD-size graphs *)
+let qmc_cube_threshold = 3
+
+let of_table b tt =
+  if Tt.arity tt <> b.n then invalid_arg "Aig.of_table: arity mismatch";
+  let rec go tt =
+    let key = Tt.to_string tt in
+    match Hashtbl.find_opt b.memo key with
+    | Some l -> l
+    | None ->
+      let l =
+        if Tt.is_const tt then if Tt.eval tt 0 then lit_true else lit_false
+        else
+          match Tt.support tt with
+          | [ v ] ->
+            if Tt.equal tt (Tt.var b.n v) then input b v
+            else lit_neg (input b v)
+          | v :: _ ->
+            let cubes = Qmc.minimize tt in
+            if List.length cubes <= qmc_cube_threshold then sop b cubes
+            else
+              mk_mux b ~sel:(input b v)
+                (go (Tt.cofactor tt v true))
+                (go (Tt.cofactor tt v false))
+          | [] -> assert false (* non-constant with empty support *)
+      in
+      Hashtbl.add b.memo key l;
+      l
+  in
+  go tt
+
+let freeze b outputs =
+  Array.iter
+    (fun o ->
+      if lit_node o > b.n + b.len then invalid_arg "Aig.freeze: dangling output")
+    outputs;
+  { n_inputs = b.n; fanin = Array.sub b.fan 0 b.len; outputs }
+
+let of_exprs ~n exprs =
+  let b = create ~n_inputs:n in
+  let outs = List.map (of_expr b) exprs in
+  freeze b (Array.of_list outs)
+
+let of_spec spec =
+  let b = create ~n_inputs:(Spec.arity spec) in
+  let outs = Array.map (of_table b) (Spec.outputs spec) in
+  freeze b outs
+
+let n_inputs t = t.n_inputs
+let n_ands t = Array.length t.fanin
+let n_nodes t = t.n_inputs + 1 + Array.length t.fanin
+
+let fanins t v =
+  if v <= t.n_inputs || v >= n_nodes t then
+    invalid_arg "Aig.fanins: not an AND node";
+  t.fanin.(v - t.n_inputs - 1)
+
+let outputs t = t.outputs
+
+let node_tables t =
+  let n = t.n_inputs in
+  let tbl = Array.make (n_nodes t) (Tt.const n false) in
+  for v = 1 to n do
+    tbl.(v) <- Tt.var n v
+  done;
+  Array.iteri
+    (fun i (x, y) ->
+      let value l =
+        let v = tbl.(lit_node l) in
+        if lit_compl l then Tt.lnot v else v
+      in
+      tbl.(n + 1 + i) <- Tt.(value x &&& value y))
+    t.fanin;
+  tbl
+
+let output_tables t =
+  let tbl = node_tables t in
+  Array.map
+    (fun o ->
+      let v = tbl.(lit_node o) in
+      if lit_compl o then Tt.lnot v else v)
+    t.outputs

@@ -1,0 +1,102 @@
+(** Structurally-hashed AND-inverter graphs.
+
+    The mapping front end: a multi-output spec becomes a DAG of 2-input AND
+    nodes with complemented edges, the representation every cut-based
+    technology mapper starts from (Cirbo, ABC). Nodes are numbered
+    [0 .. n_nodes - 1]: node [0] is the constant, nodes [1 .. n_inputs] the
+    primary inputs (matching the 1-based variable convention of
+    {!Mm_boolfun.Literal}), and AND nodes follow in topological order —
+    every fanin of a node has a smaller id.
+
+    Edges are literals: [2 * node + c] with [c = 1] for a complemented
+    edge, so [lit_false = 0] and [lit_true = 1].
+
+    Construction goes through a {!builder} with constant propagation
+    ([x ∧ 0 = 0], [x ∧ 1 = x], [x ∧ x = x], [x ∧ ¬x = 0]) and structural
+    hashing (one node per distinct normalized fanin pair). Expressions map
+    structurally ({!of_exprs}); raw truth tables ({!of_spec}) go through a
+    Shannon decomposition with table-level memoization that bottoms out in
+    two-level QMC-seeded sums of products when the cover is small — XOR-rich
+    functions (parity, adder sums) get their linear-size BDD-style graphs
+    instead of exponential two-level covers. *)
+
+module Tt = Mm_boolfun.Truth_table
+module Spec = Mm_boolfun.Spec
+module Expr = Mm_boolfun.Expr
+
+(** An edge: [2 * node + complement]. *)
+type lit = int
+
+type t
+
+val lit_false : lit
+val lit_true : lit
+val lit_neg : lit -> lit
+
+(** Node id of an edge. *)
+val lit_node : lit -> int
+
+val lit_compl : lit -> bool
+
+(** {2 Construction} *)
+
+type builder
+
+(** [create ~n_inputs] starts an empty graph over [x1 .. x_{n_inputs}];
+    [n_inputs >= 1]. *)
+val create : n_inputs:int -> builder
+
+(** Edge for input variable [i] (1-based). *)
+val input : builder -> int -> lit
+
+(** [mk_and b x y] — constant-propagated, structurally hashed. *)
+val mk_and : builder -> lit -> lit -> lit
+
+val mk_or : builder -> lit -> lit -> lit
+val mk_xor : builder -> lit -> lit -> lit
+
+(** [mk_mux b ~sel t e] = if [sel] then [t] else [e]. *)
+val mk_mux : builder -> sel:lit -> lit -> lit -> lit
+
+(** Structural translation of an expression ([Var i] requires
+    [i <= n_inputs]). *)
+val of_expr : builder -> Expr.t -> lit
+
+(** Shannon/QMC translation of a raw truth table (arity must match the
+    builder). Memoized per distinct cofactor table, so shared sub-functions
+    produce shared nodes. *)
+val of_table : builder -> Tt.t -> lit
+
+(** [freeze b outputs] seals the graph. *)
+val freeze : builder -> lit array -> t
+
+(** One builder call per output: expressions over at most [n] variables. *)
+val of_exprs : n:int -> Expr.t list -> t
+
+(** AIG of a multi-output spec via {!of_table} (outputs share the memo). *)
+val of_spec : Spec.t -> t
+
+(** {2 Inspection} *)
+
+val n_inputs : t -> int
+
+(** Number of AND nodes. *)
+val n_ands : t -> int
+
+(** [n_inputs + n_ands + 1] — valid node ids are [0 .. n_nodes - 1]. *)
+val n_nodes : t -> int
+
+(** Fanin edges of AND node [v] ([n_inputs < v < n_nodes]). *)
+val fanins : t -> int -> lit * lit
+
+val outputs : t -> lit array
+
+(** {2 Semantics} *)
+
+(** [node_tables t] tabulates every node over the full input space
+    (index = node id; node 0 is constant false). *)
+val node_tables : t -> Tt.t array
+
+(** Truth tables of the outputs (complemented edges applied) — must equal
+    the source spec's tables. *)
+val output_tables : t -> Tt.t array

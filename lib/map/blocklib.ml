@@ -1,0 +1,72 @@
+module Tt = Mm_boolfun.Truth_table
+module Spec = Mm_boolfun.Spec
+module Engine = Mm_engine.Engine
+module Circuit = Mm_core.Circuit
+module Baseline = Mm_core.Baseline
+
+type kind = Mixed | R_only
+
+type entry = {
+  tt : Tt.t;
+  kind : kind;
+  circuit : Circuit.t;
+  class_rep : Tt.t option;
+  exact : bool;
+  optimal : bool;
+  legs : int;
+  steps : int;
+  rops : int;
+}
+
+type t = {
+  cfg : Engine.config;
+  memo : (string * kind, entry) Hashtbl.t;
+  mutable lookups : int;
+  mutable hits : int;
+  mutable exact : int;
+  mutable fallbacks : int;
+}
+
+let create cfg = { cfg; memo = Hashtbl.create 64; lookups = 0; hits = 0;
+                   exact = 0; fallbacks = 0 }
+
+let spec_of tt =
+  let m = Tt.arity tt in
+  Spec.make ~name:(Printf.sprintf "blk-n%d-%s" m (Tt.to_string tt)) [| tt |]
+
+let probe t kind tt =
+  let spec = spec_of tt in
+  match Engine.probe_class ~r_only:(kind = R_only) t.cfg spec with
+  | Some p ->
+    t.exact <- t.exact + 1;
+    { tt; kind; circuit = p.Engine.probe_circuit;
+      class_rep = p.Engine.probe_class_rep; exact = true;
+      optimal = p.Engine.probe_optimal;
+      legs = Circuit.n_legs p.Engine.probe_circuit;
+      steps = Circuit.steps_per_leg p.Engine.probe_circuit;
+      rops = Circuit.n_rops p.Engine.probe_circuit }
+  | None ->
+    (* budget gone: the QMC→NOR network is R-only (0 legs, literal inputs),
+       hence valid for either kind; tagged non-exact like batch fallbacks *)
+    t.fallbacks <- t.fallbacks + 1;
+    let c = Baseline.nor_network spec in
+    { tt; kind; circuit = c; class_rep = None; exact = false; optimal = false;
+      legs = Circuit.n_legs c; steps = Circuit.steps_per_leg c;
+      rops = Circuit.n_rops c }
+
+let lookup t kind tt =
+  let m = Tt.arity tt in
+  if m < 1 || m > 4 then invalid_arg "Blocklib.lookup: arity must be 1..4";
+  t.lookups <- t.lookups + 1;
+  let key = (Tt.to_string tt, kind) in
+  match Hashtbl.find_opt t.memo key with
+  | Some e ->
+    t.hits <- t.hits + 1;
+    e
+  | None ->
+    let e = probe t kind tt in
+    Hashtbl.add t.memo key e;
+    e
+
+let entries t = Hashtbl.fold (fun _ e acc -> e :: acc) t.memo []
+let stats t = (t.lookups, t.hits, t.exact, t.fallbacks)

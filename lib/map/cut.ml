@@ -1,0 +1,143 @@
+module Tt = Mm_boolfun.Truth_table
+
+type t = { leaves : int array; tt : Tt.t }
+
+(* sorted merge of two ascending leaf arrays; None when the union
+   exceeds [k] *)
+let merge_leaves k a b =
+  let la = Array.length a and lb = Array.length b in
+  let out = Array.make k 0 in
+  let rec go i j m =
+    if m > k then None
+    else if i = la && j = lb then Some (Array.sub out 0 m)
+    else if j = lb || (i < la && a.(i) < b.(j)) then begin
+      if m = k then None else (out.(m) <- a.(i); go (i + 1) j (m + 1))
+    end
+    else if i = la || b.(j) < a.(i) then begin
+      if m = k then None else (out.(m) <- b.(j); go i (j + 1) (m + 1))
+    end
+    else begin
+      if m = k then None else (out.(m) <- a.(i); go (i + 1) (j + 1) (m + 1))
+    end
+  in
+  go 0 0 0
+
+(* row of [c.tt] picked out by the merged-cut row [q]: leaf [j] of the
+   sub-cut is variable [x_{j+1}], so its value lands on bit [s - 1 - j]
+   (x1 = MSB, the paper's row convention) *)
+let sub_row merged m c q =
+  let s = Array.length c.leaves in
+  let row = ref 0 in
+  for j = 0 to s - 1 do
+    let leaf = c.leaves.(j) in
+    (* position of [leaf] inside the merged leaf set *)
+    let i = ref 0 in
+    while merged.(!i) <> leaf do incr i done;
+    if Tt.input_bit m q (!i + 1) then row := !row lor (1 lsl (s - 1 - j))
+  done;
+  !row
+
+let edge_value merged m c compl q =
+  let v = Tt.eval c.tt (sub_row merged m c q) in
+  if compl then not v else v
+
+(* drop leaves outside the support; constant cones collapse to the empty
+   cut with an arity-0 table *)
+let normalize leaves tt =
+  if Tt.is_const tt then
+    { leaves = [||]; tt = Tt.const 0 (Tt.eval tt 0) }
+  else
+    let supp = Tt.support tt in
+    if List.length supp = Array.length leaves then { leaves; tt }
+    else
+      { leaves = Array.of_list (List.map (fun v -> leaves.(v - 1)) supp);
+        tt = Tt.project tt supp }
+
+let leaves_subset a b =
+  let lb = Array.length b in
+  let rec go i j =
+    if i = Array.length a then true
+    else if j = lb then false
+    else if a.(i) = b.(j) then go (i + 1) (j + 1)
+    else if a.(i) > b.(j) then go i (j + 1)
+    else false
+  in
+  go 0 0
+
+let enumerate aig ~k ~limit =
+  if k < 1 || k > 4 then invalid_arg "Cut.enumerate: need 1 <= k <= 4";
+  if limit < 1 then invalid_arg "Cut.enumerate: limit < 1";
+  let n = Aig.n_inputs aig in
+  let cuts = Array.make (Aig.n_nodes aig) [] in
+  cuts.(0) <- [ { leaves = [||]; tt = Tt.const 0 false } ];
+  for v = 1 to n do
+    cuts.(v) <- [ { leaves = [| v |]; tt = Tt.var 1 1 } ]
+  done;
+  for v = n + 1 to Aig.n_nodes aig - 1 do
+    let x, y = Aig.fanins aig v in
+    let cx = cuts.(Aig.lit_node x) and cy = cuts.(Aig.lit_node y) in
+    let merged = ref [] in
+    List.iter
+      (fun a ->
+        List.iter
+          (fun b ->
+            match merge_leaves k a.leaves b.leaves with
+            | None -> ()
+            | Some leaves ->
+              let m = Array.length leaves in
+              let tt =
+                Tt.of_fun m (fun q ->
+                    edge_value leaves m a (Aig.lit_compl x) q
+                    && edge_value leaves m b (Aig.lit_compl y) q)
+              in
+              merged := normalize leaves tt :: !merged)
+          cy)
+      cx;
+    (* dedup identical leaf sets (strash makes equal leaf sets imply equal
+       functions), then drop cuts dominated by a subset cut *)
+    let dedup =
+      List.sort_uniq (fun a b -> Stdlib.compare a.leaves b.leaves) !merged
+    in
+    let kept =
+      List.filter
+        (fun c ->
+          not
+            (List.exists
+               (fun d -> d != c && leaves_subset d.leaves c.leaves)
+               dedup))
+        dedup
+    in
+    let ranked =
+      List.sort
+        (fun a b ->
+          Stdlib.compare (Array.length a.leaves) (Array.length b.leaves))
+        kept
+    in
+    let truncated = List.filteri (fun i _ -> i < limit) ranked in
+    cuts.(v) <- truncated @ [ { leaves = [| v |]; tt = Tt.var 1 1 } ]
+  done;
+  cuts
+
+let check aig cuts =
+  let tbl = Aig.node_tables aig in
+  let n = Aig.n_inputs aig in
+  let bad = ref None in
+  Array.iteri
+    (fun v cs ->
+      List.iter
+        (fun c ->
+          if !bad = None then
+            for r = 0 to (1 lsl n) - 1 do
+              let s = Array.length c.leaves in
+              let row = ref 0 in
+              Array.iteri
+                (fun j leaf ->
+                  if Tt.eval tbl.(leaf) r then
+                    row := !row lor (1 lsl (s - 1 - j)))
+                c.leaves;
+              if Tt.eval c.tt !row <> Tt.eval tbl.(v) r then
+                bad := Some (v, c)
+            done)
+        cs)
+    cuts;
+  !bad

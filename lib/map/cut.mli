@@ -1,0 +1,34 @@
+(** Priority k-feasible cut enumeration.
+
+    A cut of node [v] is a set of {e leaves} (node ids) such that every path
+    from the inputs to [v] passes through a leaf; the node's value is then a
+    [|leaves|]-input function of the leaf values — the cut's truth table,
+    the function a library block must realize to implement [v] from its
+    leaves. Cuts are enumerated bottom-up by pairwise merges of the fanin
+    cut sets ({e priority cuts}: at most [limit] cuts survive per node, the
+    standard way to keep enumeration linear-ish in practice).
+
+    Truth tables are computed per cut over the leaf order (leaf [i] is
+    variable [x_{i+1}], leaves sorted ascending by node id) and then
+    projected onto their support, so leaves a cone does not actually depend
+    on are dropped. [k <= 4] keeps every cut function inside the NPN-class
+    universe of {!Mm_engine.Npn}. *)
+
+module Tt = Mm_boolfun.Truth_table
+
+type t = {
+  leaves : int array;  (** node ids, ascending; empty for a constant cone *)
+  tt : Tt.t;  (** the node's value as a function of the leaves *)
+}
+
+(** [enumerate aig ~k ~limit] returns the cut set of every node (index =
+    node id). Input nodes get their trivial self-cut; every AND node's set
+    contains merged cuts plus its own self-cut [{v}] (needed for merging
+    further up — the mapper must skip it). Raises [Invalid_argument] unless
+    [1 <= k <= 4] and [limit >= 1]. *)
+val enumerate : Aig.t -> k:int -> limit:int -> t list array
+
+(** [check aig cuts] re-evaluates every cut truth table against the node
+    tables of the graph, returning the first offending (node, cut) if any —
+    a development/test oracle. *)
+val check : Aig.t -> t list array -> (int * t) option

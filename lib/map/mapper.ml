@@ -1,0 +1,168 @@
+module Tt = Mm_boolfun.Truth_table
+module Literal = Mm_boolfun.Literal
+module Circuit = Mm_core.Circuit
+
+type block = { root : int; cut : Cut.t; entry : Blocklib.entry }
+
+type mapping = {
+  aig : Aig.t;
+  blocks : block list;
+  const_nodes : (int * bool) list;
+}
+
+(* per-node selection: a hidden-constant cone or a priced cut *)
+type choice =
+  | Const of bool
+  | Mapped of Cut.t * Blocklib.entry
+
+(* distinct block variables the circuit consumes negated whose leaf is an
+   intermediate signal — each costs one NOR(x,x) inverter at stitch time
+   (negated primary inputs are free literals) *)
+let stitch_inverters n_inputs (cut : Cut.t) (entry : Blocklib.entry) =
+  let m = Array.length cut.leaves in
+  let neg = Array.make m false in
+  let scan = function
+    | Circuit.From_literal (Literal.Neg j) when j >= 1 && j <= m ->
+      if cut.leaves.(j - 1) > n_inputs then neg.(j - 1) <- true
+    | _ -> ()
+  in
+  Array.iter
+    (fun (r : Circuit.rop) -> scan r.in1; scan r.in2)
+    entry.circuit.Circuit.rops;
+  Array.iter scan entry.circuit.Circuit.outputs;
+  Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 neg
+
+let is_self v (c : Cut.t) =
+  Array.length c.leaves = 1 && c.leaves.(0) = v
+
+(* one area-flow pass: returns per-node best choice *)
+let select aig cuts lib refs =
+  let n = Aig.n_inputs aig in
+  let nn = Aig.n_nodes aig in
+  let af = Array.make nn 0.0 in
+  let best = Array.make nn None in
+  for v = n + 1 to nn - 1 do
+    let bc = ref None and bcost = ref infinity in
+    List.iter
+      (fun (c : Cut.t) ->
+        if not (is_self v c) then
+          if Array.length c.leaves = 0 then begin
+            if 0.0 < !bcost then begin
+              bc := Some (Const (Tt.eval c.tt 0));
+              bcost := 0.0
+            end
+          end
+          else begin
+            let kind =
+              if Array.for_all (fun l -> l <= n) c.leaves then Blocklib.Mixed
+              else Blocklib.R_only
+            in
+            let entry = Blocklib.lookup lib kind c.tt in
+            let inv =
+              if kind = Blocklib.R_only then
+                float_of_int (stitch_inverters n c entry)
+              else 0.0
+            in
+            let cost =
+              Array.fold_left
+                (fun acc l ->
+                  if l > n then acc +. (af.(l) /. float_of_int refs.(l))
+                  else acc)
+                (float_of_int (entry.Blocklib.steps + entry.Blocklib.rops)
+                 +. inv)
+                c.leaves
+            in
+            if cost < !bcost then begin
+              bc := Some (Mapped (c, entry));
+              bcost := cost
+            end
+          end)
+      cuts.(v);
+    (match !bc with
+     | None ->
+       (* unreachable with k >= 2: the fanin-pair merge always survives *)
+       invalid_arg "Mapper.select: node with no usable cut"
+     | Some _ -> ());
+    af.(v) <- !bcost;
+    best.(v) <- !bc
+  done;
+  best
+
+(* walk the chosen cover down from the outputs *)
+let extract aig best =
+  let n = Aig.n_inputs aig in
+  let nn = Aig.n_nodes aig in
+  let needed = Array.make nn false in
+  let stack = ref [] in
+  Array.iter
+    (fun o ->
+      let u = Aig.lit_node o in
+      if u > n && not needed.(u) then begin
+        needed.(u) <- true;
+        stack := u :: !stack
+      end)
+    (Aig.outputs aig);
+  let blocks = ref [] and consts = ref [] in
+  while !stack <> [] do
+    let v = List.hd !stack in
+    stack := List.tl !stack;
+    match best.(v) with
+    | None -> assert false
+    | Some (Const b) -> consts := (v, b) :: !consts
+    | Some (Mapped (c, entry)) ->
+      blocks := { root = v; cut = c; entry } :: !blocks;
+      Array.iter
+        (fun l ->
+          if l > n && not needed.(l) then begin
+            needed.(l) <- true;
+            stack := l :: !stack
+          end)
+        c.Cut.leaves
+  done;
+  let blocks =
+    List.sort (fun a b -> Stdlib.compare a.root b.root) !blocks
+  in
+  (blocks, !consts)
+
+let compute aig ~lib ~k ~cut_limit ~passes =
+  if k < 2 || k > 4 then invalid_arg "Mapper.compute: need 2 <= k <= 4";
+  if passes < 1 then invalid_arg "Mapper.compute: passes < 1";
+  let n = Aig.n_inputs aig in
+  let nn = Aig.n_nodes aig in
+  let cuts = Cut.enumerate aig ~k ~limit:cut_limit in
+  (* fanout-based fanout estimate for the first pass *)
+  let fanout = Array.make nn 0 in
+  for v = n + 1 to nn - 1 do
+    let x, y = Aig.fanins aig v in
+    fanout.(Aig.lit_node x) <- fanout.(Aig.lit_node x) + 1;
+    fanout.(Aig.lit_node y) <- fanout.(Aig.lit_node y) + 1
+  done;
+  Array.iter
+    (fun o -> fanout.(Aig.lit_node o) <- fanout.(Aig.lit_node o) + 1)
+    (Aig.outputs aig);
+  let refs = Array.map (max 1) fanout in
+  let result = ref None in
+  for _pass = 1 to passes do
+    let best = select aig cuts lib refs in
+    let blocks, consts = extract aig best in
+    result := Some (blocks, consts);
+    (* area recovery: next pass prices sharing by the cover just chosen *)
+    let cover_refs = Array.make nn 0 in
+    List.iter
+      (fun b ->
+        Array.iter
+          (fun l -> cover_refs.(l) <- cover_refs.(l) + 1)
+          b.cut.Cut.leaves)
+      blocks;
+    Array.iter
+      (fun o ->
+        let u = Aig.lit_node o in
+        cover_refs.(u) <- cover_refs.(u) + 1)
+      (Aig.outputs aig);
+    Array.iteri
+      (fun v r -> refs.(v) <- (if r > 0 then r else max 1 fanout.(v)))
+      cover_refs
+  done;
+  match !result with
+  | None -> assert false
+  | Some (blocks, const_nodes) -> { aig; blocks; const_nodes }

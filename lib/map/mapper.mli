@@ -1,0 +1,34 @@
+(** DAG-aware area-flow cover selection.
+
+    Chooses one cut per needed AIG node so that every output cone is covered
+    by library blocks, minimizing estimated total cost (V-steps + R-ops +
+    stitch inverters). Costs follow the standard area-flow recurrence: a
+    cut's flow is its block cost plus the flow of each internal leaf divided
+    by the leaf's estimated fanout, which lets shared sub-functions amortize
+    across consumers. After the first pass the fanout estimates are
+    recomputed from the cover actually extracted (area recovery) and
+    selection repeats — [passes] total rounds, 2–3 is the sweet spot.
+
+    Blocks are priced through {!Blocklib}: a cut whose leaves are all
+    primary inputs may use the full mixed-mode repertoire; one with
+    intermediate leaves is restricted to [R_only] blocks (plus one stitch
+    inverter per internally-negated leaf, counted in the flow). *)
+
+type block = {
+  root : int;  (** the AIG node this block implements *)
+  cut : Cut.t;
+  entry : Blocklib.entry;
+}
+
+type mapping = {
+  aig : Aig.t;
+  blocks : block list;  (** ascending [root] — topological (leaves first) *)
+  const_nodes : (int * bool) list;
+      (** AND nodes whose cone is structurally hidden constant *)
+}
+
+(** [compute aig ~lib ~k ~cut_limit ~passes] — requires [2 <= k <= 4]
+    (an AND node always has its fanin-pair cut only when [k >= 2]),
+    [cut_limit >= 1], [passes >= 1]. *)
+val compute :
+  Aig.t -> lib:Blocklib.t -> k:int -> cut_limit:int -> passes:int -> mapping

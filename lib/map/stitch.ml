@@ -1,0 +1,188 @@
+module Spec = Mm_boolfun.Spec
+module Tt = Mm_boolfun.Truth_table
+module Literal = Mm_boolfun.Literal
+module Circuit = Mm_core.Circuit
+module Compose = Mm_core.Compose
+module Rop = Mm_core.Rop
+module Engine = Mm_engine.Engine
+
+type placed = {
+  root : int;
+  leaves : int array;
+  kind : Blocklib.kind;
+  tt : Tt.t;
+  class_rep : Tt.t option;
+  exact : bool;
+  optimal : bool;
+  legs : int;
+  steps : int;
+  rops : int;
+}
+
+type t = {
+  circuit : Circuit.t;
+  placed : placed list;
+  inverters : int;
+}
+
+type ref_ = [ `Old of Circuit.source | `New of int ]
+
+let placed_of (b : Mapper.block) =
+  let e = b.entry in
+  { root = b.root; leaves = b.cut.Cut.leaves; kind = e.Blocklib.kind;
+    tt = e.Blocklib.tt; class_rep = e.Blocklib.class_rep;
+    exact = e.Blocklib.exact; optimal = e.Blocklib.optimal;
+    legs = e.Blocklib.legs; steps = e.Blocklib.steps;
+    rops = e.Blocklib.rops }
+
+let lower spec (mapping : Mapper.mapping) =
+  let n = Spec.arity spec in
+  let aig = mapping.Mapper.aig in
+  if Aig.n_inputs aig <> n then invalid_arg "Stitch.lower: arity mismatch";
+  List.iter
+    (fun (b : Mapper.block) ->
+      if b.entry.Blocklib.circuit.Circuit.rop_kind <> Rop.Nor then
+        invalid_arg "Stitch.lower: blocks must be NOR-kind")
+    mapping.Mapper.blocks;
+  let v_blocks, r_blocks =
+    List.partition
+      (fun (b : Mapper.block) -> b.entry.Blocklib.legs > 0)
+      mapping.Mapper.blocks
+  in
+  (* phase 1: serialize every legged block onto one V-op schedule *)
+  let shell, v_signals =
+    match v_blocks with
+    | [] ->
+      ( { Circuit.arity = n; rop_kind = Rop.Nor; legs = [||]; rops = [||];
+          outputs = [||] },
+        [] )
+    | _ ->
+      let lifted =
+        List.map
+          (fun (b : Mapper.block) ->
+            (* leaves of a legged block are primary inputs: ascending node
+               ids 1..n are an injective variable mapping *)
+            Compose.rename_vars b.entry.Blocklib.circuit ~arity:n
+              ~mapping:b.cut.Cut.leaves)
+          v_blocks
+      in
+      let shell, remaps = Compose.merge_parallel lifted in
+      let signals =
+        List.map2
+          (fun ((b : Mapper.block), lifted_c) remap ->
+            (b.root, remap lifted_c.Circuit.outputs.(0)))
+          (List.combine v_blocks lifted) remaps
+      in
+      (shell, signals)
+  in
+  (* the signal of every produced AIG node, in the merged space; appended
+     R-ops are `New indices into [pushed] (kept reversed) *)
+  let signals : (int, ref_) Hashtbl.t = Hashtbl.create 64 in
+  Hashtbl.add signals 0 (`Old (Circuit.From_literal Literal.Const0));
+  for i = 1 to n do
+    Hashtbl.add signals i (`Old (Circuit.From_literal (Literal.Pos i)))
+  done;
+  List.iter
+    (fun (v, b) ->
+      Hashtbl.add signals v
+        (`Old (Circuit.From_literal
+                 (if b then Literal.Const1 else Literal.Const0))))
+    mapping.Mapper.const_nodes;
+  List.iter
+    (fun (v, src) -> Hashtbl.add signals v (`Old src))
+    v_signals;
+  let pushed = ref [] and n_pushed = ref 0 in
+  let push rop =
+    pushed := rop :: !pushed;
+    incr n_pushed;
+    `New (!n_pushed - 1)
+  in
+  let signal v =
+    match Hashtbl.find_opt signals v with
+    | Some s -> s
+    | None -> failwith "Stitch.lower: node has no signal (mapper bug)"
+  in
+  (* negated signal of a node: literal negation when it is one, otherwise a
+     memoized NOR(x,x) inverter *)
+  let inv_memo : (int, ref_) Hashtbl.t = Hashtbl.create 16 in
+  let inverters = ref 0 in
+  let neg_signal v =
+    match signal v with
+    | `Old (Circuit.From_literal l) -> `Old (Circuit.From_literal (Literal.negate l))
+    | s -> (
+      match Hashtbl.find_opt inv_memo v with
+      | Some r -> r
+      | None ->
+        incr inverters;
+        let r = push (s, s) in
+        Hashtbl.add inv_memo v r;
+        r)
+  in
+  (* phase 2: append every 0-leg block, re-sourcing its literals onto the
+     leaf signals *)
+  List.iter
+    (fun (b : Mapper.block) ->
+      let leaves = b.cut.Cut.leaves in
+      let c = b.entry.Blocklib.circuit in
+      let local = Array.make (Circuit.n_rops c) (`New 0 : ref_) in
+      let translate = function
+        | Circuit.From_literal Literal.Const0 ->
+          `Old (Circuit.From_literal Literal.Const0)
+        | Circuit.From_literal Literal.Const1 ->
+          `Old (Circuit.From_literal Literal.Const1)
+        | Circuit.From_literal (Literal.Pos j) -> signal leaves.(j - 1)
+        | Circuit.From_literal (Literal.Neg j) -> neg_signal leaves.(j - 1)
+        | Circuit.From_rop r -> local.(r)
+        | Circuit.From_leg _ | Circuit.From_vop _ ->
+          failwith "Stitch.lower: leg tap in a 0-leg block"
+      in
+      Array.iteri
+        (fun i (r : Circuit.rop) ->
+          local.(i) <- push (translate r.in1, translate r.in2))
+        c.Circuit.rops;
+      Hashtbl.replace signals b.root (translate c.Circuit.outputs.(0)))
+    r_blocks;
+  (* phase 3: spec outputs, negating complemented edges *)
+  let outputs =
+    Array.map
+      (fun o ->
+        let u = Aig.lit_node o in
+        if Aig.lit_compl o then neg_signal u else signal u)
+      (Aig.outputs aig)
+  in
+  let circuit = Compose.with_extra_rops shell (List.rev !pushed) outputs in
+  (match Circuit.realizes circuit spec with
+   | Ok () -> ()
+   | Error row ->
+     failwith
+       (Printf.sprintf "Stitch.lower: stitched circuit wrong on row %d" row));
+  { circuit;
+    placed = List.map placed_of mapping.Mapper.blocks;
+    inverters = !inverters }
+
+type result = {
+  stitched : t;
+  aig_inputs : int;
+  aig_ands : int;
+  lib_lookups : int;
+  lib_memo_hits : int;
+  lib_exact : int;
+  lib_fallbacks : int;
+}
+
+let compile ?(k = 4) ?(cut_limit = 8) ?(passes = 3) (cfg : Engine.config) spec
+    =
+  if cfg.Engine.rop_kind <> Rop.Nor then
+    invalid_arg "Stitch.compile: rop_kind must be Nor (stitch inverters)";
+  let aig = Aig.of_spec spec in
+  let lib = Blocklib.create cfg in
+  let mapping = Mapper.compute aig ~lib ~k ~cut_limit ~passes in
+  let stitched = lower spec mapping in
+  let lookups, hits, exact, fallbacks = Blocklib.stats lib in
+  { stitched;
+    aig_inputs = Aig.n_inputs aig;
+    aig_ands = Aig.n_ands aig;
+    lib_lookups = lookups;
+    lib_memo_hits = hits;
+    lib_exact = exact;
+    lib_fallbacks = fallbacks }

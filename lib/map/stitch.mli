@@ -1,0 +1,66 @@
+(** Lower a chosen cover onto one line array and re-verify it.
+
+    V-blocks (library blocks with legs — necessarily over primary-input
+    leaves) are lifted to the full input space with
+    {!Mm_core.Compose.rename_vars} and merged onto one schedule with
+    {!Mm_core.Compose.merge_parallel}, which serializes their V-op windows.
+    R-blocks (0-leg blocks) follow as appended R-ops: every block-local
+    literal [x_j] is re-sourced onto the signal of the cut's leaf [j] — a
+    primary-input literal, a merged leg/V-op tap, or an earlier appended
+    R-op. A negated intermediate leaf materializes one NOR(x,x) inverter
+    R-op, memoized per signal, which is why stitching requires
+    [rop_kind = Nor]. Complemented AIG outputs negate literals directly or
+    reuse the same inverter path.
+
+    The stitched circuit is re-verified row-by-row against the full spec
+    ({!Mm_core.Circuit.realizes}); {!lower} raises [Failure] on any
+    mismatch — by construction this cannot fire unless a library block or
+    the mapper is wrong. *)
+
+module Spec = Mm_boolfun.Spec
+module Tt = Mm_boolfun.Truth_table
+module Engine = Mm_engine.Engine
+
+(** Per-block provenance of the stitched result (mirrors the engine's
+    batch tags). *)
+type placed = {
+  root : int;  (** AIG node the block implements *)
+  leaves : int array;
+  kind : Blocklib.kind;
+  tt : Tt.t;  (** block-local function *)
+  class_rep : Tt.t option;
+  exact : bool;  (** SAT pipeline (vs QMC→NOR fallback) *)
+  optimal : bool;  (** per-block minimality proofs completed *)
+  legs : int;
+  steps : int;
+  rops : int;
+}
+
+type t = {
+  circuit : Mm_core.Circuit.t;  (** verified against the spec on all rows *)
+  placed : placed list;  (** cover order (topological) *)
+  inverters : int;  (** NOR(x,x) R-ops materialized while stitching *)
+}
+
+(** [lower spec mapping] — [mapping] must come from an AIG of [spec]; every
+    block circuit must be NOR-kind. Raises [Failure] if the stitched
+    circuit fails row verification. *)
+val lower : Spec.t -> Mapper.mapping -> t
+
+type result = {
+  stitched : t;
+  aig_inputs : int;
+  aig_ands : int;
+  lib_lookups : int;
+  lib_memo_hits : int;
+  lib_exact : int;
+  lib_fallbacks : int;
+}
+
+(** [compile cfg spec] — the end-to-end driver: AIG construction
+    ({!Aig.of_spec}), cut enumeration, area-flow mapping against a fresh
+    {!Blocklib} probing through [cfg], stitching, verification.
+    [cfg.rop_kind] must be [Nor]. Defaults: [k = 4], [cut_limit = 8],
+    [passes = 3]. *)
+val compile :
+  ?k:int -> ?cut_limit:int -> ?passes:int -> Engine.config -> Spec.t -> result

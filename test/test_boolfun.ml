@@ -246,6 +246,44 @@ let test_mux_cmp_mul () =
     Alcotest.(check int) (Printf.sprintf "%d*%d" a b) (a * b) !product
   done
 
+(* mux41 and comparator3 against naive evaluators, exhaustively *)
+let test_mux41 () =
+  let s = Arith.mux41 in
+  Alcotest.(check int) "arity" 6 (Spec.arity s);
+  for row = 0 to 63 do
+    (* x1 = MSB: row = s1 s0 d0 d1 d2 d3 *)
+    let bit i = (row lsr (6 - i)) land 1 in
+    let sel = (2 * bit 1) + bit 2 in
+    let expect = bit (3 + sel) in
+    Alcotest.(check int) (Printf.sprintf "mux41 row %d" row) expect
+      (Spec.eval s row)
+  done
+
+let test_comparator3 () =
+  List.iter
+    (fun width ->
+      let s = Arith.comparator3 width in
+      let n = 2 * width in
+      Alcotest.(check int) "outputs" 3 (Spec.output_count s);
+      for row = 0 to (1 lsl n) - 1 do
+        let a = row lsr width and b = row land ((1 lsl width) - 1) in
+        let expect =
+          (if a < b then 1 else 0)
+          lor (if a = b then 2 else 0)
+          lor if a > b then 4 else 0
+        in
+        Alcotest.(check int)
+          (Printf.sprintf "cmp3_%d row %d" width row)
+          expect (Spec.eval s row)
+      done;
+      (* exactly one of lt/eq/gt holds on every row *)
+      for row = 0 to (1 lsl n) - 1 do
+        let w = Spec.eval s row in
+        let pop = (w land 1) + ((w lsr 1) land 1) + ((w lsr 2) land 1) in
+        Alcotest.(check int) "one-hot" 1 pop
+      done)
+    [ 1; 2; 3 ]
+
 let test_table2_spec () =
   let s = Arith.table2_spec in
   (* row 15 = all ones: AND=1 NAND=0 OR=1 NOR=0 -> word 0b0101 *)
@@ -331,6 +369,8 @@ let () =
           Alcotest.test_case "adders vs ints" `Quick test_adders;
           Alcotest.test_case "parity/majority" `Quick test_parity_majority;
           Alcotest.test_case "mux/cmp/mul" `Quick test_mux_cmp_mul;
+          Alcotest.test_case "mux41" `Quick test_mux41;
+          Alcotest.test_case "comparator3" `Quick test_comparator3;
           Alcotest.test_case "table2 spec" `Quick test_table2_spec;
         ] );
       ( "qmc",

@@ -146,6 +146,57 @@ let test_rename_vars () =
     (Invalid_argument "Compose.rename_vars: variable out of mapping") (fun () ->
       ignore (Compose.rename_vars c ~arity:3 ~mapping:[| 3 |]))
 
+let test_rename_vars_edge_cases () =
+  let c =
+    C.make ~arity:2
+      ~legs:
+        [| [| vop (Literal.Pos 1) Literal.Const0;
+              vop (Literal.Neg 2) Literal.Const1 |] |]
+      ~rops:
+        [| { C.in1 = C.From_leg 0; in2 = C.From_literal (Literal.Pos 2) } |]
+      ~outputs:[| C.From_rop 0 |]
+      ()
+  in
+  let f = (C.output_tables c).(0) in
+  (* identity mapping is a no-op *)
+  let id = Compose.rename_vars c ~arity:2 ~mapping:[| 1; 2 |] in
+  Alcotest.(check bool) "identity" true (Tt.equal (C.output_tables id).(0) f);
+  (* permutation: swapping x1/x2 must permute the function the same way *)
+  let swapped = Compose.rename_vars c ~arity:2 ~mapping:[| 2; 1 |] in
+  let f_swapped =
+    Tt.of_fun 2 (fun q ->
+        let b i = Tt.input_bit 2 q i in
+        let q' = (if b 2 then 2 else 0) lor (if b 1 then 1 else 0) in
+        Tt.eval f q')
+  in
+  Alcotest.(check bool) "permutation" true
+    (Tt.equal (C.output_tables swapped).(0) f_swapped);
+  (* injection into a larger arity: x1 -> x4, x2 -> x2 over arity 4 *)
+  let injected = Compose.rename_vars c ~arity:4 ~mapping:[| 4; 2 |] in
+  let f_injected =
+    Tt.of_fun 4 (fun q ->
+        let b i = Tt.input_bit 4 q i in
+        let q' = (if b 4 then 2 else 0) lor (if b 2 then 1 else 0) in
+        Tt.eval f q')
+  in
+  Alcotest.(check bool) "injection" true
+    (Tt.equal (C.output_tables injected).(0) f_injected)
+
+let test_rename_vars_rejects_bad_mappings () =
+  let c =
+    C.make ~arity:2 ~legs:[||] ~rops:[||]
+      ~outputs:[| C.From_literal (Literal.Pos 1) |] ()
+  in
+  Alcotest.check_raises "aliasing"
+    (Invalid_argument "Compose.rename_vars: mapping must be injective")
+    (fun () -> ignore (Compose.rename_vars c ~arity:3 ~mapping:[| 2; 2 |]));
+  Alcotest.check_raises "target out of range"
+    (Invalid_argument "Compose.rename_vars: mapping target out of range")
+    (fun () -> ignore (Compose.rename_vars c ~arity:2 ~mapping:[| 1; 3 |]));
+  Alcotest.check_raises "target zero"
+    (Invalid_argument "Compose.rename_vars: mapping target out of range")
+    (fun () -> ignore (Compose.rename_vars c ~arity:2 ~mapping:[| 0; 1 |]))
+
 let prop_merge_preserves_random_pairs =
   (* random leg-only circuits: merging never changes either function *)
   let gen =
@@ -189,5 +240,12 @@ let () =
           Alcotest.test_case "gf + block" `Quick test_merge_with_rops_and_gf;
           qtest prop_merge_preserves_random_pairs;
         ] );
-      ("rename", [ Alcotest.test_case "rename vars" `Quick test_rename_vars ]);
+      ( "rename",
+        [
+          Alcotest.test_case "rename vars" `Quick test_rename_vars;
+          Alcotest.test_case "identity / permutation / injection" `Quick
+            test_rename_vars_edge_cases;
+          Alcotest.test_case "rejects non-injective mappings" `Quick
+            test_rename_vars_rejects_bad_mappings;
+        ] );
     ]

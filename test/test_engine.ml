@@ -110,6 +110,65 @@ let test_multi_output_passthrough () =
     (results.(0).Engine.class_rep = None);
   check_all_verified results
 
+(* --- the library probe API (Mm_map's cost oracle) --- *)
+
+let test_probe_hit () =
+  (* first probe misses and stores; an identical probe answers entirely
+     from cache (hits, no misses, no stale) *)
+  let cache = Cache.create () in
+  let cfg = Engine.config ~timeout_per_call:30. ~cache () in
+  let spec = Spec.make ~name:"and3" [| Tt.(var 3 1 &&& var 3 2 &&& var 3 3) |] in
+  (match Engine.probe_class cfg spec with
+   | None -> Alcotest.fail "first probe failed"
+   | Some p ->
+     Alcotest.(check bool) "exact" true p.Engine.probe_exact;
+     Alcotest.(check bool) "optimal" true p.Engine.probe_optimal;
+     Alcotest.(check bool) "verifies" true
+       (C.realizes p.Engine.probe_circuit spec = Ok ()));
+  let cold = Cache.counters cache in
+  Alcotest.(check bool) "miss-then-store populated" true
+    (cold.Cache.misses > 0 && cold.Cache.entries > 0);
+  Cache.reset_counters cache;
+  (match Engine.probe_class cfg spec with
+   | None -> Alcotest.fail "second probe failed"
+   | Some p ->
+     Alcotest.(check bool) "still verifies" true
+       (C.realizes p.Engine.probe_circuit spec = Ok ()));
+  let warm = Cache.counters cache in
+  Alcotest.(check bool) "warm probe hits" true (warm.Cache.hits > 0);
+  Alcotest.(check int) "warm probe misses nothing" 0 warm.Cache.misses;
+  Alcotest.(check int) "warm probe never stale" 0 warm.Cache.stale
+
+let test_probe_stale_timeout () =
+  (* a TIMEOUT record stored under a starvation budget must not satisfy a
+     later probe with a real budget: the reuse rule counts it stale *)
+  let cache = Cache.create () in
+  let spec = Spec.make ~name:"xor3" [| Tt.of_int 3 0x96 |] in
+  let starved = Engine.config ~timeout_per_call:1e-5 ~cache () in
+  ignore (Engine.probe_class starved spec);
+  let cold = Cache.counters cache in
+  Alcotest.(check bool) "timeout records stored" true (cold.Cache.entries > 0);
+  Cache.reset_counters cache;
+  let real = Engine.config ~timeout_per_call:10. ~cache () in
+  (match Engine.probe_class real spec with
+   | None -> Alcotest.fail "real-budget probe failed"
+   | Some p ->
+     Alcotest.(check bool) "verifies" true
+       (C.realizes p.Engine.probe_circuit spec = Ok ()));
+  let warm = Cache.counters cache in
+  Alcotest.(check bool) "starved records are stale" true
+    (warm.Cache.stale > 0)
+
+let test_probe_r_only () =
+  let cfg = Engine.config ~timeout_per_call:30. () in
+  let spec = Spec.make ~name:"or3" [| Tt.(var 3 1 ||| var 3 2 ||| var 3 3) |] in
+  match Engine.probe_class ~r_only:true cfg spec with
+  | None -> Alcotest.fail "r_only probe failed"
+  | Some p ->
+    Alcotest.(check int) "no legs" 0 (C.n_legs p.Engine.probe_circuit);
+    Alcotest.(check bool) "verifies" true
+      (C.realizes p.Engine.probe_circuit spec = Ok ())
+
 let () =
   Alcotest.run "engine"
     [
@@ -122,5 +181,12 @@ let () =
           Alcotest.test_case "no-NPN ablation" `Quick test_no_npn_ablation;
           Alcotest.test_case "multi-output passthrough" `Quick
             test_multi_output_passthrough;
+        ] );
+      ( "probe",
+        [
+          Alcotest.test_case "hit / miss-then-store" `Quick test_probe_hit;
+          Alcotest.test_case "stale TIMEOUT record" `Quick
+            test_probe_stale_timeout;
+          Alcotest.test_case "r_only" `Quick test_probe_r_only;
         ] );
     ]
