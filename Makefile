@@ -9,17 +9,23 @@
 # on every verdict, both minima and circuit re-verification over a small
 # spec set, plus a map smoke: the cut-based technology mapper must compile
 # two wider-than-SAT-cap workloads onto verified schedules (row-by-row
-# simulator validation is part of the command's own exit status).
+# simulator validation is part of the command's own exit status), plus an
+# atlas smoke: build a tiny exact NPN atlas, deep-verify it, and prove the
+# zero-SAT serve path (a covered sweep and a daemon request answered
+# entirely from the atlas — no solver calls, no fallbacks).
 
 SMOKE_CACHE := $(shell mktemp -u /tmp/mmsynth_smoke_XXXXXX.cache)
 MAP_CACHE   := $(shell mktemp -u /tmp/mmsynth_map_XXXXXX.cache)
 FAULT_CACHE := $(shell mktemp -u /tmp/mmsynth_fault_XXXXXX.cache)
 SERVE_SOCK  := $(shell mktemp -u /tmp/mmsynth_serve_XXXXXX.sock)
 SERVE_CACHE := $(shell mktemp -u /tmp/mmsynth_serve_XXXXXX.cache)
+ATLAS_FILE  := $(shell mktemp -u /tmp/mmsynth_atlas_XXXXXX.mmatlas)
+ATLAS_SOCK  := $(shell mktemp -u /tmp/mmsynth_atlas_XXXXXX.sock)
 MMSYNTH     := _build/default/bin/mmsynth.exe
 
 .PHONY: all build test smoke smoke-fault smoke-serve smoke-ladder smoke-map \
-  check bench bench-ladder bench-map bench-robustness bench-serve clean
+  smoke-atlas check bench bench-ladder bench-map bench-robustness \
+  bench-serve bench-atlas clean
 
 all: build
 
@@ -101,7 +107,31 @@ smoke-map: build
 	  --cache $(MAP_CACHE) --stats
 	rm -f $(MAP_CACHE)
 
-check: test smoke smoke-fault smoke-serve smoke-ladder smoke-map
+# The zero-SAT serve path, end to end: an exact tiny atlas must answer a
+# covered sweep with no solver calls and no fallbacks, both through the
+# batch engine and through a daemon round trip, and `atlas verify` must
+# accept the artifact it just deep-re-simulated.
+smoke-atlas: build
+	@set -e; \
+	$(MMSYNTH) atlas build $(ATLAS_FILE) --max-n 2 --effort 2 --timeout 30 -j 2; \
+	$(MMSYNTH) atlas verify $(ATLAS_FILE); \
+	out=$$($(MMSYNTH) batch --sweep 2 --atlas $(ATLAS_FILE) --json); \
+	echo "$$out" | grep -q '"sat": 0,' || { echo "smoke-atlas: expected sat=0"; exit 1; }; \
+	echo "$$out" | grep -q '"atlas": 16,' || { echo "smoke-atlas: expected atlas=16"; exit 1; }; \
+	echo "$$out" | grep -q '"fallbacks": 0,' || { echo "smoke-atlas: expected fallbacks=0"; exit 1; }; \
+	echo "$$out" | grep -q '"solver_calls": 0,' || { echo "smoke-atlas: expected solver_calls=0"; exit 1; }; \
+	$(MMSYNTH) serve --socket $(ATLAS_SOCK) --atlas $(ATLAS_FILE) -q & \
+	pid=$$!; \
+	for i in $$(seq 1 100); do [ -S $(ATLAS_SOCK) ] && break; sleep 0.1; done; \
+	[ -S $(ATLAS_SOCK) ] || { echo "daemon never bound $(ATLAS_SOCK)"; kill $$pid 2>/dev/null; exit 1; }; \
+	$(MMSYNTH) client --socket $(ATLAS_SOCK) -e "x1 ^ x2" | grep -q '"provenance": "atlas"' \
+	  || { echo "smoke-atlas: request not atlas-served"; kill $$pid 2>/dev/null; exit 1; }; \
+	kill -TERM $$pid; \
+	wait $$pid || { echo "daemon exited non-zero after SIGTERM"; exit 1; }; \
+	rm -f $(ATLAS_FILE); \
+	echo "smoke-atlas: OK (verified atlas, zero-SAT sweep, atlas-served daemon request)"
+
+check: test smoke smoke-fault smoke-serve smoke-ladder smoke-map smoke-atlas
 
 bench:
 	dune exec bench/main.exe -- engine
@@ -117,6 +147,9 @@ bench-robustness:
 
 bench-serve:
 	dune exec bench/main.exe -- serve
+
+bench-atlas:
+	dune exec bench/main.exe -- atlas
 
 clean:
 	dune clean

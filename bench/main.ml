@@ -1081,13 +1081,13 @@ let serve_bench () =
   in
   (* one warm-up sweep populates the daemon's cache, so the concurrency
      levels measure serving overhead, not first-time SAT solving *)
-  let sweep conc =
+  let sweep ?sock:(sk = sock) conc =
     let lats = Array.make n_specs 0. in
     let shed = Atomic.make 0 and transport = Atomic.make 0 in
     let next = Atomic.make 0 in
     let t0 = Unix.gettimeofday () in
     let worker () =
-      match Client.wait_ready (Client.Unix_sock sock) with
+      match Client.wait_ready (Client.Unix_sock sk) with
       | Error _ -> Atomic.incr transport
       | Ok c ->
         let rec go () =
@@ -1192,6 +1192,107 @@ let serve_bench () =
     "\nrepeated 4-input spec: warm daemon %.2f ms vs cold engine run %.0f ms \
      (%.0fx)\n%!"
     (1e3 *. warm_s) (1e3 *. cold_s) speedup;
+  (* atlas-backed serving: the same sweep against a daemon whose cache
+     carries the precomputed NPN atlas tier, so every covered request is
+     answered with zero solver calls *)
+  let module Atlas = Mm_atlas.Atlas in
+  let atlas_path = tmp "atlas" in
+  let atlas_goals =
+    Atlas.universe ~modes:[ Atlas.Mixed ] ~max_n:3
+      ~include_tts:[ Spec.output spec4 0 ] ()
+  in
+  let atlas_build_s, atlas_records, atlas_bytes =
+    let t0 = Unix.gettimeofday () in
+    match
+      Atlas.build ~effort:2 ~timeout_per_call:10. ~resume:false
+        ~path:atlas_path atlas_goals
+    with
+    | Error e -> failwith (Format.asprintf "atlas build: %a" Atlas.pp_error e)
+    | Ok _ -> (
+      let wall = Unix.gettimeofday () -. t0 in
+      match Atlas.info atlas_path with
+      | Ok i -> (wall, i.Atlas.i_records, i.Atlas.i_bytes)
+      | Error e -> failwith (Format.asprintf "atlas info: %a" Atlas.pp_error e))
+  in
+  Printf.printf
+    "\natlas: %d records (%d bytes) built in %.1fs; restarting the workload \
+     against an atlas-backed daemon\n%!"
+    atlas_records atlas_bytes atlas_build_s;
+  let attach_atlas cache =
+    match Atlas.load atlas_path with
+    | Ok a -> Atlas.attach a cache
+    | Error e -> failwith (Format.asprintf "atlas load: %a" Atlas.pp_error e)
+  in
+  let sock2 = tmp "sock2" in
+  let cache2 = Cache.create () in
+  attach_atlas cache2;
+  let server2 =
+    let engine = Engine.config ~timeout_per_call:30. ~cache:cache2 () in
+    match
+      Server.start (Server.config ~engine ~max_pending:64 ~socket_path:sock2 ())
+    with
+    | Ok t -> t
+    | Error msg -> failwith ("serve bench: " ^ msg)
+  in
+  let atlas_level = sweep ~sock:sock2 4 in
+  (* atlas round trip for one covered request, measured warm *)
+  let warm_atlas_s =
+    let c =
+      match Client.wait_ready (Client.Unix_sock sock2) with
+      | Ok c -> c
+      | Error msg -> failwith ("serve bench: " ^ msg)
+    in
+    ignore (Client.synth c specs.(0x16));
+    let m =
+      median
+        (List.init 5 (fun _ ->
+             let t0 = Unix.gettimeofday () in
+             (match Client.synth c specs.(0x16) with
+              | Ok (Wire.Result _) -> ()
+              | Ok (Wire.Err e) ->
+                failwith ("atlas request refused: " ^ e.Wire.msg)
+              | Error msg -> failwith ("atlas request: " ^ msg));
+             Unix.gettimeofday () -. t0))
+    in
+    Client.close c;
+    m
+  in
+  let daemon2_stats = Server.stats_json server2 in
+  Server.stop server2;
+  let json_int path json =
+    let rec go path json =
+      match (path, json) with
+      | [], Json.Int n -> Some n
+      | k :: rest, Json.Obj kvs ->
+        Option.bind (List.assoc_opt k kvs) (go rest)
+      | _ -> None
+    in
+    Option.value ~default:0 (go path json)
+  in
+  let atlas_answered = json_int [ "engine"; "atlas" ] daemon2_stats in
+  let atlas_sat = json_int [ "engine"; "sat" ] daemon2_stats in
+  let atlas_hit_rate =
+    float_of_int atlas_answered
+    /. float_of_int (max 1 (atlas_answered + atlas_sat))
+  in
+  (* cold single-request latency: fresh engine per request, with and
+     without opening + attaching the atlas artifact *)
+  let cold_atlas_s =
+    median
+      (List.init 3 (fun _ ->
+           let cache = Cache.create () in
+           let t0 = Unix.gettimeofday () in
+           attach_atlas cache;
+           let cfg = Engine.config ~timeout_per_call:30. ~cache () in
+           ignore (Engine.run cfg [| spec4 |]);
+           Unix.gettimeofday () -. t0))
+  in
+  Printf.printf
+    "atlas sweep: hit rate %.0f%% (%d atlas / %d solved); warm request %.0f \
+     us; cold 4-input run %.2f ms with atlas vs %.0f ms without\n%!"
+    (100. *. atlas_hit_rate) atlas_answered atlas_sat (1e6 *. warm_atlas_s)
+    (1e3 *. cold_atlas_s) (1e3 *. cold_s);
+  (try Sys.remove atlas_path with Sys_error _ -> ());
   let daemon_stats = Server.stats_json server in
   Server.stop server;
   List.iter
@@ -1229,6 +1330,20 @@ let serve_bench () =
               ("cold_engine_run_s", Json.Float cold_s);
               ("warm_speedup", Json.Float speedup);
             ] );
+        ( "atlas",
+          Json.Obj
+            [
+              ("records", Json.Int atlas_records);
+              ("size_bytes", Json.Int atlas_bytes);
+              ("build_s", Json.Float atlas_build_s);
+              ("level", level_json atlas_level);
+              ("atlas_hit_rate", Json.Float atlas_hit_rate);
+              ("requests_atlas_answered", Json.Int atlas_answered);
+              ("requests_solver_answered", Json.Int atlas_sat);
+              ("warm_request_s", Json.Float warm_atlas_s);
+              ("cold_run_with_atlas_s", Json.Float cold_atlas_s);
+              ("cold_run_without_atlas_s", Json.Float cold_s);
+            ] );
         ("daemon_stats", Json.Obj [ ("final", daemon_stats) ]);
       ]
   in
@@ -1237,6 +1352,135 @@ let serve_bench () =
   output_char oc '\n';
   close_out oc;
   Printf.printf "written to BENCH_serve.json\n"
+
+(* ------------------------------------------------------------------ *)
+(* Atlas: offline universe build cost per effort tier + lookup speed   *)
+(* ------------------------------------------------------------------ *)
+
+let atlas_bench () =
+  let module Atlas = Mm_atlas.Atlas in
+  let module Json = Mm_report.Json in
+  section "Atlas: offline NPN universe build per effort tier, lookup speed";
+  let tmp name =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "mm_atlas_bench_%d_%s.mmatlas" (Unix.getpid ()) name)
+  in
+  let goals = Atlas.universe ~max_n:3 () in
+  Printf.printf "universe: %d goals (all classes n<=3, both modes, both \
+                 polarities)\n\n%!"
+    (List.length goals);
+  let t =
+    Table.create
+      [ "effort"; "built"; "failed"; "records"; "bytes"; "N_R proofs";
+        "certificates"; "wall [s]" ]
+  in
+  let tiers =
+    List.map
+      (fun effort ->
+        let path = tmp (Printf.sprintf "tier%d" effort) in
+        let t0 = Unix.gettimeofday () in
+        let stats =
+          match
+            Atlas.build ~effort ~timeout_per_call:10. ~resume:false ~path
+              goals
+          with
+          | Ok s -> s
+          | Error e ->
+            failwith (Format.asprintf "tier %d build: %a" effort Atlas.pp_error e)
+        in
+        let wall = Unix.gettimeofday () -. t0 in
+        let info =
+          match Atlas.info path with
+          | Ok i -> i
+          | Error e ->
+            failwith (Format.asprintf "tier %d info: %a" effort Atlas.pp_error e)
+        in
+        Table.add_row t
+          [ string_of_int effort;
+            string_of_int stats.Atlas.built;
+            string_of_int stats.Atlas.failed;
+            string_of_int info.Atlas.i_records;
+            string_of_int info.Atlas.i_bytes;
+            string_of_int info.Atlas.i_rops_exact;
+            string_of_int info.Atlas.i_certificates;
+            Printf.sprintf "%.2f" wall ];
+        (effort, path, stats, info, wall))
+      [ 1; 2; 3 ]
+  in
+  Table.print t;
+  (* lookup latency: every 3-input function against the tier-2 artifact —
+     canonicalize, hash probe, inverse transform, full row re-verification *)
+  let _, lookup_path, _, _, _ = List.nth tiers 1 in
+  let atlas =
+    match Atlas.load lookup_path with
+    | Ok a -> a
+    | Error e -> failwith (Format.asprintf "lookup load: %a" Atlas.pp_error e)
+  in
+  let reps = 200 in
+  let misses = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to reps do
+    for v = 0 to 255 do
+      match
+        Atlas.find atlas ~mode:Atlas.Mixed ~rop_kind:Mm_core.Rop.Nor
+          ~taps:E.Any_vop (Tt.of_int 3 v)
+      with
+      | Some _ -> ()
+      | None -> incr misses
+    done
+  done;
+  let lookup_s = (Unix.gettimeofday () -. t0) /. float_of_int (reps * 256) in
+  Printf.printf
+    "\nlookup: %.1f us per answered minimization (%d lookups, %d misses)\n%!"
+    (1e6 *. lookup_s) (reps * 256) !misses;
+  let verify_s =
+    let t0 = Unix.gettimeofday () in
+    (match Atlas.verify lookup_path with
+     | Ok _ -> ()
+     | Error issues ->
+       failwith
+         (Format.asprintf "bench atlas failed verify: %a" Atlas.pp_issue
+            (List.hd issues)));
+    Unix.gettimeofday () -. t0
+  in
+  Printf.printf "verify: full re-simulation of every record in %.2fs\n%!"
+    verify_s;
+  let tier_json (effort, _, (stats : Atlas.build_stats), info, wall) =
+    Json.Obj
+      [
+        ("effort", Json.Int effort);
+        ("built", Json.Int stats.Atlas.built);
+        ("failed", Json.Int stats.Atlas.failed);
+        ("records", Json.Int info.Atlas.i_records);
+        ("size_bytes", Json.Int info.Atlas.i_bytes);
+        ("rops_exact", Json.Int info.Atlas.i_rops_exact);
+        ("both_exact", Json.Int info.Atlas.i_both_exact);
+        ("certificates", Json.Int info.Atlas.i_certificates);
+        ("build_wall_s", Json.Float wall);
+      ]
+  in
+  let json =
+    Json.Obj
+      [
+        ( "workload",
+          Json.String
+            "all NPN classes n<=3, both modes and polarities, per effort \
+             tier; lookups over all 256 3-input functions" );
+        ("goals", Json.Int (List.length goals));
+        ("tiers", Json.List (List.map tier_json tiers));
+        ("lookup_us", Json.Float (1e6 *. lookup_s));
+        ("lookup_misses", Json.Int !misses);
+        ("verify_s", Json.Float verify_s);
+      ]
+  in
+  List.iter
+    (fun (_, path, _, _, _) -> try Sys.remove path with Sys_error _ -> ())
+    tiers;
+  let oc = open_out "BENCH_atlas.json" in
+  output_string oc (Json.to_string_pretty json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "written to BENCH_atlas.json\n"
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks (one Test.make per table/figure kernel)   *)
@@ -1344,7 +1588,10 @@ let usage () =
     \               paths (all-digit table ids need an x prefix, e.g. x0690)\n\
     \  ladder-scan  depth/hardness map of all 4-input classes, incremental only\n\
     \  robustness   completion/overhead under injected faults -> BENCH_robustness.json\n\
-    \  serve        resident daemon load test, warm vs cold -> BENCH_serve.json\n\
+    \  serve        resident daemon load test, warm vs cold, atlas-backed\n\
+    \               level -> BENCH_serve.json\n\
+    \  atlas        NPN atlas build per effort tier + lookup latency\n\
+    \               -> BENCH_atlas.json\n\
     \  perf         Bechamel micro-benchmarks\n\
     \  all          everything above (default)"
 
@@ -1381,6 +1628,7 @@ let () =
     ladder_bench ~budget:60. ~limit ();
     robustness_bench ();
     serve_bench ();
+    atlas_bench ();
     perf ()
   in
   let positional =
@@ -1483,6 +1731,7 @@ let () =
       [ ("mono", false); ("inc", true) ]
   | [ "robustness" ] -> robustness_bench ()
   | [ "serve" ] -> serve_bench ()
+  | [ "atlas" ] -> atlas_bench ()
   | [ "perf" ] -> perf ()
   | _ ->
     usage ();

@@ -337,6 +337,58 @@ let simulate_cmd =
 
 (* ---- batch: NPN-canonicalizing, cached, multicore sweep ---------------- *)
 
+(* ---- the two-tier store: atlas tier + overlay, shared by batch / serve /
+   map ------------------------------------------------------------------- *)
+
+module Atlas = Mm_atlas.Atlas
+
+let atlas_arg =
+  Arg.(value & opt (some string) None & info [ "atlas" ] ~docv:"FILE"
+         ~doc:"Read-only NPN block atlas attached as the immutable front \
+               tier of the result cache: covered whole-function requests \
+               (arity <= 4) are answered from it with zero solver calls. A \
+               damaged atlas is refused with a warning and the run degrades \
+               to overlay-only operation.")
+
+let cache_shards_arg =
+  Arg.(value & opt (some int) None & info [ "cache-shards" ] ~docv:"K"
+         ~doc:"Create the $(b,--cache) as a directory of K shard files \
+               keyed by NPN-class hash, so damage quarantines one shard \
+               instead of the whole store. Ignored when the path already \
+               holds a legacy single-file cache; an existing sharded store \
+               keeps its on-disk shard count.")
+
+(* Open the mutable overlay (single file, sharded directory, or — when only
+   an atlas is given — memory-only so the atlas has a cache to attach to),
+   then attach the atlas tier. Damaged atlases are never served: warn and
+   run overlay-only. *)
+let open_store ?cache_file ?shards ?atlas () =
+  let module Cache = Mm_engine.Cache in
+  let cache =
+    match cache_file, atlas with
+    | Some path, _ -> Some (Cache.create ~path ?shards ())
+    | None, Some _ -> Some (Cache.create ())
+    | None, None -> None
+  in
+  (match cache, cache_file with
+   | Some c, Some _ ->
+     (match Cache.load_result c with
+      | Cache.Fresh -> ()
+      | l -> Format.printf "cache: %a@." Cache.pp_load l)
+   | _ -> ());
+  (match atlas, cache with
+   | Some path, Some c ->
+     (match Atlas.load path with
+      | Ok a ->
+        Printf.printf "atlas: %s: %d records attached\n%!" path (Atlas.size a);
+        Atlas.attach a c
+      | Error e ->
+        Format.eprintf
+          "warning: atlas: %s: %a — running overlay-only@." path
+          Atlas.pp_error e)
+   | _ -> ());
+  cache
+
 let batch_cmd =
   let module Engine = Mm_engine.Engine in
   let module Cache = Mm_engine.Cache in
@@ -408,7 +460,7 @@ let batch_cmd =
   let json_stats_flag =
     Arg.(value & flag & info [ "json" ]
            ~doc:"Also print the run summary as JSON (the shared \
-                 $(b,mmsynth-stats-v2) schema used by the serve daemon's \
+                 $(b,mmsynth-stats-v3) schema used by the serve daemon's \
                  stats endpoint and the benches).")
   in
   let map_large_flag =
@@ -420,8 +472,8 @@ let batch_cmd =
                  per-block-optimal pieces, not proven globally optimal.")
   in
   let run exprs pla tables workload arity name timeout batch_arity jobs
-      cache_file no_npn final no_inc stats limit deadline retries fallback
-      inject inject_seed json_stats map_large =
+      cache_file cache_shards atlas no_npn final no_inc stats limit deadline
+      retries fallback inject inject_seed json_stats map_large =
     let specs =
       match batch_arity with
       | Some n when n >= 1 && n <= 4 -> Ok (Engine.all_functions ~arity:n)
@@ -462,13 +514,7 @@ let batch_cmd =
             List.filter (fun s -> Spec.arity s > 4) (Array.to_list specs) )
         else (specs, [])
       in
-      let cache = Option.map (fun path -> Cache.create ~path ()) cache_file in
-      (match cache with
-       | Some c ->
-         (match Cache.load_result c with
-          | Cache.Fresh -> ()
-          | l -> Format.printf "cache: %a@." Cache.pp_load l)
-       | None -> ());
+      let cache = open_store ?cache_file ?shards:cache_shards ?atlas () in
       let cfg =
         Engine.config ~timeout_per_call:timeout ?domains:jobs
           ~canonicalize:(not no_npn) ~taps:(taps_of final) ?cache
@@ -499,6 +545,7 @@ let batch_cmd =
                 match r.Engine.report.Synth.best with
                 | Some (_, a) -> ("SAT", Some a)
                 | None -> ("SAT", None))
+              | Engine.From_atlas, Some _ -> ("SAT(atlas)", None)
               | Engine.Via_baseline, Some _ -> ("fallback(b)", None)
               | Engine.Via_heuristic, Some _ -> ("fallback(h)", None)
               | _, None -> (
@@ -642,10 +689,10 @@ let batch_cmd =
     Term.(
       ret
         (const run $ exprs $ pla_file $ tables_file $ workload_t $ arity
-        $ name_t $ timeout $ batch_arity $ jobs $ cache_file $ no_npn
-        $ final_taps $ no_incremental $ stats_flag $ limit $ deadline_flag
-        $ retries_flag $ fallback_flag $ inject_flag $ inject_seed_flag
-        $ json_stats_flag $ map_large_flag))
+        $ name_t $ timeout $ batch_arity $ jobs $ cache_file
+        $ cache_shards_arg $ atlas_arg $ no_npn $ final_taps $ no_incremental
+        $ stats_flag $ limit $ deadline_flag $ retries_flag $ fallback_flag
+        $ inject_flag $ inject_seed_flag $ json_stats_flag $ map_large_flag))
 
 (* ---- serve / client: resident synthesis daemon ------------------------ *)
 
@@ -713,8 +760,9 @@ let serve_cmd =
   let quiet =
     Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"No log lines on stderr.")
   in
-  let run socket tcp jobs cache_file timeout max_pending max_batch
-      request_deadline drain_grace fallback inject inject_seed no_inc quiet =
+  let run socket tcp jobs cache_file cache_shards atlas timeout max_pending
+      max_batch request_deadline drain_grace fallback inject inject_seed
+      no_inc quiet =
     let fault =
       match inject with
       | None -> Ok None
@@ -726,7 +774,7 @@ let serve_cmd =
     match fault with
     | Error msg -> `Error (false, msg)
     | Ok fault ->
-      let cache = Option.map (fun path -> Mm_engine.Cache.create ~path ()) cache_file in
+      let cache = open_store ?cache_file ?shards:cache_shards ?atlas () in
       let fb =
         match fallback with
         | Some "baseline" -> Engine.Use_baseline
@@ -760,9 +808,10 @@ let serve_cmd =
              dispatch, live stats, graceful drain on SIGTERM.")
     Term.(
       ret
-        (const run $ socket_arg $ tcp $ jobs $ cache_file $ timeout
-        $ max_pending $ max_batch $ request_deadline $ drain_grace
-        $ fallback_tag $ inject $ inject_seed $ no_incremental $ quiet))
+        (const run $ socket_arg $ tcp $ jobs $ cache_file $ cache_shards_arg
+        $ atlas_arg $ timeout $ max_pending $ max_batch $ request_deadline
+        $ drain_grace $ fallback_tag $ inject $ inject_seed $ no_incremental
+        $ quiet))
 
 let client_cmd =
   let tcp =
@@ -958,7 +1007,7 @@ let map_cmd =
            ~doc:"Print the per-block provenance table.")
   in
   let run exprs pla tables workload arity name k cut_limit passes cache_file
-      effort stats json dot =
+      cache_shards atlas effort stats json dot =
     match spec_of_inputs name exprs arity pla tables workload with
     | Error msg -> `Error (false, msg)
     | Ok spec ->
@@ -972,13 +1021,7 @@ let map_cmd =
           | 2 -> (0.5, Some 8)
           | _ -> (5.0, None)
         in
-        let cache = Option.map (fun path -> Cache.create ~path ()) cache_file in
-        (match cache with
-         | Some c ->
-           (match Cache.load_result c with
-            | Cache.Fresh -> ()
-            | l -> Format.printf "cache: %a@." Cache.pp_load l)
-         | None -> ());
+        let cache = open_store ?cache_file ?shards:cache_shards ?atlas () in
         let cfg =
           Engine.config ~timeout_per_call ?max_rops ~domains:1
             ~taps:E.Final_only ?cache ()
@@ -1092,54 +1135,123 @@ let map_cmd =
     Term.(
       ret
         (const run $ exprs $ pla_file $ tables_file $ workload_t $ arity
-        $ name_t $ k_arg $ cut_limit $ passes $ cache_file $ effort
-        $ stats_flag $ json_flag $ dot_out))
+        $ name_t $ k_arg $ cut_limit $ passes $ cache_file $ cache_shards_arg
+        $ atlas_arg $ effort $ stats_flag $ json_flag $ dot_out))
 
 (* ---- cache info / gc --------------------------------------------------- *)
 
 let cache_cmd =
   let module Cache = Mm_engine.Cache in
   let cache_path =
-    Arg.(required & opt (some string) None & info [ "cache" ] ~docv:"FILE"
-           ~doc:"The cache file to inspect.")
+    Arg.(required & opt (some string) None & info [ "cache" ] ~docv:"PATH"
+           ~doc:"The cache file (legacy single-file layout) or sharded \
+                 overlay directory to inspect.")
+  in
+  let status_string = function
+    | Cache.Fresh -> "missing"
+    | Cache.Loaded _ -> "ok"
+    | Cache.Invalid_version _ -> "invalid-version"
+    | Cache.Corrupt _ -> "corrupt"
+    | Cache.Salvaged { kept; dropped; _ } ->
+      Printf.sprintf "salvageable (%d intact, >=%d damaged)" kept dropped
+    | Cache.Sharded_load _ -> "sharded"
+  in
+  let status_ok = function
+    | Cache.Fresh | Cache.Loaded _ -> true
+    | Cache.Invalid_version _ | Cache.Corrupt _ | Cache.Salvaged _
+    | Cache.Sharded_load _ -> false
+  in
+  let file_info_json path (i : Cache.info) =
+    Json.Obj
+      [
+        ("path", Json.String path);
+        ( "size_bytes",
+          match i.Cache.size_bytes with
+          | None -> Json.Null
+          | Some n -> Json.Int n );
+        ( "format_version",
+          match i.Cache.version with None -> Json.Null | Some v -> Json.Int v );
+        ("status", Json.String (status_string i.Cache.status));
+        ("entries", Json.Int i.Cache.entries);
+        ( "shard",
+          match i.Cache.shard with
+          | None -> Json.Null
+          | Some (idx, of_k) ->
+            Json.Obj [ ("index", Json.Int idx); ("of", Json.Int of_k) ] );
+        ( "corrupt_siblings",
+          Json.List (List.map (fun p -> Json.String p) i.Cache.corrupt_siblings)
+        );
+      ]
+  in
+  (* quarantine files inside a sharded overlay directory *)
+  let dir_quarantine dir =
+    match Sys.readdir dir with
+    | exception Sys_error _ -> []
+    | names ->
+      let contains hay needle =
+        let nh = String.length hay and nn = String.length needle in
+        let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+        go 0
+      in
+      Array.to_list names
+      |> List.filter_map (fun name ->
+             if contains name ".mmcache.corrupt" then
+               Some (Filename.concat dir name)
+             else None)
+      |> List.sort compare
   in
   let info_cmd =
     let run path =
-      let i = Cache.inspect path in
-      let status =
-        match i.Cache.status with
-        | Cache.Fresh -> "missing"
-        | Cache.Loaded _ -> "ok"
-        | Cache.Invalid_version _ -> "invalid-version"
-        | Cache.Corrupt _ -> "corrupt"
-        | Cache.Salvaged { kept; dropped; _ } ->
-          Printf.sprintf "salvageable (%d intact, >=%d damaged)" kept dropped
-      in
-      print_endline
-        (Json.to_string_pretty
-           (Json.Obj
-              [
-                ("path", Json.String path);
-                ( "size_bytes",
-                  match i.Cache.size_bytes with
-                  | None -> Json.Null
-                  | Some n -> Json.Int n );
-                ( "format_version",
-                  match i.Cache.version with
-                  | None -> Json.Null
-                  | Some v -> Json.Int v );
-                ("status", Json.String status);
-                ("entries", Json.Int i.Cache.entries);
-                ( "corrupt_siblings",
-                  Json.List
-                    (List.map (fun p -> Json.String p) i.Cache.corrupt_siblings)
-                );
-              ]));
-      (* non-zero when the file needs attention, so scripts can gate on it *)
-      match i.Cache.status with
-      | Cache.Fresh | Cache.Loaded _ ->
-        if i.Cache.corrupt_siblings = [] then `Ok 0 else `Ok 3
-      | _ -> `Ok 3
+      if Sys.file_exists path && Sys.is_directory path then begin
+        (* sharded overlay: iterate the shards and aggregate *)
+        let shards = Cache.shard_files path in
+        let infos =
+          List.map (fun (idx, of_k, p) -> (idx, of_k, p, Cache.inspect p)) shards
+        in
+        let entries =
+          List.fold_left (fun acc (_, _, _, i) -> acc + i.Cache.entries) 0 infos
+        in
+        let bytes =
+          List.fold_left
+            (fun acc (_, _, _, i) ->
+              acc + Option.value ~default:0 i.Cache.size_bytes)
+            0 infos
+        in
+        let damaged =
+          List.filter (fun (_, _, _, i) -> not (status_ok i.Cache.status)) infos
+        in
+        let shard_count =
+          List.fold_left (fun acc (_, of_k, _) -> max acc of_k) 0 shards
+        in
+        let quarantine = dir_quarantine path in
+        print_endline
+          (Json.to_string_pretty
+             (Json.Obj
+                [
+                  ("path", Json.String path);
+                  ("layout", Json.String "sharded-overlay");
+                  ("format_version", Json.Int Cache.shard_format_version);
+                  ("shards", Json.Int shard_count);
+                  ("shard_files", Json.Int (List.length shards));
+                  ("entries", Json.Int entries);
+                  ("size_bytes", Json.Int bytes);
+                  ("damaged_shards", Json.Int (List.length damaged));
+                  ( "quarantine",
+                    Json.List (List.map (fun p -> Json.String p) quarantine) );
+                  ( "per_shard",
+                    Json.List
+                      (List.map (fun (_, _, p, i) -> file_info_json p i) infos)
+                  );
+                ]));
+        if damaged = [] && quarantine = [] then `Ok 0 else `Ok 3
+      end
+      else begin
+        let i = Cache.inspect path in
+        print_endline (Json.to_string_pretty (file_info_json path i));
+        (* non-zero when the file needs attention, so scripts can gate on it *)
+        if status_ok i.Cache.status && i.Cache.corrupt_siblings = [] then `Ok 0
+        else `Ok 3
+      end
     in
     Cmd.v
       (Cmd.info "info"
@@ -1147,10 +1259,14 @@ let cache_cmd =
            (Cmd.Exit.defaults
            @ [ Cmd.Exit.info 3
                  ~doc:"the cache is damaged or quarantine files exist" ])
-         ~doc:"Read-only report on a cache file: size, format version, \
-               intact entry count, and any $(b,.corrupt) quarantine \
-               siblings. Never modifies anything — safe against a live \
-               daemon's cache.")
+         ~doc:"Read-only report on a cache: size, format version, intact \
+               entry count, and any $(b,.corrupt) quarantine siblings. A \
+               directory is treated as a sharded overlay and reported \
+               per shard with aggregate totals; a file is reported in the \
+               legacy single-file layout (its on-disk format version is \
+               included, so v3 caches from older builds are identified). \
+               Never modifies anything — safe against a live daemon's \
+               cache.")
       Term.(ret (const run $ cache_path))
   in
   let gc_cmd =
@@ -1159,7 +1275,11 @@ let cache_cmd =
              ~doc:"Move quarantine files into DIR instead of deleting them.")
     in
     let run path archive =
-      let victims = Cache.quarantined_siblings path in
+      let victims =
+        if Sys.file_exists path && Sys.is_directory path then
+          dir_quarantine path
+        else Cache.quarantined_siblings path
+      in
       if victims = [] then begin
         print_endline "no quarantine files";
         `Ok 0
@@ -1201,10 +1321,244 @@ let cache_cmd =
     (Cmd.info "cache" ~doc:"Inspect and clean persistent result caches.")
     [ info_cmd; gc_cmd ]
 
+(* ---- atlas build / info / verify --------------------------------------- *)
+
+let atlas_cmd =
+  let atlas_path =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE"
+           ~doc:"The atlas artifact.")
+  in
+  let mode_json = function
+    | Atlas.Mixed -> "mixed"
+    | Atlas.R_only -> "r-only"
+  in
+  let build_cmd =
+    let max_n =
+      Arg.(value & opt int 3 & info [ "max-n" ] ~docv:"N"
+             ~doc:"Enumerate every NPN class of arity 1..N (1-4). N=4 is \
+                   the paper's full 222-class universe; the default 3 \
+                   (2+4+14 classes) builds in seconds.")
+    in
+    let effort =
+      Arg.(value & opt int 2 & info [ "effort" ] ~docv:"LEVEL"
+             ~doc:"$(b,1) = verified heuristic circuits, no SAT; $(b,2) = \
+                   exact minimization within $(b,--timeout) per call; \
+                   $(b,3) = 4x budget, keeping the UNSAT-ladder optimality \
+                   certificates as provenance metadata.")
+    in
+    let jobs =
+      Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"D"
+             ~doc:"Worker domains (default: cores - 1).")
+    in
+    let timeout =
+      Arg.(value & opt float 10.0 & info [ "timeout" ] ~docv:"SECONDS"
+             ~doc:"Solver budget per SAT call at effort 2 (effort 3 runs \
+                   4x).")
+    in
+    let no_resume =
+      Arg.(value & flag & info [ "no-resume" ]
+             ~doc:"Rebuild from scratch instead of reusing the records an \
+                   earlier (possibly interrupted or lower-effort) build \
+                   already settled.")
+    in
+    let modes =
+      Arg.(value
+           & opt (enum [ ("both", [ Atlas.Mixed; Atlas.R_only ]);
+                         ("mixed", [ Atlas.Mixed ]);
+                         ("r-only", [ Atlas.R_only ]) ])
+               [ Atlas.Mixed; Atlas.R_only ]
+           & info [ "mode" ] ~docv:"MODE"
+               ~doc:"Which synthesis modes to enumerate: $(b,mixed), \
+                     $(b,r-only) or $(b,both) (default).")
+    in
+    let rop =
+      Arg.(value
+           & opt (enum [ ("nor", Mm_core.Rop.Nor); ("nimp", Mm_core.Rop.Nimp) ])
+               Mm_core.Rop.Nor
+           & info [ "rop" ] ~docv:"KIND"
+               ~doc:"Stateful R-op kind: $(b,nor) (default) or $(b,nimp). \
+                     Note effort 1 has no heuristic for nimp.")
+    in
+    let cover =
+      Arg.(value & opt_all string [] & info [ "cover" ] ~docv:"WORKLOAD"
+             ~doc:"Also cover the NPN classes of this built-in workload's \
+                   outputs (arity <= 4; see $(b,--workload) under \
+                   $(b,synth)). Repeatable — lets a small atlas cover \
+                   chosen 4-input classes without enumerating all 222.")
+    in
+    let cover_expr =
+      Arg.(value & opt_all string [] & info [ "cover-expr" ] ~docv:"EXPR"
+             ~doc:"Also cover the NPN class of this Boolean expression \
+                   (arity <= 4; same syntax as $(b,-e)). Repeatable.")
+    in
+    let run path max_n effort jobs timeout no_resume modes rop final cover
+        cover_exprs =
+      if max_n < 1 || max_n > 4 then `Error (false, "--max-n must be 1..4")
+      else if effort < 1 || effort > 3 then
+        `Error (false, "--effort must be 1..3")
+      else begin
+        let cover_tts = ref [] and cover_errs = ref [] in
+        List.iter
+          (fun w ->
+            match workload_of_name w with
+            | Error msg -> cover_errs := msg :: !cover_errs
+            | Ok spec ->
+              Array.iter
+                (fun tt ->
+                  if Mm_boolfun.Truth_table.arity tt <= 4 then
+                    cover_tts := tt :: !cover_tts
+                  else
+                    Printf.eprintf
+                      "warning: --cover %s: output wider than 4 inputs \
+                       skipped (atlas classes stop at n=4)\n"
+                      w)
+                (Spec.outputs spec))
+          cover;
+        List.iter
+          (fun e ->
+            match Expr.parse_exn e with
+            | parsed -> (
+              let spec = Expr.spec ~name:"cover" [ parsed ] in
+              if Spec.arity spec <= 4 then
+                Array.iter
+                  (fun tt -> cover_tts := tt :: !cover_tts)
+                  (Spec.outputs spec)
+              else
+                Printf.eprintf
+                  "warning: --cover-expr %S: wider than 4 inputs, skipped\n" e)
+            | exception Invalid_argument msg ->
+              cover_errs := Printf.sprintf "--cover-expr %S: %s" e msg
+                            :: !cover_errs)
+          cover_exprs;
+        match !cover_errs with
+        | msg :: _ -> `Error (false, msg)
+        | [] ->
+          let goals =
+            Atlas.universe ~modes ~rop_kind:rop ~taps:(taps_of final)
+              ~include_tts:!cover_tts ~max_n ()
+          in
+          Printf.printf "atlas build: %d goals at effort %d -> %s\n%!"
+            (List.length goals) effort path;
+          (match
+             Atlas.build ~effort ?domains:jobs ~timeout_per_call:timeout
+               ~resume:(not no_resume)
+               ~progress:(fun s -> Printf.printf "  %s\n%!" s)
+               ~path goals
+           with
+           | Ok st ->
+             Printf.printf
+               "atlas build: %d goals: %d built, %d reused, %d failed in \
+                %.1fs\n"
+               st.Atlas.total st.Atlas.built st.Atlas.reused st.Atlas.failed
+               st.Atlas.wall_s;
+             if st.Atlas.failed > 0 then `Ok 3 else `Ok 0
+           | Error e ->
+             `Error
+               (false,
+                Format.asprintf "%s: %a (use --no-resume to rebuild)" path
+                  Atlas.pp_error e))
+      end
+    in
+    Cmd.v
+      (Cmd.info "build"
+         ~exits:
+           (Cmd.Exit.defaults
+           @ [ Cmd.Exit.info 3 ~doc:"some goals found no circuit at any tier" ])
+         ~doc:"Enumerate the NPN class universe offline and persist the \
+               checksummed read-only artifact. Resumable: an interrupted or \
+               lower-effort build is continued, not restarted; the file is \
+               flushed atomically after every chunk.")
+      Term.(
+        ret
+          (const run $ atlas_path $ max_n $ effort $ jobs $ timeout
+          $ no_resume $ modes $ rop $ final_taps $ cover $ cover_expr))
+  in
+  let info_cmd =
+    let run path =
+      match Atlas.info path with
+      | Error e -> `Error (false, Format.asprintf "%s: %a" path Atlas.pp_error e)
+      | Ok i ->
+        print_endline
+          (Json.to_string_pretty
+             (Json.Obj
+                [ ("path", Json.String path);
+                  ("format_version", Json.Int i.Atlas.i_version);
+                  ("records", Json.Int i.Atlas.i_records);
+                  ("size_bytes", Json.Int i.Atlas.i_bytes);
+                  ( "by_arity",
+                    Json.Obj
+                      (List.map
+                         (fun (n, c) -> (string_of_int n, Json.Int c))
+                         i.Atlas.i_by_arity) );
+                  ( "by_mode",
+                    Json.Obj
+                      (List.map
+                         (fun (m, c) -> (mode_json m, Json.Int c))
+                         i.Atlas.i_by_mode) );
+                  ( "by_effort",
+                    Json.Obj
+                      (List.map
+                         (fun (e, c) -> (string_of_int e, Json.Int c))
+                         i.Atlas.i_by_effort) );
+                  ("rops_exact", Json.Int i.Atlas.i_rops_exact);
+                  ("both_exact", Json.Int i.Atlas.i_both_exact);
+                  ("certificates", Json.Int i.Atlas.i_certificates);
+                  ( "damage",
+                    match i.Atlas.i_damage with
+                    | None -> Json.Null
+                    | Some (dropped, torn) ->
+                      Json.Obj
+                        [ ("dropped_records", Json.Int dropped);
+                          ("torn_tail", Json.Bool torn) ] ) ]));
+        if i.Atlas.i_damage = None then `Ok 0 else `Ok 3
+    in
+    Cmd.v
+      (Cmd.info "info"
+         ~exits:
+           (Cmd.Exit.defaults
+           @ [ Cmd.Exit.info 3 ~doc:"the atlas is damaged" ])
+         ~doc:"Read-only JSON summary of an atlas artifact: record counts \
+               by arity, mode and effort tier, proof coverage, certificate \
+               counts, and any detected damage (tolerant — a damaged file \
+               is still summarized, with exit 3).")
+      Term.(ret (const run $ atlas_path))
+  in
+  let verify_cmd =
+    let run path =
+      match Atlas.verify path with
+      | Ok n ->
+        Printf.printf "atlas verify: %s: %d records OK\n" path n;
+        `Ok 0
+      | Error issues ->
+        List.iter
+          (fun i -> Format.eprintf "atlas verify: %a@." Atlas.pp_issue i)
+          issues;
+        Format.eprintf "atlas verify: %s: %d problem(s)@." path
+          (List.length issues);
+        `Ok 3
+    in
+    Cmd.v
+      (Cmd.info "verify"
+         ~exits:
+           (Cmd.Exit.defaults
+           @ [ Cmd.Exit.info 3 ~doc:"the atlas failed verification" ])
+         ~doc:"Deep re-verification: header, per-record checksums and \
+               framing, then every stored circuit re-simulated against its \
+               target on all rows with the stored metrics cross-checked. \
+               Any damaged byte exits nonzero.")
+      Term.(ret (const run $ atlas_path))
+  in
+  Cmd.group
+    (Cmd.info "atlas"
+       ~doc:"Build, inspect and verify the precomputed NPN block atlas \
+             served by $(b,--atlas) on $(b,batch), $(b,serve) and \
+             $(b,map).")
+    [ build_cmd; info_cmd; verify_cmd ]
+
 let main =
   let doc = "optimal synthesis of memristive mixed-mode circuits" in
   Cmd.group (Cmd.info "mmsynth" ~version:"1.0.0" ~doc)
     [ synth_cmd; check_cmd; baseline_cmd; simulate_cmd; batch_cmd; map_cmd;
-      serve_cmd; client_cmd; cache_cmd ]
+      serve_cmd; client_cmd; cache_cmd; atlas_cmd ]
 
 let () = exit (Cmd.eval' main)

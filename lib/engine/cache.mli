@@ -1,23 +1,45 @@
-(** Persistent result store for synthesis instances.
+(** Two-tier persistent result store for synthesis instances.
 
-    One entry caches the outcome of one [Synth.solve_instance] call — SAT
-    with the decoded circuit, UNSAT (an optimality certificate that stays
-    valid forever), or TIMEOUT together with the budget it ran under. Keys
-    are fingerprint strings built by {!key} from the encode configuration
-    and the (canonical) specification, so budget sweeps and repeated batch
-    runs skip every instance already answered.
+    The {e overlay} tier caches the outcome of one [Synth.solve_instance]
+    call — SAT with the decoded circuit, UNSAT (an optimality certificate
+    that stays valid forever), or TIMEOUT together with the budget it ran
+    under. Keys are fingerprint strings built by {!key} from the encode
+    configuration and the (canonical) specification, so budget sweeps and
+    repeated batch runs skip every instance already answered.
+
+    The {e atlas} tier sits in front of the overlay: an immutable,
+    read-only library of whole NPN classes (see [Mm_atlas]) attached with
+    {!set_atlas}. The engine probes it with {!find_class} before
+    dispatching any solver job; a hit answers the whole minimization in
+    microseconds with zero solver calls and is counted in
+    [counters.atlas_hits]. The hook is function-typed so this module never
+    depends on the atlas implementation.
 
     Reuse rules implemented by {!find}: SAT and UNSAT entries are definitive
     and hit regardless of the requested budget; a TIMEOUT entry hits only
     when it was produced under a budget at least as large as the one now
     requested — otherwise it is counted {e stale} and re-solved.
 
+    {2 Overlay layouts}
+
+    [create ?path] (no [?shards]) keeps the legacy layout: one v3 file at
+    [path]. [create ~path ~shards:k] makes [path] a directory of [k] shard
+    files [shard-<i>-of-<k>.mmcache] (format v4: same checksummed records
+    plus a shard header); an entry's shard is the MD5 of its fingerprint
+    string mod [k] — effectively its NPN class — so concurrent daemons
+    flushing the same overlay contend per shard instead of on one path,
+    and {!flush} rewrites only the shards dirtied since the last flush.
+    A shard count already on disk wins over the requested [k] (no entry is
+    orphaned by a restart with a different [k]), and a legacy single
+    {e file} already at [path] wins over [?shards] entirely — legacy
+    caches keep working unmigrated.
+
     {2 Integrity}
 
-    The on-disk format is versioned (magic string + {!format_version}) and
-    each entry is written as its own checksummed record (MD5 over the
-    marshalled payload). Damage is contained, never trusted and never
-    silently discarded:
+    The on-disk format is versioned (magic string + {!format_version} /
+    {!shard_format_version}) and each entry is written as its own
+    checksummed record (MD5 over the marshalled payload). Damage is
+    contained, never trusted and never silently discarded:
     - a record whose checksum fails (flipped bytes) is skipped; reading
       continues at the next record;
     - a torn record (truncation, garbage tail) ends the read; the valid
@@ -27,7 +49,8 @@
     - in every damage case the original file is {e quarantined}: renamed to
       [<path>.corrupt] (numeric suffixes if taken) so the bytes survive for
       post-mortem. The next {!flush} rewrites [<path>] from the salvaged
-      entries.
+      entries. In the sharded layout all of this happens per shard file —
+      one damaged shard never touches its siblings.
     Truncation exactly at a record boundary is indistinguishable from a
     shorter valid file and loads as {!Loaded}.
 
@@ -52,34 +75,97 @@ type load =
   | Salvaged of { kept : int; dropped : int; quarantined : string option }
       (** damaged records: [kept] entries survive, at least [dropped]
           records were lost *)
+  | Sharded_load of {
+      shards : int;  (** shard count in effect (adopted from disk) *)
+      files : int;  (** shard files read fully intact *)
+      entries : int;
+      damaged : int;  (** shard files quarantined (salvage included) *)
+      quarantined : string list;
+    }  (** sharded-overlay aggregate *)
 
-type counters = { hits : int; misses : int; stale : int; entries : int }
+type counters = {
+  hits : int;
+  misses : int;
+  stale : int;
+  atlas_hits : int;  (** class queries answered by the atlas tier *)
+  entries : int;
+}
 
-(** [create ?path ()] — with a [path], existing entries are loaded (and a
-    damaged file quarantined) and {!flush} persists there. Without, the
+(** [create ?path ?shards ()] — with a [path], existing entries are loaded
+    (and damaged files quarantined) and {!flush} persists there; [?shards]
+    selects the sharded directory layout (see above). Without a path, the
     cache is memory-only. Never raises on a damaged file. *)
-val create : ?path:string -> unit -> t
+val create : ?path:string -> ?shards:int -> unit -> t
 
 val load_result : t -> load
 val path : t -> string option
+
+(** Shard count of a sharded overlay, [None] for memory-only/single-file. *)
+val shards : t -> int option
+
 val pp_load : Format.formatter -> load -> unit
 
 (** Fingerprint for one synthesis instance. Spec names are excluded — only
     arity and output tables matter. *)
 val key : Mm_core.Encode.config -> Mm_boolfun.Spec.t -> string
 
-(** [find t ~timeout key] probes, updating hit/miss/stale counters. *)
+(** [find t ~timeout key] probes the overlay, updating hit/miss/stale
+    counters. *)
 val find : t -> timeout:float -> string -> Mm_core.Synth.attempt option
 
-(** [add t ~timeout key attempt] records (replacing any previous entry). *)
+(** [add t ~timeout key attempt] records in the overlay (replacing any
+    previous entry) and marks the entry's shard dirty. *)
 val add : t -> timeout:float -> string -> Mm_core.Synth.attempt -> unit
 
-(** Persist to [path] (atomic, no-op when memory-only). *)
+(** Persist dirty state to [path] (atomic per file, no-op when
+    memory-only). *)
 val flush : t -> unit
 
 val counters : t -> counters
 val reset_counters : t -> unit
 val format_version : int
+val shard_format_version : int
+
+(** {2 The atlas tier}
+
+    One whole-minimization query: a (single-output) spec in either solve
+    mode, with the engine's encode parameters and search caps. The hook
+    behind {!find_class} canonicalizes the spec itself, so callers pass
+    their concrete target. *)
+
+type class_query = {
+  q_spec : Mm_boolfun.Spec.t;
+  q_mode : [ `Mixed | `R_only ];
+  q_rop_kind : Mm_core.Rop.kind;
+  q_taps : Mm_core.Encode.taps;
+  q_max_rops : int option;
+  q_max_steps : int option;
+}
+
+(** A decanonicalized, row-verified answer. [a_rops_exact] marks the R-op
+    count proven minimal (UNSAT certificate below it), [a_steps_exact] the
+    same for steps; [a_effort] is the atlas build tier that produced it. *)
+type class_answer = {
+  a_circuit : Mm_core.Circuit.t;
+  a_rops : int;
+  a_steps : int;
+  a_legs : int;
+  a_rops_exact : bool;
+  a_steps_exact : bool;
+  a_effort : int;
+}
+
+(** Attach an atlas lookup (replacing any previous one). [name] is
+    reported by {!atlas_name} for stats/logs. *)
+val set_atlas : t -> name:string -> (class_query -> class_answer option) -> unit
+
+val clear_atlas : t -> unit
+val has_atlas : t -> bool
+val atlas_name : t -> string option
+
+(** Probe the atlas tier; [None] without an attached atlas (no counter
+    moves) or on an atlas miss. A hit bumps [atlas_hits]. *)
+val find_class : t -> class_query -> class_answer option
 
 (** {2 Offline inspection ([mmsynth cache info]/[cache gc])}
 
@@ -93,11 +179,17 @@ type info = {
   version : int option;  (** on-disk format version, [None] if unreadable *)
   status : load;
   entries : int;  (** records that parse and pass their checksum *)
+  shard : (int * int) option;
+      (** [(index, of_k)] when the file is a v4 overlay shard *)
   corrupt_siblings : string list;
       (** existing [<path>.corrupt{,.N}] quarantine files *)
 }
 
 val inspect : string -> info
+
+(** Existing shard files of an overlay directory as
+    [(index, of_k, path)], sorted. *)
+val shard_files : string -> (int * int * string) list
 
 (** The [<path>.corrupt], [<path>.corrupt.1], ... files that exist,
     in quarantine order. *)
@@ -105,5 +197,6 @@ val quarantined_siblings : string -> string list
 
 (**/**)
 
-(** Test hook: persist with an arbitrary format version. *)
+(** Test hook: persist with an arbitrary format version (single-file
+    layout only; sharded overlays always write {!shard_format_version}). *)
 val save_with_version : t -> int -> unit

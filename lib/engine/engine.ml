@@ -35,7 +35,7 @@ let config ?(rop_kind = Mm_core.Rop.Nor) ?(taps = Mm_core.Encode.Any_vop)
     retry_backoff_s = Float.max 0. retry_backoff_s; fallback; fault;
     incremental }
 
-type provenance = Exact | Via_baseline | Via_heuristic
+type provenance = Exact | From_atlas | Via_baseline | Via_heuristic
 
 type fail =
   | Crashed of { exn : string; backtrace : string }
@@ -56,6 +56,7 @@ type summary = {
   functions : int;
   classes : int;
   sat : int;
+  atlas : int;
   unsat : int;
   timeout : int;
   fallbacks : int;
@@ -148,6 +149,7 @@ let fallback_circuit (cfg : config) spec =
 (* Per-spec outcome before graceful degradation is applied. *)
 type resolution =
   | R_circuit of Circuit.t * Synth.report
+  | R_atlas of Circuit.t * Cache.class_answer
   | R_unsat of Synth.report
   | R_timeout of Synth.report
   | R_crashed of Pool.error * Synth.report
@@ -174,8 +176,33 @@ let run (cfg : config) specs =
     plans;
   let owners = Array.of_list (List.rev !owners) in
   let n_jobs = Array.length owners in
+  (* atlas tier: a whole job answered here never claims a deadline slice,
+     never reaches the pool and never touches the solver — its members are
+     resolved from the stored class circuit alone *)
+  let atlas_answers : Cache.class_answer option array = Array.make n_jobs None in
+  (match cfg.cache with
+   | Some c when Cache.has_atlas c ->
+     Array.iteri
+       (fun j owner ->
+         let target = plans.(owner).target_spec in
+         if Spec.output_count target = 1 then
+           match
+             Cache.find_class c
+               { Cache.q_spec = target; q_mode = `Mixed;
+                 q_rop_kind = cfg.rop_kind; q_taps = cfg.taps;
+                 q_max_rops = cfg.max_rops; q_max_steps = cfg.max_steps }
+           with
+           | Some a when a.Cache.a_rops_exact -> atlas_answers.(j) <- Some a
+           | Some _ | None -> ())
+       owners
+   | Some _ | None -> ());
+  let unanswered =
+    List.filter
+      (fun j -> atlas_answers.(j) = None)
+      (List.init n_jobs Fun.id)
+  in
   let mgr =
-    Deadline.create ?wall:cfg.deadline ~pending:n_jobs
+    Deadline.create ?wall:cfg.deadline ~pending:(List.length unanswered)
       ~default_per_call:cfg.timeout_per_call ()
   in
   (* One thunk per (job, attempt). The budget is claimed at job start so
@@ -227,7 +254,7 @@ let run (cfg : config) specs =
      deterministic answers and are never retried. *)
   let outcomes : job_out Pool.outcome option array = Array.make n_jobs None in
   let retries_used = ref 0 in
-  let pending = ref (List.init n_jobs Fun.id) in
+  let pending = ref unanswered in
   let attempt = ref 0 in
   while !pending <> [] && !attempt <= cfg.retries do
     if !attempt > 0 then begin
@@ -266,6 +293,15 @@ let run (cfg : config) specs =
   let resolve i =
     let p = plans.(i) in
     let spec = specs.(i) in
+    match atlas_answers.(job_of.(i)) with
+    | Some a -> (
+      (* pull the class circuit back to this member and re-verify on all
+         rows, exactly as for a solver-produced circuit *)
+      let c_f = Npn.apply_circuit (Npn.inverse p.t_in) a.Cache.a_circuit in
+      match Circuit.realizes c_f spec with
+      | Ok () -> R_atlas (c_f, a)
+      | Error row -> R_verify_failed (row, empty_report))
+    | None ->
     match (Array.get outcomes job_of.(i) : job_out Pool.outcome option) with
     | None -> R_crashed ({ Pool.exn = "job never ran (engine bug)"; backtrace = "" }, empty_report)
     | Some o -> (
@@ -320,6 +356,11 @@ let run (cfg : config) specs =
               error }
         in
         match resolve i with
+        | R_atlas (c, a) ->
+          { spec; class_rep = p.class_rep; shared = owners.(job_of.(i)) <> i;
+            report = empty_report; circuit = Some c; provenance = From_atlas;
+            optimal = a.Cache.a_rops_exact && a.Cache.a_steps_exact;
+            error = None }
         | R_circuit (c, report) ->
           { spec; class_rep = p.class_rep; shared = owners.(job_of.(i)) <> i;
             report; circuit = Some c; provenance = Exact;
@@ -340,11 +381,12 @@ let run (cfg : config) specs =
       plans
   in
   let wall_s = Unix.gettimeofday () -. t0 in
-  let sat = ref 0 and unsat = ref 0 and timeout = ref 0 in
+  let sat = ref 0 and atlas = ref 0 and unsat = ref 0 and timeout = ref 0 in
   Array.iter
     (fun r ->
       match (r.circuit, r.provenance) with
       | Some _, Exact -> incr sat
+      | Some _, From_atlas -> incr atlas
       | Some _, (Via_baseline | Via_heuristic) -> incr timeout
       | None, _ ->
         if r.error = None && r.report.Synth.attempts <> []
@@ -374,6 +416,7 @@ let run (cfg : config) specs =
       functions = Array.length specs;
       classes = n_jobs;
       sat = !sat;
+      atlas = !atlas;
       unsat = !unsat;
       timeout = !timeout;
       fallbacks = !fallbacks;
@@ -404,6 +447,34 @@ type probe = {
 let probe_class ?(r_only = false) (cfg : config) spec =
   let p = plan_of cfg spec in
   let target = p.target_spec in
+  let atlas_probe () =
+    match cfg.cache with
+    | Some c when Cache.has_atlas c && Spec.output_count target = 1 -> (
+      match
+        Cache.find_class c
+          { Cache.q_spec = target;
+            q_mode = (if r_only then `R_only else `Mixed);
+            q_rop_kind = cfg.rop_kind; q_taps = cfg.taps;
+            q_max_rops = cfg.max_rops;
+            q_max_steps = (if r_only then None else cfg.max_steps) }
+      with
+      | Some a when a.Cache.a_rops_exact -> (
+        let c_f = Npn.apply_circuit (Npn.inverse p.t_in) a.Cache.a_circuit in
+        match Circuit.realizes c_f spec with
+        | Ok () ->
+          Some
+            { probe_class_rep = p.class_rep;
+              probe_circuit = c_f;
+              probe_report = empty_report;
+              probe_exact = true;
+              probe_optimal = a.Cache.a_rops_exact && a.Cache.a_steps_exact }
+        | Error _ -> None)
+      | Some _ | None -> None)
+    | Some _ | None -> None
+  in
+  match atlas_probe () with
+  | Some _ as hit -> hit
+  | None ->
   let lookup, store =
     match cfg.cache with
     | None -> (None, None)
@@ -443,7 +514,7 @@ let probe_class ?(r_only = false) (cfg : config) spec =
     | Error _ -> None)
 
 let empty_summary =
-  { functions = 0; classes = 0; sat = 0; unsat = 0; timeout = 0;
+  { functions = 0; classes = 0; sat = 0; atlas = 0; unsat = 0; timeout = 0;
     fallbacks = 0; retries_used = 0; deadline_hit = false; wall_s = 0.;
     solves_per_s = 0.; solver_calls = 0; propagations = 0; peak_learnts = 0;
     props_per_s = 0.; cache = None }
@@ -457,6 +528,7 @@ let add_summary a b =
         { Cache.hits = x.Cache.hits + y.Cache.hits;
           misses = x.Cache.misses + y.Cache.misses;
           stale = x.Cache.stale + y.Cache.stale;
+          atlas_hits = x.Cache.atlas_hits + y.Cache.atlas_hits;
           (* per-run counters add; entries is a point-in-time cache size *)
           entries = max x.Cache.entries y.Cache.entries }
   in
@@ -465,6 +537,7 @@ let add_summary a b =
     functions = a.functions + b.functions;
     classes = a.classes + b.classes;
     sat = a.sat + b.sat;
+    atlas = a.atlas + b.atlas;
     unsat = a.unsat + b.unsat;
     timeout = a.timeout + b.timeout;
     fallbacks = a.fallbacks + b.fallbacks;
@@ -488,10 +561,11 @@ let stats_to_json s =
   let open Mm_report.Json in
   Obj
     [
-      ("schema", String "mmsynth-stats-v2");
+      ("schema", String "mmsynth-stats-v3");
       ("functions", Int s.functions);
       ("classes", Int s.classes);
       ("sat", Int s.sat);
+      ("atlas", Int s.atlas);
       ("unsat", Int s.unsat);
       ("timeout", Int s.timeout);
       ("fallbacks", Int s.fallbacks);
@@ -512,16 +586,17 @@ let stats_to_json s =
               ("hits", Int c.Cache.hits);
               ("misses", Int c.Cache.misses);
               ("stale", Int c.Cache.stale);
+              ("atlas_hits", Int c.Cache.atlas_hits);
               ("entries", Int c.Cache.entries);
             ] );
     ]
 
 let pp_summary ppf s =
   Format.fprintf ppf
-    "%d functions in %d classes: %d SAT, %d UNSAT, %d timeout; %.2fs wall \
-     (%.1f functions/s, %d solver calls)"
-    s.functions s.classes s.sat s.unsat s.timeout s.wall_s s.solves_per_s
-    s.solver_calls;
+    "%d functions in %d classes: %d SAT, %d atlas, %d UNSAT, %d timeout; \
+     %.2fs wall (%.1f functions/s, %d solver calls)"
+    s.functions s.classes s.sat s.atlas s.unsat s.timeout s.wall_s
+    s.solves_per_s s.solver_calls;
   if s.propagations > 0 then
     Format.fprintf ppf "@.solver: %d propagations (%.0f/s), peak learnt DB %d"
       s.propagations s.props_per_s s.peak_learnts;
@@ -539,4 +614,6 @@ let pp_summary ppf s =
       c.Cache.hits c.Cache.misses c.Cache.stale
       (if probes > 0 then 100. *. float_of_int c.Cache.hits /. float_of_int probes
        else 0.)
-      c.Cache.entries
+      c.Cache.entries;
+    if c.Cache.atlas_hits > 0 then
+      Format.fprintf ppf "; %d atlas hits" c.Cache.atlas_hits

@@ -85,10 +85,13 @@ val config :
   unit ->
   config
 
-(** Where a result's circuit came from. Anything but [Exact] means the
-    exact pipeline failed for this spec and a fallback stands in — valid
-    (re-verified on all rows) but making no optimality claim. *)
-type provenance = Exact | Via_baseline | Via_heuristic
+(** Where a result's circuit came from. [Exact] is the SAT pipeline;
+    [From_atlas] is an exact class circuit served by the cache's atlas tier
+    with {e zero} solver calls (decanonicalized and re-verified on all rows
+    like any other result). [Via_baseline]/[Via_heuristic] mean the exact
+    pipeline failed for this spec and a fallback stands in — valid but
+    making no optimality claim. *)
+type provenance = Exact | From_atlas | Via_baseline | Via_heuristic
 
 (** Typed failure taxonomy (replaces the former stringly errors). *)
 type fail =
@@ -117,6 +120,9 @@ type summary = {
   functions : int;
   classes : int;  (** distinct solver jobs after canonicalization *)
   sat : int;  (** specs answered by an [Exact] circuit *)
+  atlas : int;
+      (** specs answered by the atlas tier — exact, zero solver calls,
+          never counted in [sat] *)
   unsat : int;  (** proven impossible within the search bounds *)
   timeout : int;  (** no exact answer (fallbacks are counted here too) *)
   fallbacks : int;  (** specs rescued by a degradation circuit *)
@@ -153,7 +159,9 @@ type probe = {
 
 (** [probe_class cfg spec] synthesizes one (single-output, arity ≤ 4) spec
     through the canonicalize/cache/minimize path of {!run}, synchronously on
-    the calling domain. [cfg.cache]'s [?lookup]/[?store] hooks are wired
+    the calling domain. The cache's atlas tier is probed first (in the
+    requested mode): an exact atlas record answers with zero solver calls
+    and an empty [probe_report]. [cfg.cache]'s [?lookup]/[?store] hooks are wired
     exactly as in batch jobs (TIMEOUT entries recorded under
     [cfg.timeout_per_call], so stale-budget reuse rules apply). [~r_only]
     selects {!Mm_core.Synth.minimize_r_only} — 0-leg circuits whose inputs
@@ -172,11 +180,12 @@ val empty_summary : summary
     (counters are per-run, entries are a point-in-time size). *)
 val add_summary : summary -> summary -> summary
 
-(** The shared stats schema ([mmsynth-stats-v2]): one JSON object with the
-    summary counters, the solver-internals counters ([propagations],
-    [peak_learnts], [props_per_s] — new in v2, see DESIGN.md) and the cache
-    counters (or [null]). The CLI's [batch --json], the serve daemon's
-    [stats] endpoint and the bench writers all emit this same shape. *)
+(** The shared stats schema ([mmsynth-stats-v3]): one JSON object with the
+    summary counters (including [atlas] — new in v3), the solver-internals
+    counters ([propagations], [peak_learnts], [props_per_s]) and the cache
+    counters including [atlas_hits] (or [null]). The CLI's [batch --json],
+    the serve daemon's [stats] endpoint and the bench writers all emit this
+    same shape. *)
 val stats_to_json : summary -> Mm_report.Json.t
 
 (** All [2^2^n] single-output functions of [arity] [n <= 4], in

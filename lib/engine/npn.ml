@@ -131,6 +131,29 @@ let class_count n =
   done;
   !count
 
+let class_reps n =
+  if n < 0 || n > 4 then invalid_arg "Npn.class_reps: arity must be 0..4";
+  let rows = 1 lsl n in
+  let mask = (1 lsl rows) - 1 in
+  let total = 1 lsl rows in
+  let seen = Bytes.make total '\000' in
+  let tf = input_transforms n in
+  let reps = ref [] in
+  (* ascending [v]: an unseen [v] is the minimum of its orbit, i.e. the
+     canonical representative [canon] would pick. *)
+  for v = 0 to total - 1 do
+    if Bytes.get seen v = '\000' then begin
+      reps := Tt.of_int n v :: !reps;
+      List.iter
+        (fun (_, rm) ->
+          let w = image ~rows v rm in
+          Bytes.set seen w '\001';
+          Bytes.set seen (w lxor mask) '\001')
+        tf
+    end
+  done;
+  List.rev !reps
+
 let apply_circuit t c =
   if t.out_neg then
     invalid_arg

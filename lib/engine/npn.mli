@@ -55,6 +55,12 @@ val canon : Tt.t -> Tt.t * t
     canonicalization of all [2^(2^n)] tables ([n <= 4]). *)
 val class_count : int -> int
 
+(** [class_reps n] enumerates the canonical representative of every NPN
+    class of [n]-input functions, in ascending {!Tt.to_int} order; each is
+    a fixed point of {!canon} and the list has {!class_count}[ n] elements
+    (222 for n = 4). This is the atlas builder's ground-truth universe. *)
+val class_reps : int -> Tt.t list
+
 (** [apply_circuit t c] rewrites every literal of [c] (V-op electrodes,
     literal R-op inputs, literal outputs) so the result realizes [apply t h]
     for each output table [h] of [c]. Only input transforms are expressible

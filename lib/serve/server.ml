@@ -103,6 +103,7 @@ let request_drain t =
 let verdict_of (r : Engine.job_result) =
   match (r.Engine.provenance, r.Engine.circuit, r.Engine.error) with
   | Engine.Exact, Some _, _ -> "sat"
+  | Engine.From_atlas, Some _, _ -> "sat"
   | (Engine.Via_baseline | Engine.Via_heuristic), Some _, _ -> "fallback"
   | _, None, Some _ -> "error"
   | _, None, None ->
@@ -143,8 +144,10 @@ let result_json ~(job : job) ~(r : Engine.job_result) ~queue_wait ~synth_s =
          Json.String
            (match r.Engine.provenance with
             | Engine.Exact -> "exact"
+            | Engine.From_atlas -> "atlas"
             | Engine.Via_baseline -> "baseline"
             | Engine.Via_heuristic -> "heuristic") );
+       ("atlas", Json.Bool (r.Engine.provenance = Engine.From_atlas));
        ("optimal", Json.Bool r.Engine.optimal);
        ("shared", Json.Bool r.Engine.shared);
        ( "class",

@@ -141,7 +141,7 @@ let snapshot t ~queue_depth ~active_conns ~draining ~cache_entries =
       in
       Json.Obj
         [
-          ("schema", Json.String "mmsynth-serve-stats-v2");
+          ("schema", Json.String "mmsynth-serve-stats-v3");
           ("protocol_version", Json.Int Wire.protocol_version);
           ("uptime_s", Json.Float (uptime_s t));
           ("draining", Json.Bool draining);

@@ -4,7 +4,7 @@
 
     All updates are mutex-protected — connection threads and the dispatcher
     share one registry. {!snapshot} renders the whole registry as one JSON
-    object ([mmsynth-serve-stats-v2]) served verbatim by the [stats]
+    object ([mmsynth-serve-stats-v3]) served verbatim by the [stats]
     endpoint; the engine sub-object is the shared
     {!Mm_engine.Engine.stats_to_json} schema. *)
 

@@ -53,6 +53,40 @@ let test_class_counts () =
   Alcotest.(check int) "n=3" 14 (Npn.class_count 3);
   Alcotest.(check int) "n=4" 222 (Npn.class_count 4)
 
+let test_class_reps_exhaustive () =
+  (* the atlas ground truth: class_reps enumerates exactly one canon fixed
+     point per class, and the orbits of the reps tile the whole space *)
+  List.iter
+    (fun (n, expected) ->
+      let reps = Npn.class_reps n in
+      Alcotest.(check int)
+        (Printf.sprintf "n=%d rep count" n)
+        expected (List.length reps);
+      let total = 1 lsl (1 lsl n) in
+      let covered = Array.make total false in
+      let prev = ref (-1) in
+      List.iter
+        (fun rep ->
+          let v = Tt.to_int rep in
+          Alcotest.(check bool)
+            (Printf.sprintf "n=%d reps strictly ascending" n)
+            true (v > !prev);
+          prev := v;
+          let rep', _ = Npn.canon rep in
+          Alcotest.check tt
+            (Printf.sprintf "n=%d rep %d is canon fixed point" n v)
+            rep rep';
+          (* mark the full orbit of this rep *)
+          List.iter
+            (fun t -> covered.(Tt.to_int (Npn.apply t rep)) <- true)
+            (Npn.all n))
+        reps;
+      Alcotest.(check bool)
+        (Printf.sprintf "n=%d orbits cover all %d tables" n total)
+        true
+        (Array.for_all Fun.id covered))
+    [ (1, 2); (2, 4); (3, 14); (4, 222) ]
+
 let test_canon_of_rep_is_rep () =
   (* canonicalizing a representative must reach itself *)
   for v = 0 to 255 do
@@ -156,6 +190,8 @@ let () =
           Alcotest.test_case "identity" `Quick test_identity;
           Alcotest.test_case "known transforms" `Quick test_known_transform;
           Alcotest.test_case "class counts 2/4/14/222" `Quick test_class_counts;
+          Alcotest.test_case "class reps exhaustive (atlas ground truth)"
+            `Quick test_class_reps_exhaustive;
           Alcotest.test_case "canon idempotent (n=3)" `Quick
             test_canon_of_rep_is_rep;
           Alcotest.test_case "invalid permutation" `Quick test_bad_transform;

@@ -209,14 +209,14 @@ let test_end_to_end () =
       (match Client.stats c with
        | Ok (Wire.Result r) ->
          Alcotest.(check (option string)) "stats schema"
-           (Some "mmsynth-serve-stats-v2") (get_str "schema" r);
+           (Some "mmsynth-serve-stats-v3") (get_str "schema" r);
          Alcotest.(check bool) "synth counted" true
            (match Json.member "requests" r with
             | Some reqs -> get_int "synth" reqs = Some 1
             | None -> false);
          Alcotest.(check bool) "engine summary embedded" true
            (match Json.member "engine" r with
-            | Some e -> get_str "schema" e = Some "mmsynth-stats-v2"
+            | Some e -> get_str "schema" e = Some "mmsynth-stats-v3"
             | None -> false)
        | Ok (Wire.Err e) -> Alcotest.failf "stats refused: %s" e.Wire.msg
        | Error msg -> Alcotest.failf "stats: %s" msg);
