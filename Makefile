@@ -12,7 +12,10 @@
 # simulator validation is part of the command's own exit status), plus an
 # atlas smoke: build a tiny exact NPN atlas, deep-verify it, and prove the
 # zero-SAT serve path (a covered sweep and a daemon request answered
-# entirely from the atlas — no solver calls, no fallbacks).
+# entirely from the atlas — no solver calls, no fallbacks), plus a cluster
+# smoke: two supervised shards behind the failover router, one SIGKILLed
+# mid-stream and restarted, with every single client request still
+# answered through replica failover.
 
 SMOKE_CACHE := $(shell mktemp -u /tmp/mmsynth_smoke_XXXXXX.cache)
 MAP_CACHE   := $(shell mktemp -u /tmp/mmsynth_map_XXXXXX.cache)
@@ -21,11 +24,13 @@ SERVE_SOCK  := $(shell mktemp -u /tmp/mmsynth_serve_XXXXXX.sock)
 SERVE_CACHE := $(shell mktemp -u /tmp/mmsynth_serve_XXXXXX.cache)
 ATLAS_FILE  := $(shell mktemp -u /tmp/mmsynth_atlas_XXXXXX.mmatlas)
 ATLAS_SOCK  := $(shell mktemp -u /tmp/mmsynth_atlas_XXXXXX.sock)
+CLUSTER_SOCK := $(shell mktemp -u /tmp/mmsynth_cluster_XXXXXX.sock)
+CLUSTER_DIR  := $(shell mktemp -u /tmp/mmsynth_cluster_XXXXXX)
 MMSYNTH     := _build/default/bin/mmsynth.exe
 
 .PHONY: all build test smoke smoke-fault smoke-serve smoke-ladder smoke-map \
-  smoke-atlas check bench bench-ladder bench-map bench-robustness \
-  bench-serve bench-atlas clean
+  smoke-atlas smoke-cluster check bench bench-ladder bench-map \
+  bench-robustness bench-serve bench-storm bench-atlas clean
 
 all: build
 
@@ -131,7 +136,35 @@ smoke-atlas: build
 	rm -f $(ATLAS_FILE); \
 	echo "smoke-atlas: OK (verified atlas, zero-SAT sweep, atlas-served daemon request)"
 
-check: test smoke smoke-fault smoke-serve smoke-ladder smoke-map smoke-atlas
+# Two supervised shards behind the router; one is SIGKILLed mid-stream
+# (and restarted with backoff) while a steady request stream runs against
+# the router socket. Availability gate: every single request must be
+# answered — replica failover, not luck.
+smoke-cluster: build
+	@set -e; \
+	$(MMSYNTH) cluster --shards 2 --socket $(CLUSTER_SOCK) \
+	  --shard-dir $(CLUSTER_DIR) --chaos-kill-after 2 -q & \
+	pid=$$!; \
+	for i in $$(seq 1 100); do [ -S $(CLUSTER_SOCK) ] && break; sleep 0.1; done; \
+	[ -S $(CLUSTER_SOCK) ] || { echo "router never bound $(CLUSTER_SOCK)"; kill $$pid 2>/dev/null; exit 1; }; \
+	fails=0; \
+	for i in $$(seq 1 40); do \
+	  if [ $$((i % 2)) -eq 0 ]; then e="x1 ^ x2"; else e="(x1 & x2) | x3"; fi; \
+	  $(MMSYNTH) client --socket $(CLUSTER_SOCK) -e "$$e" --retry-budget 2 \
+	    > /dev/null 2>&1 || fails=$$((fails+1)); \
+	  sleep 0.1; \
+	done; \
+	[ $$fails -eq 0 ] || { echo "smoke-cluster: $$fails request(s) lost across the shard kill"; kill $$pid 2>/dev/null; exit 1; }; \
+	$(MMSYNTH) client --socket $(CLUSTER_SOCK) --stats | grep -q mmsynth-cluster-stats-v1 \
+	  || { echo "smoke-cluster: no cluster stats"; kill $$pid 2>/dev/null; exit 1; }; \
+	$(MMSYNTH) client --socket $(CLUSTER_SOCK) --shutdown > /dev/null; \
+	wait $$pid; rc=$$?; \
+	[ $$rc -eq 0 ] || { echo "cluster exited $$rc after shutdown"; exit 1; }; \
+	rm -rf $(CLUSTER_DIR) $(CLUSTER_SOCK); \
+	echo "smoke-cluster: OK (40/40 answered across a mid-stream shard kill)"
+
+check: test smoke smoke-fault smoke-serve smoke-ladder smoke-map smoke-atlas \
+  smoke-cluster
 
 bench:
 	dune exec bench/main.exe -- engine
@@ -147,6 +180,9 @@ bench-robustness:
 
 bench-serve:
 	dune exec bench/main.exe -- serve
+
+bench-storm:
+	dune exec bench/main.exe -- storm
 
 bench-atlas:
 	dune exec bench/main.exe -- atlas

@@ -1354,6 +1354,245 @@ let serve_bench () =
   Printf.printf "written to BENCH_serve.json\n"
 
 (* ------------------------------------------------------------------ *)
+(* Storm: open-loop load on a 4-shard cluster with a mid-run kill      *)
+(* ------------------------------------------------------------------ *)
+
+let storm_bench () =
+  let module Engine = Mm_engine.Engine in
+  let module Cache = Mm_engine.Cache in
+  let module Server = Mm_serve.Server in
+  let module Client = Mm_serve.Client in
+  let module Wire = Mm_serve.Wire in
+  let module Router = Mm_cluster.Router in
+  let module Rng = Mm_device.Rng in
+  let module Json = Mm_report.Json in
+  section "Storm: open-loop arrivals on 4 shards, one killed mid-run";
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let n_shards = 4 in
+  let tmp name =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "mm_storm_%d_%s" (Unix.getpid ()) name)
+  in
+  let sock i = tmp (Printf.sprintf "shard%d.sock" i) in
+  let shard_cfg i =
+    (* one warm in-memory cache per shard: the ring partitions by NPN
+       class, so each shard's cache sees its whole slice *)
+    Server.config
+      ~engine:(Engine.config ~timeout_per_call:30. ~cache:(Cache.create ()) ())
+      ~max_pending:64 ~max_batch:16
+      ~shard_id:(Printf.sprintf "shard-%d" i)
+      ~socket_path:(sock i) ()
+  in
+  let boot i =
+    match Server.start (shard_cfg i) with
+    | Ok t -> t
+    | Error msg -> failwith (Printf.sprintf "storm: shard %d: %s" i msg)
+  in
+  let servers = Array.init n_shards boot in
+  let router =
+    Router.create
+      (Router.config ~replicas:2 ~retry_budget_s:2.0 ~max_rounds:4
+         ~probe_interval_s:(Some 0.1) ~pool_size:4 ~seed:42 ())
+      (List.init n_shards (fun i ->
+           { Router.id = Printf.sprintf "shard-%d" i;
+             addr = Client.Unix_sock (sock i) }))
+  in
+  (* mixed widths: every 2- and 3-input function, shuffled one way *)
+  let specs =
+    let a = Array.append (Engine.all_functions ~arity:2)
+        (Engine.all_functions ~arity:3) in
+    let rng = Rng.create 7 in
+    for i = Array.length a - 1 downto 1 do
+      let j = Rng.int rng (i + 1) in
+      let t = a.(i) in
+      a.(i) <- a.(j);
+      a.(j) <- t
+    done;
+    a
+  in
+  let percentile sorted p =
+    let n = Array.length sorted in
+    if n = 0 then 0.
+    else
+      sorted.(max 0 (min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1)))
+  in
+  (* one storm phase: open-loop Poisson arrivals at [rate] req/s — a
+     request is launched at its scheduled time whether or not earlier
+     ones have answered, so a struggling cluster faces a growing backlog
+     instead of a conveniently self-throttling client *)
+  let storm ~label ~rate ~n_requests ~kill =
+    let rng = Rng.create 11 in
+    let arrivals = Array.make n_requests 0. in
+    let t = ref 0. in
+    for i = 0 to n_requests - 1 do
+      t := !t +. (-.log (1. -. Rng.float rng) /. rate);
+      arrivals.(i) <- !t
+    done;
+    let outcomes = Array.make n_requests None in
+    let m = Mutex.create () in
+    let launched = ref 0 in
+    let t0 = Unix.gettimeofday () in
+    (match kill with
+     | None -> ()
+     | Some (victim, at_frac) ->
+       let kill_at = at_frac *. arrivals.(n_requests - 1) in
+       ignore
+         (Thread.create
+            (fun () ->
+               Thread.delay kill_at;
+               Printf.printf "  [%.2fs] killing shard-%d (abrupt, no drain)\n%!"
+                 kill_at victim;
+               Server.die servers.(victim);
+               Server.wait servers.(victim);
+               Thread.delay 0.5;
+               servers.(victim) <- boot victim;
+               Printf.printf "  [%.2fs] shard-%d restarted\n%!"
+                 (Unix.gettimeofday () -. t0) victim)
+            ()));
+    let worker i () =
+      let s0 = Unix.gettimeofday () in
+      let r = Router.synth router specs.(i mod Array.length specs) in
+      let dt = Unix.gettimeofday () -. s0 in
+      Mutex.protect m (fun () -> outcomes.(i) <- Some (r, dt))
+    in
+    let threads = ref [] in
+    for i = 0 to n_requests - 1 do
+      let due = arrivals.(i) -. (Unix.gettimeofday () -. t0) in
+      if due > 0. then Thread.delay due;
+      threads := Thread.create (worker i) () :: !threads;
+      incr launched
+    done;
+    List.iter Thread.join !threads;
+    let wall = Unix.gettimeofday () -. t0 in
+    (* slice the answered latencies by the shard that answered *)
+    let by_shard = Hashtbl.create 8 in
+    let ok = ref 0 and shed = ref 0 and erred = ref 0 and failed = ref 0 in
+    let failovers = ref 0 and hedged = ref 0 in
+    let lats = ref [] in
+    Array.iter
+      (function
+        | None -> ()
+        | Some (r, dt) -> (
+          match r with
+          | Ok o -> (
+            if o.Router.failover then incr failovers;
+            if o.Router.hedged then incr hedged;
+            match o.Router.reply with
+            | Wire.Result _ ->
+              incr ok;
+              lats := dt :: !lats;
+              let l =
+                try Hashtbl.find by_shard o.Router.shard
+                with Not_found -> ref []
+              in
+              l := dt :: !l;
+              Hashtbl.replace by_shard o.Router.shard l
+            | Wire.Err e -> (
+              match e.Wire.code with
+              | Wire.Overloaded | Wire.Unavailable -> incr shed
+              | _ -> incr erred))
+          | Error _ -> incr failed))
+      outcomes;
+    let availability = float_of_int !ok /. float_of_int (max 1 n_requests) in
+    let all = Array.of_list !lats in
+    Array.sort compare all;
+    Printf.printf
+      "  %s: %d req @ %.0f rps in %.2fs -> ok %d, shed %d, err %d, \
+       no-answer %d; availability %.2f%%; failover %d, hedged %d; p50 %.1f \
+       ms p95 %.1f ms p99 %.1f ms\n%!"
+      label n_requests rate wall !ok !shed !erred !failed
+      (100. *. availability) !failovers !hedged
+      (1e3 *. percentile all 0.50)
+      (1e3 *. percentile all 0.95)
+      (1e3 *. percentile all 0.99);
+    let shard_json =
+      Hashtbl.fold
+        (fun shard l acc ->
+          let a = Array.of_list !l in
+          Array.sort compare a;
+          Json.Obj
+            [
+              ("shard", Json.String shard);
+              ("answered", Json.Int (Array.length a));
+              ("p50_s", Json.Float (percentile a 0.50));
+              ("p95_s", Json.Float (percentile a 0.95));
+              ("p99_s", Json.Float (percentile a 0.99));
+            ]
+          :: acc)
+        by_shard []
+    in
+    ( availability,
+      Json.Obj
+        [
+          ("phase", Json.String label);
+          ("requests", Json.Int n_requests);
+          ("rate_rps", Json.Float rate);
+          ("wall_s", Json.Float wall);
+          ("ok", Json.Int !ok);
+          ("shed", Json.Int !shed);
+          ( "shed_rate",
+            Json.Float (float_of_int !shed /. float_of_int (max 1 n_requests))
+          );
+          ("typed_errors", Json.Int !erred);
+          ("unanswered", Json.Int !failed);
+          ("availability", Json.Float availability);
+          ("failovers", Json.Int !failovers);
+          ("hedged", Json.Int !hedged);
+          ("p50_s", Json.Float (percentile all 0.50));
+          ("p95_s", Json.Float (percentile all 0.95));
+          ("p99_s", Json.Float (percentile all 0.99));
+          ( "kill",
+            match kill with
+            | None -> Json.Null
+            | Some (victim, at_frac) ->
+              Json.Obj
+                [
+                  ("shard", Json.Int victim);
+                  ("at_fraction", Json.Float at_frac);
+                ] );
+          ("per_shard", Json.List shard_json);
+        ] )
+  in
+  (* cold: first sight of every class, SAT bills on every shard *)
+  let _, cold_json =
+    storm ~label:"cold" ~rate:60. ~n_requests:272 ~kill:None
+  in
+  (* warm: caches hot, then one shard is SIGKILLed (in-process stand-in:
+     Server.die) mid-run and restarted 0.5 s later — the router must keep
+     answering throughout via failover *)
+  let availability, warm_json =
+    storm ~label:"warm+kill" ~rate:250. ~n_requests:544
+      ~kill:(Some (1, 0.45))
+  in
+  let router_stats = Router.stats_json router in
+  Router.close router;
+  Array.iter (fun s -> Server.stop s) servers;
+  let json =
+    Json.Obj
+      [
+        ( "workload",
+          Json.String
+            "open-loop Poisson arrivals, all 2- and 3-input functions \
+             shuffled, 4 shards, replicas=2, one shard killed mid-warm-run" );
+        ("n_shards", Json.Int n_shards);
+        ("phases", Json.List [ cold_json; warm_json ]);
+        ("availability_under_kill", Json.Float availability);
+        ("router_stats", router_stats);
+      ]
+  in
+  let oc = open_out "BENCH_cluster.json" in
+  output_string oc (Json.to_string_pretty json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "written to BENCH_cluster.json\n";
+  if availability < 0.99 then
+    Printf.printf
+      "WARNING: availability %.2f%% under the injected kill is below the \
+       99%% target\n"
+      (100. *. availability)
+
+(* ------------------------------------------------------------------ *)
 (* Atlas: offline universe build cost per effort tier + lookup speed   *)
 (* ------------------------------------------------------------------ *)
 
@@ -1590,6 +1829,8 @@ let usage () =
     \  robustness   completion/overhead under injected faults -> BENCH_robustness.json\n\
     \  serve        resident daemon load test, warm vs cold, atlas-backed\n\
     \               level -> BENCH_serve.json\n\
+    \  storm        open-loop storm on a 4-shard cluster with a mid-run\n\
+    \               shard kill -> BENCH_cluster.json\n\
     \  atlas        NPN atlas build per effort tier + lookup latency\n\
     \               -> BENCH_atlas.json\n\
     \  perf         Bechamel micro-benchmarks\n\
@@ -1628,6 +1869,7 @@ let () =
     ladder_bench ~budget:60. ~limit ();
     robustness_bench ();
     serve_bench ();
+    storm_bench ();
     atlas_bench ();
     perf ()
   in
@@ -1731,6 +1973,7 @@ let () =
       [ ("mono", false); ("inc", true) ]
   | [ "robustness" ] -> robustness_bench ()
   | [ "serve" ] -> serve_bench ()
+  | [ "storm" ] -> storm_bench ()
   | [ "atlas" ] -> atlas_bench ()
   | [ "perf" ] -> perf ()
   | _ ->

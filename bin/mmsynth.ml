@@ -760,9 +760,15 @@ let serve_cmd =
   let quiet =
     Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"No log lines on stderr.")
   in
+  let shard_id =
+    Arg.(value & opt (some string) None & info [ "shard-id" ] ~docv:"ID"
+           ~doc:"Identity reported in $(b,stats)/$(b,health) snapshots \
+                 (defaults to the socket path); set by $(b,mmsynth cluster) \
+                 so the router can attribute per-shard metrics.")
+  in
   let run socket tcp jobs cache_file cache_shards atlas timeout max_pending
       max_batch request_deadline drain_grace fallback inject inject_seed
-      no_inc quiet =
+      no_inc quiet shard_id =
     let fault =
       match inject with
       | None -> Ok None
@@ -795,7 +801,7 @@ let serve_cmd =
       let cfg =
         Server.config ?tcp_port:tcp ~engine ~max_pending ~max_batch
           ?default_deadline:request_deadline ~drain_grace ?fault ?log
-          ~socket_path:socket ()
+          ?shard_id ~socket_path:socket ()
       in
       (match Server.run cfg with
        | Ok () -> `Ok 0
@@ -811,7 +817,7 @@ let serve_cmd =
         (const run $ socket_arg $ tcp $ jobs $ cache_file $ cache_shards_arg
         $ atlas_arg $ timeout $ max_pending $ max_batch $ request_deadline
         $ drain_grace $ fallback_tag $ inject $ inject_seed $ no_incremental
-        $ quiet))
+        $ quiet $ shard_id))
 
 let client_cmd =
   let tcp =
@@ -842,6 +848,17 @@ let client_cmd =
   let req_timeout =
     Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SECONDS"
            ~doc:"Solver budget per SAT call for this request.")
+  in
+  let retry_budget =
+    Arg.(value & opt (some float) None
+         & info [ "retry-budget" ] ~docv:"SECONDS"
+             ~doc:"Ride out $(b,overloaded) sheds: retry with jittered \
+                   backoff honoring the daemon's $(b,retry_after_s) hint \
+                   for up to SECONDS total before giving up with exit 5.")
+  in
+  let retry_tries =
+    Arg.(value & opt int 8 & info [ "retry-tries" ] ~docv:"N"
+           ~doc:"Attempt cap within the $(b,--retry-budget) window.")
   in
   let addr_of socket tcp =
     match tcp with
@@ -885,7 +902,13 @@ let client_cmd =
         Error (Printf.sprintf "line %d: %s" idx msg)
   in
   let run socket tcp exprs pla tables workload arity name stdin_mode stats
-      health ping shutdown req_timeout deadline fallback =
+      health ping shutdown req_timeout deadline fallback retry_budget
+      retry_tries =
+    let retry =
+      Option.map
+        (fun b -> Client.retry ~budget_s:b ~max_tries:retry_tries ())
+        retry_budget
+    in
     match addr_of socket tcp with
     | Error msg -> `Error (false, msg)
     | Ok addr -> (
@@ -896,7 +919,7 @@ let client_cmd =
       | Ok c ->
         let finish code = Client.close c; `Ok code in
         let one req =
-          match Client.request c req with
+          match Client.request ?retry c req with
           | Error msg ->
             Printf.eprintf "mmsynth client: %s\n" msg;
             6
@@ -924,8 +947,8 @@ let client_cmd =
                    bump 1
                  | Ok spec -> (
                    match
-                     Client.synth ?timeout:req_timeout ?deadline ?fallback c
-                       spec
+                     Client.synth ?timeout:req_timeout ?deadline ?fallback
+                       ?retry c spec
                    with
                    | Error msg ->
                      Printf.eprintf "mmsynth client: %s\n" msg;
@@ -942,7 +965,8 @@ let client_cmd =
           | Error msg -> Client.close c; `Error (false, msg)
           | Ok spec -> (
             match
-              Client.synth ?timeout:req_timeout ?deadline ?fallback c spec
+              Client.synth ?timeout:req_timeout ?deadline ?fallback ?retry c
+                spec
             with
             | Error msg ->
               Printf.eprintf "mmsynth client: %s\n" msg;
@@ -967,7 +991,217 @@ let client_cmd =
       ret
         (const run $ socket_arg $ tcp $ exprs $ pla_file $ tables_file
         $ workload_t $ arity $ name_t $ stdin_flag $ stats_flag $ health_flag
-        $ ping_flag $ shutdown_flag $ req_timeout $ deadline $ fallback_tag))
+        $ ping_flag $ shutdown_flag $ req_timeout $ deadline $ fallback_tag
+        $ retry_budget $ retry_tries))
+
+(* ---- cluster: supervised shards behind a failover router -------------- *)
+
+let cluster_cmd =
+  let module Router = Mm_cluster.Router in
+  let module Frontend = Mm_cluster.Frontend in
+  let module Supervisor = Mm_cluster.Supervisor in
+  let shards_n =
+    Arg.(value & opt int 2 & info [ "shards"; "n" ] ~docv:"N"
+           ~doc:"Number of shard daemons to spawn and supervise.")
+  in
+  let router_socket =
+    Arg.(value & opt string "/tmp/mmsynth-cluster.sock"
+         & info [ "socket" ] ~docv:"PATH"
+             ~doc:"Unix-domain socket the router listens on (same wire \
+                   protocol as a single daemon).")
+  in
+  let shard_dir =
+    Arg.(value & opt string "/tmp/mmsynth-cluster"
+         & info [ "shard-dir" ] ~docv:"DIR"
+             ~doc:"Directory for per-shard sockets (and caches with \
+                   $(b,--cache-dir)).")
+  in
+  let cache_dir =
+    Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR"
+           ~doc:"Give shard $(i,i) its own persistent cache \
+                 $(i,DIR)/shard-$(i,i).mmcache (the router partitions by \
+                 NPN class, so each shard's cache sees only its slice).")
+  in
+  let replicas =
+    Arg.(value & opt int 2 & info [ "replicas" ] ~docv:"N"
+           ~doc:"Distinct shards the router tries per request round.")
+  in
+  let hedge_after =
+    Arg.(value & opt (some float) None & info [ "hedge-after" ] ~docv:"SECONDS"
+           ~doc:"Fire a hedged duplicate at the next replica when the \
+                 primary is silent this long (first reply wins).")
+  in
+  let retry_budget =
+    Arg.(value & opt float 2.0 & info [ "retry-budget" ] ~docv:"SECONDS"
+           ~doc:"Router-side wall budget for failover rounds and \
+                 shed-backoff per request.")
+  in
+  let probe_interval =
+    Arg.(value & opt float 0.5 & info [ "probe-interval" ] ~docv:"SECONDS"
+           ~doc:"Health-probe period feeding the per-shard circuit \
+                 breakers.")
+  in
+  let max_pending =
+    Arg.(value & opt int 64 & info [ "max-pending" ] ~docv:"N"
+           ~doc:"Admission bound passed to every shard.")
+  in
+  let max_batch =
+    Arg.(value & opt int 16 & info [ "max-batch" ] ~docv:"N"
+           ~doc:"Micro-batch bound passed to every shard.")
+  in
+  let jobs =
+    Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"D"
+           ~doc:"Worker domains per shard.")
+  in
+  let inject =
+    Arg.(value & opt (some string) None & info [ "inject" ] ~docv:"SPEC"
+           ~doc:"Fault plan passed to every shard (e.g. $(b,kill:0.01) for \
+                 random abrupt shard deaths the router must ride out).")
+  in
+  let inject_seed =
+    Arg.(value & opt int 0 & info [ "inject-seed" ] ~docv:"SEED"
+           ~doc:"Seed for the shards' $(b,--inject) plans (shard $(i,i) \
+                 uses SEED+$(i,i)).")
+  in
+  let chaos_kill_after =
+    Arg.(value & opt (some float) None
+         & info [ "chaos-kill-after" ] ~docv:"SECONDS"
+             ~doc:"SIGKILL one shard this many seconds after boot (the \
+                   supervisor restarts it) — smoke-test hook.")
+  in
+  let chaos_shard =
+    Arg.(value & opt int 0 & info [ "chaos-shard" ] ~docv:"I"
+           ~doc:"Which shard $(b,--chaos-kill-after) kills.")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"No log lines on stderr.")
+  in
+  let run n router_socket shard_dir cache_dir atlas timeout replicas
+      hedge_after retry_budget probe_interval max_pending max_batch jobs
+      inject inject_seed chaos_kill_after chaos_shard quiet =
+    if n < 1 then `Error (false, "--shards must be at least 1")
+    else begin
+      let log =
+        if quiet then None
+        else Some (fun s -> Printf.eprintf "mmsynth cluster: %s\n%!" s)
+      in
+      let logf fmt =
+        Printf.ksprintf
+          (fun s -> match log with Some f -> f s | None -> ())
+          fmt
+      in
+      let ensure_dir d =
+        try Unix.mkdir d 0o755 with
+        | Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+        | Unix.Unix_error (e, _, _) ->
+          failwith (Printf.sprintf "cannot create %s: %s" d
+                      (Unix.error_message e))
+      in
+      match
+        ensure_dir shard_dir;
+        Option.iter ensure_dir cache_dir
+      with
+      | exception Failure msg -> `Error (false, msg)
+      | () ->
+        let exe = Sys.executable_name in
+        let shard_socket i = Filename.concat shard_dir
+            (Printf.sprintf "shard-%d.sock" i) in
+        let spawn_of i =
+          let argv =
+            [ exe; "serve"; "--socket"; shard_socket i;
+              "--shard-id"; Printf.sprintf "shard-%d" i;
+              "--max-pending"; string_of_int max_pending;
+              "--max-batch"; string_of_int max_batch;
+              "--timeout"; string_of_float timeout; "--quiet" ]
+            @ (match jobs with
+               | Some j -> [ "-j"; string_of_int j ] | None -> [])
+            @ (match cache_dir with
+               | Some d ->
+                 [ "--cache";
+                   Filename.concat d (Printf.sprintf "shard-%d.mmcache" i) ]
+               | None -> [])
+            @ (match atlas with Some a -> [ "--atlas"; a ] | None -> [])
+            @ (match inject with
+               | Some spec ->
+                 [ "--inject"; spec;
+                   "--inject-seed"; string_of_int (inject_seed + i) ]
+               | None -> [])
+          in
+          { Supervisor.id = Printf.sprintf "shard-%d" i;
+            argv = Array.of_list argv }
+        in
+        let sup =
+          Supervisor.start ?log (List.init n spawn_of)
+        in
+        (* wait for every shard socket to accept before opening the door *)
+        let ready = ref true in
+        for i = 0 to n - 1 do
+          match Client.wait_ready ~timeout:10.0
+                  (Client.Unix_sock (shard_socket i)) with
+          | Ok c -> Client.close c
+          | Error msg ->
+            logf "shard-%d never came up: %s" i msg;
+            ready := false
+        done;
+        if not !ready then begin
+          Supervisor.stop sup;
+          `Error (false, "not all shards came up")
+        end
+        else begin
+          let infos =
+            List.init n (fun i ->
+                { Router.id = Printf.sprintf "shard-%d" i;
+                  addr = Client.Unix_sock (shard_socket i) })
+          in
+          let rcfg =
+            Router.config ~replicas ?hedge_after_s:hedge_after
+              ~retry_budget_s:retry_budget
+              ~probe_interval_s:(Some probe_interval) ?log ()
+          in
+          let router = Router.create rcfg infos in
+          match Frontend.start ?log router ~socket_path:router_socket with
+          | Error msg ->
+            Router.close router; Supervisor.stop sup;
+            `Error (false, msg)
+          | Ok fe ->
+            logf "%d shard(s) up, router on %s" n router_socket;
+            let stop_req = ref false in
+            let handler = Sys.Signal_handle (fun _ -> stop_req := true) in
+            Sys.set_signal Sys.sigterm handler;
+            Sys.set_signal Sys.sigint handler;
+            (match chaos_kill_after with
+             | Some after ->
+               ignore
+                 (Thread.create
+                    (fun () ->
+                       Thread.delay after;
+                       Supervisor.kill_one sup chaos_shard)
+                    ())
+             | None -> ());
+            while not (!stop_req || Frontend.draining fe) do
+              Thread.delay 0.1
+            done;
+            logf "shutting down";
+            Frontend.stop fe;
+            Router.close router;
+            Supervisor.stop sup;
+            `Ok 0
+        end
+    end
+  in
+  Cmd.v
+    (Cmd.info "cluster"
+       ~doc:"Spawn and supervise N $(b,serve) shards behind a failover \
+             router: consistent-hash routing by NPN class, replica \
+             fallback, hedged retries, circuit breakers, crashed shards \
+             restarted with backoff. The router socket speaks the same \
+             wire protocol as a single daemon.")
+    Term.(
+      ret
+        (const run $ shards_n $ router_socket $ shard_dir $ cache_dir
+        $ atlas_arg $ timeout $ replicas $ hedge_after $ retry_budget
+        $ probe_interval $ max_pending $ max_batch $ jobs $ inject
+        $ inject_seed $ chaos_kill_after $ chaos_shard $ quiet))
 
 (* ---- map: cut-based technology mapping onto SAT-optimal blocks --------- *)
 
@@ -1559,6 +1793,6 @@ let main =
   let doc = "optimal synthesis of memristive mixed-mode circuits" in
   Cmd.group (Cmd.info "mmsynth" ~version:"1.0.0" ~doc)
     [ synth_cmd; check_cmd; baseline_cmd; simulate_cmd; batch_cmd; map_cmd;
-      serve_cmd; client_cmd; cache_cmd; atlas_cmd ]
+      serve_cmd; client_cmd; cluster_cmd; cache_cmd; atlas_cmd ]
 
 let () = exit (Cmd.eval' main)

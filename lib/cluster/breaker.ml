@@ -1,0 +1,56 @@
+type config = { fail_threshold : int; cooldown_s : float }
+
+let config ?(fail_threshold = 3) ?(cooldown_s = 1.0) () =
+  {
+    fail_threshold = max 1 fail_threshold;
+    cooldown_s = max 0.0 cooldown_s;
+  }
+
+type state = Closed | Open | Half_open
+
+let state_tag = function
+  | Closed -> "closed"
+  | Open -> "open"
+  | Half_open -> "half-open"
+
+(* Callers pass [now] explicitly so tests drive the clock without
+   sleeping, and so one Unix.gettimeofday per router attempt covers
+   every breaker it consults. All mutation happens under the router's
+   lock; the breaker itself is not thread-safe. *)
+type t = {
+  cfg : config;
+  mutable failures : int;  (* consecutive, while Closed *)
+  mutable st : state;
+  mutable opened_at : float;
+  mutable trips : int;  (* lifetime Closed->Open transitions *)
+}
+
+let create cfg = { cfg; failures = 0; st = Closed; opened_at = 0.0; trips = 0 }
+
+let state t ~now =
+  (match t.st with
+  | Open when now -. t.opened_at >= t.cfg.cooldown_s -> t.st <- Half_open
+  | _ -> ());
+  t.st
+
+let allow t ~now =
+  match state t ~now with Closed | Half_open -> true | Open -> false
+
+let success t = t.failures <- 0; t.st <- Closed
+
+let failure t ~now =
+  match state t ~now with
+  | Open -> ()
+  | Half_open ->
+      (* The probe failed: back to Open for a fresh cooldown. *)
+      t.st <- Open;
+      t.opened_at <- now
+  | Closed ->
+      t.failures <- t.failures + 1;
+      if t.failures >= t.cfg.fail_threshold then begin
+        t.st <- Open;
+        t.opened_at <- now;
+        t.trips <- t.trips + 1
+      end
+
+let trips t = t.trips

@@ -1,0 +1,45 @@
+(** Per-shard circuit breaker: quarantine a flapping shard instead of
+    paying a connect timeout on every request routed through it.
+
+    Three states:
+    - [Closed] — healthy; failures are counted, [fail_threshold]
+      consecutive ones trip the breaker.
+    - [Open] — quarantined; {!allow} answers [false] until [cooldown_s]
+      seconds have passed since the trip.
+    - [Half_open] — cooldown elapsed; requests are allowed through as
+      probes. One success re-closes, one failure re-opens for a fresh
+      cooldown.
+
+    Time is passed in by the caller ([~now]), never read internally, so
+    tests exercise trip/cooldown/probe transitions without sleeping.
+    Not thread-safe on its own: the {!Router} mutates breakers under its
+    lock. *)
+
+type config = { fail_threshold : int; cooldown_s : float }
+
+(** Defaults: 3 consecutive failures to trip, 1 s cooldown. *)
+val config : ?fail_threshold:int -> ?cooldown_s:float -> unit -> config
+
+type state = Closed | Open | Half_open
+
+val state_tag : state -> string
+
+type t
+
+val create : config -> t
+
+(** Current state, after promoting an expired [Open] to [Half_open]. *)
+val state : t -> now:float -> state
+
+(** May a request be sent to this shard right now? *)
+val allow : t -> now:float -> bool
+
+(** Report a successful exchange: reset to [Closed]. *)
+val success : t -> unit
+
+(** Report a transport-level failure (connect refused, reset, reply
+    timeout — {e not} a typed shed, which is backpressure, not death). *)
+val failure : t -> now:float -> unit
+
+(** Lifetime count of [Closed] → [Open] transitions. *)
+val trips : t -> int

@@ -1,0 +1,77 @@
+module Npn = Mm_engine.Npn
+module Spec = Mm_boolfun.Spec
+module Tt = Mm_boolfun.Truth_table
+
+(* Stable 62-bit hash of a string: first 8 bytes of its MD5, masked
+   positive. Hashtbl.hash only folds a prefix and is version-dependent;
+   routing keys must hash identically across every process of a cluster. *)
+let hash_string s =
+  let d = Digest.string s in
+  let b i = Char.code d.[i] in
+  let h =
+    List.fold_left (fun acc i -> (acc lsl 8) lor b i) 0 [ 0; 1; 2; 3; 4; 5; 6 ]
+  in
+  (h lsl 4) lor (b 7 land 0xf)
+
+let key_of_spec spec =
+  (* Requests NPN-equivalent to each other hit the same shard, so the
+     shard's overlay cache (and the atlas tier in front of it) sees every
+     repeat of a class, not 1/N of them. Wider or multi-output specs fall
+     back to the raw tables — deterministic, just without class folding. *)
+  let outputs = Spec.outputs spec in
+  if Spec.arity spec <= 4 && Array.length outputs = 1 then
+    let rep, _ = Npn.canon outputs.(0) in
+    Printf.sprintf "npn:%d:%04x" (Tt.arity rep) (Tt.to_int rep)
+  else
+    Printf.sprintf "raw:%d:%s" (Spec.arity spec)
+      (String.concat ","
+         (Array.to_list (Array.map Tt.to_string outputs)))
+
+type t = {
+  n_shards : int;
+  points : (int * int) array;  (* (point hash, shard), sorted by hash *)
+}
+
+let create ?(vnodes = 64) n_shards =
+  if n_shards < 1 then invalid_arg "Ring.create: need at least one shard";
+  let vnodes = max 1 vnodes in
+  let points =
+    Array.init (n_shards * vnodes) (fun i ->
+        let shard = i / vnodes and v = i mod vnodes in
+        (hash_string (Printf.sprintf "shard%d/v%d" shard v), shard))
+  in
+  Array.sort compare points;
+  { n_shards; points }
+
+let n_shards t = t.n_shards
+
+(* First ring point clockwise of [h] (binary search over the sorted
+   points; wraps past the last point back to the first). *)
+let successor t h =
+  let n = Array.length t.points in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if fst t.points.(mid) <= h then lo := mid + 1 else hi := mid
+  done;
+  if !lo >= n then 0 else !lo
+
+let order t key =
+  let start = successor t (hash_string key) in
+  let n = Array.length t.points in
+  let seen = Array.make t.n_shards false in
+  let out = ref [] in
+  let found = ref 0 in
+  let i = ref 0 in
+  while !found < t.n_shards && !i < n do
+    let _, shard = t.points.((start + !i) mod n) in
+    if not seen.(shard) then begin
+      seen.(shard) <- true;
+      out := shard :: !out;
+      incr found
+    end;
+    incr i
+  done;
+  List.rev !out
+
+let primary t key = match order t key with s :: _ -> s | [] -> assert false

@@ -1,0 +1,40 @@
+(** Consistent hash ring: which shard owns which NPN class.
+
+    Each shard contributes [vnodes] virtual points to a ring keyed by a
+    stable MD5-derived hash (never [Hashtbl.hash], which is both
+    prefix-folding and compiler-version-dependent — every process in a
+    cluster must agree on ownership byte-for-byte). A request key is
+    routed to the first shard point clockwise of its hash; {!order}
+    continues around the ring to produce the full distinct-shard failover
+    sequence, so replica choice is as stable as primary choice.
+
+    Keys come from {!key_of_spec}: single-output specs of arity ≤ 4 are
+    folded to their NPN class representative, so all equivalents of a
+    class land on one shard and that shard's cache overlay sees every
+    repeat of the class rather than 1/N of them. *)
+
+module Spec = Mm_boolfun.Spec
+
+(** Routing key for a spec: ["npn:<arity>:<hex>"] of the NPN class
+    representative when the spec is single-output with arity ≤ 4, else a
+    deterministic ["raw:..."] rendering of the output tables. *)
+val key_of_spec : Spec.t -> string
+
+(** Stable non-negative 62-bit hash (MD5 prefix). Exposed for tests. *)
+val hash_string : string -> int
+
+type t
+
+(** [create ?vnodes n_shards] — [vnodes] (default 64) points per shard.
+    @raise Invalid_argument when [n_shards < 1]. *)
+val create : ?vnodes:int -> int -> t
+
+val n_shards : t -> int
+
+(** Shard that owns [key]. *)
+val primary : t -> string -> int
+
+(** All shards in failover order for [key]: primary first, then each
+    subsequent distinct shard encountered clockwise. Length
+    [n_shards t], each shard exactly once. *)
+val order : t -> string -> int list

@@ -1,0 +1,407 @@
+module Json = Mm_report.Json
+module Spec = Mm_boolfun.Spec
+module Wire = Mm_serve.Wire
+module Client = Mm_serve.Client
+module Rng = Mm_device.Rng
+
+type shard_info = { id : string; addr : Client.addr }
+
+type config = {
+  replicas : int;
+  hedge_after_s : float option;
+  retry_budget_s : float;
+  max_rounds : int;
+  breaker : Breaker.config;
+  pool_size : int;
+  reply_timeout_s : float;
+  probe_interval_s : float option;
+  seed : int;
+  log : (string -> unit) option;
+}
+
+let config ?(replicas = 2) ?hedge_after_s ?(retry_budget_s = 2.0)
+    ?(max_rounds = 4) ?(breaker = Breaker.config ()) ?(pool_size = 4)
+    ?(reply_timeout_s = 30.0) ?(probe_interval_s = Some 0.5) ?(seed = 0) ?log
+    () =
+  {
+    replicas = max 1 replicas;
+    hedge_after_s;
+    retry_budget_s = max 0.0 retry_budget_s;
+    max_rounds = max 1 max_rounds;
+    breaker;
+    pool_size = max 1 pool_size;
+    reply_timeout_s;
+    probe_interval_s;
+    seed;
+    log;
+  }
+
+type shard_state = {
+  info : shard_info;
+  pool : Client.Pool.p;
+  breaker : Breaker.t;
+  mutable n_req : int;
+  mutable n_ok : int;
+  mutable n_shed : int;
+  mutable n_fail : int;  (* transport errors + unavailable *)
+}
+
+type t = {
+  cfg : config;
+  ring : Ring.t;
+  shards : shard_state array;
+  m : Mutex.t;  (* breakers, counters, rng *)
+  rng : Rng.t;
+  mutable failovers : int;
+  mutable hedges : int;
+  mutable hedge_wins : int;
+  mutable backoffs : int;
+  mutable served_ok : int;
+  mutable served_err : int;
+  mutable served_fail : int;
+  mutable probe_stop : bool;
+  mutable prober : Thread.t option;
+}
+
+type outcome = {
+  reply : Wire.reply;
+  shard : string;
+  failover : bool;
+  hedged : bool;
+  attempts : int;
+}
+
+let logf t fmt =
+  Printf.ksprintf
+    (fun s -> match t.cfg.log with Some f -> f s | None -> ())
+    fmt
+
+let now () = Unix.gettimeofday ()
+
+let shard_id t idx = t.shards.(idx).info.id
+let n_shards t = Array.length t.shards
+
+(* ---- probing ------------------------------------------------------- *)
+
+let probe_once t =
+  Array.iter
+    (fun s ->
+      match Client.Pool.request ~attempts:1 s.pool Wire.Ping with
+      | Ok _ -> Mutex.protect t.m (fun () -> Breaker.success s.breaker)
+      | Error msg when msg = "pool busy" -> ()  (* no verdict: just loaded *)
+      | Error _ ->
+          Mutex.protect t.m (fun () -> Breaker.failure s.breaker ~now:(now ())))
+    t.shards
+
+let probe_loop t interval () =
+  while not (Mutex.protect t.m (fun () -> t.probe_stop)) do
+    probe_once t;
+    (* sleep in short slices so close doesn't wait a whole interval *)
+    let until = now () +. interval in
+    let stop = ref false in
+    while (not !stop) && now () < until do
+      Thread.delay (Float.min 0.05 (Float.max 0.001 (until -. now ())));
+      if Mutex.protect t.m (fun () -> t.probe_stop) then stop := true
+    done
+  done
+
+(* ---- lifecycle ----------------------------------------------------- *)
+
+let create cfg infos =
+  if infos = [] then invalid_arg "Router.create: need at least one shard";
+  let shards =
+    Array.of_list
+      (List.map
+         (fun info ->
+           {
+             info;
+             pool =
+               Client.Pool.create ~size:cfg.pool_size
+                 ~read_timeout:cfg.reply_timeout_s info.addr;
+             breaker = Breaker.create cfg.breaker;
+             n_req = 0;
+             n_ok = 0;
+             n_shed = 0;
+             n_fail = 0;
+           })
+         infos)
+  in
+  let t =
+    {
+      cfg;
+      ring = Ring.create (Array.length shards);
+      shards;
+      m = Mutex.create ();
+      rng = Rng.create (cfg.seed lxor 0x524f5554);
+      failovers = 0;
+      hedges = 0;
+      hedge_wins = 0;
+      backoffs = 0;
+      served_ok = 0;
+      served_err = 0;
+      served_fail = 0;
+      probe_stop = false;
+      prober = None;
+    }
+  in
+  (match cfg.probe_interval_s with
+  | Some iv when iv > 0.0 ->
+      t.prober <- Some (Thread.create (probe_loop t iv) ())
+  | _ -> ());
+  t
+
+let close t =
+  Mutex.protect t.m (fun () -> t.probe_stop <- true);
+  (match t.prober with Some th -> Thread.join th | None -> ());
+  t.prober <- None;
+  Array.iter (fun s -> Client.Pool.close s.pool) t.shards
+
+(* ---- dispatch ------------------------------------------------------ *)
+
+type verdict =
+  | Good of Wire.reply  (* success, or a typed error worth returning as-is *)
+  | Shed of float option  (* overloaded + retry hint: backpressure *)
+  | Down of string  (* transport failure or draining shard: fail over *)
+
+let classify = function
+  | Ok (Wire.Result _ as r) -> Good r
+  | Ok (Wire.Err e as r) -> (
+      match e.Wire.code with
+      | Wire.Overloaded -> Shed e.Wire.retry_after_s
+      | Wire.Unavailable -> Down ("shard unavailable: " ^ e.Wire.msg)
+      | Wire.Bad_request | Wire.Deadline_exceeded | Wire.Internal ->
+          (* Deterministic refusals: the same request would fail on every
+             replica, so answer the caller instead of burning the budget. *)
+          Good r)
+  | Error msg -> Down msg
+
+let attempt t idx req =
+  let s = t.shards.(idx) in
+  Mutex.protect t.m (fun () -> s.n_req <- s.n_req + 1);
+  let raw = Client.Pool.request s.pool req in
+  let v = classify raw in
+  Mutex.protect t.m (fun () ->
+      match v with
+      | Good (Wire.Result _) ->
+          s.n_ok <- s.n_ok + 1;
+          Breaker.success s.breaker
+      | Good (Wire.Err _) -> Breaker.success s.breaker  (* alive, refused *)
+      | Shed _ ->
+          s.n_shed <- s.n_shed + 1;
+          Breaker.success s.breaker  (* shedding is backpressure, not death *)
+      | Down _ ->
+          s.n_fail <- s.n_fail + 1;
+          Breaker.failure s.breaker ~now:(now ()));
+  v
+
+(* Race [a] against a hedge on [b] fired after [after] seconds of silence.
+   Whichever attempt finishes first wins; the loser's reply is discarded
+   (its pool slot completes normally). Returns the winning shard, its
+   verdict, and whether the hedge actually fired. *)
+let hedged_attempt t req a b after =
+  let hm = Mutex.create () and hcv = Condition.create () in
+  let result = ref None in
+  let fired = ref false in
+  let submit idx () =
+    let v = attempt t idx req in
+    Mutex.protect hm (fun () ->
+        if !result = None then begin
+          result := Some (idx, v);
+          Condition.broadcast hcv
+        end)
+  in
+  ignore (Thread.create (submit a) ());
+  ignore
+    (Thread.create
+       (fun () ->
+         Thread.delay after;
+         let fire =
+           Mutex.protect hm (fun () ->
+               if !result = None then (fired := true; true) else false)
+         in
+         if fire then begin
+           Mutex.protect t.m (fun () -> t.hedges <- t.hedges + 1);
+           logf t "hedge fired: %s -> %s" (shard_id t a) (shard_id t b);
+           submit b ()
+         end)
+       ());
+  Mutex.lock hm;
+  while !result = None do
+    Condition.wait hcv hm
+  done;
+  let idx, v = Option.get !result in
+  let f = !fired in
+  Mutex.unlock hm;
+  if f && idx = b then Mutex.protect t.m (fun () -> t.hedge_wins <- t.hedge_wins + 1);
+  (idx, v, f)
+
+(* Candidates for one round: ring order for [key], restricted to shards
+   whose breaker admits traffic, truncated to [replicas]. When every
+   breaker is open we degrade gracefully — route through the quarantine
+   rather than refuse outright (a request is also the cheapest probe). *)
+let candidates t key =
+  let order = Ring.order t.ring key in
+  let tnow = now () in
+  let allowed =
+    Mutex.protect t.m (fun () ->
+        List.filter
+          (fun i -> Breaker.allow t.shards.(i).breaker ~now:tnow)
+          order)
+  in
+  let pick = if allowed = [] then order else allowed in
+  List.filteri (fun i _ -> i < t.cfg.replicas) pick
+
+let request t ~key req =
+  let primary = Ring.primary t.ring key in
+  let deadline = now () +. t.cfg.retry_budget_s in
+  let attempts = ref 0 in
+  let hedged = ref false in
+  let finish idx reply =
+    let failover = idx <> primary in
+    Mutex.protect t.m (fun () ->
+        if failover then t.failovers <- t.failovers + 1;
+        match reply with
+        | Wire.Result _ -> t.served_ok <- t.served_ok + 1
+        | Wire.Err _ -> t.served_err <- t.served_err + 1);
+    Ok
+      {
+        reply;
+        shard = shard_id t idx;
+        failover;
+        hedged = !hedged;
+        attempts = !attempts;
+      }
+  in
+  let rec round n last =
+    if n >= t.cfg.max_rounds then give_up last
+    else begin
+      let cands = candidates t key in
+      let hint = ref None in
+      let rec try_cands cands last =
+        match cands with
+        | [] -> (
+            (* Round exhausted. Sheds are transient — back off and go
+               again if budget remains; pure transport failure retries
+               too (a shard may be restarting under the supervisor). *)
+            let remaining = deadline -. now () in
+            if remaining <= 0.0 || n + 1 >= t.cfg.max_rounds then give_up last
+            else
+              let base = Option.value !hint ~default:0.05 in
+              let jitter =
+                Mutex.protect t.m (fun () -> 0.5 +. Rng.float t.rng)
+              in
+              let sleep =
+                Float.min remaining
+                  (base *. (2.0 ** float_of_int n) *. jitter)
+              in
+              Mutex.protect t.m (fun () -> t.backoffs <- t.backoffs + 1);
+              Thread.delay (Float.max 0.0 sleep);
+              round (n + 1) last)
+        | idx :: rest -> (
+            let widx, v, fired =
+              match (t.cfg.hedge_after_s, rest) with
+              | Some after, next :: _
+                when n = 0 && !attempts = 0 && not !hedged ->
+                  hedged_attempt t req idx next after
+              | _ -> (idx, attempt t idx req, false)
+            in
+            incr attempts;
+            if fired then begin
+              hedged := true;
+              incr attempts
+            end;
+            (* Drop every candidate the (possibly hedged) attempt touched:
+               both contenders have a request in flight. *)
+            let rest =
+              if fired then List.filter (fun i -> i <> widx) rest else rest
+            in
+            match v with
+            | Good reply -> finish widx reply
+            | Shed h ->
+                (match (h, !hint) with
+                | Some h, Some h0 -> hint := Some (Float.max h h0)
+                | Some h, None -> hint := Some h
+                | None, _ -> ());
+                try_cands rest
+                  (Ok
+                     (Wire.Err
+                        {
+                          Wire.code = Wire.Overloaded;
+                          msg = "all replicas shedding";
+                          retry_after_s = h;
+                        }))
+            | Down msg ->
+                logf t "shard %s down for key %s: %s" (shard_id t widx) key
+                  msg;
+                try_cands rest (Error msg))
+      in
+      try_cands cands last
+    end
+  and give_up last =
+    match last with
+    | Ok (Wire.Err _ as r) ->
+        Mutex.protect t.m (fun () -> t.served_err <- t.served_err + 1);
+        Ok
+          {
+            reply = r;
+            shard = "";
+            failover = true;
+            hedged = !hedged;
+            attempts = !attempts;
+          }
+    | Ok (Wire.Result _ as r) ->
+        (* unreachable: successes return via [finish] *)
+        finish primary r
+    | Error msg ->
+        Mutex.protect t.m (fun () -> t.served_fail <- t.served_fail + 1);
+        Error
+          (Printf.sprintf "no shard answered after %d attempts: %s" !attempts
+             msg)
+  in
+  round 0 (Error "no shards available")
+
+let synth ?(params = Wire.no_params) t spec =
+  request t ~key:(Ring.key_of_spec spec) (Wire.Synth { spec; params })
+
+(* ---- introspection ------------------------------------------------- *)
+
+let shard_stats_json t =
+  let tnow = now () in
+  Mutex.protect t.m (fun () ->
+      Json.List
+        (Array.to_list
+           (Array.map
+              (fun s ->
+                Json.Obj
+                  [
+                    ("id", Json.String s.info.id);
+                    ("addr", Json.String (Client.pp_addr s.info.addr));
+                    ( "breaker",
+                      Json.String
+                        (Breaker.state_tag (Breaker.state s.breaker ~now:tnow))
+                    );
+                    ("trips", Json.Int (Breaker.trips s.breaker));
+                    ("requests", Json.Int s.n_req);
+                    ("ok", Json.Int s.n_ok);
+                    ("shed", Json.Int s.n_shed);
+                    ("failed", Json.Int s.n_fail);
+                  ])
+              t.shards)))
+
+let stats_json t =
+  let shards = shard_stats_json t in
+  Mutex.protect t.m (fun () ->
+      Json.Obj
+        [
+          ("schema", Json.String "mmsynth-cluster-stats-v1");
+          ("n_shards", Json.Int (Array.length t.shards));
+          ("replicas", Json.Int t.cfg.replicas);
+          ("served_ok", Json.Int t.served_ok);
+          ("served_err", Json.Int t.served_err);
+          ("served_fail", Json.Int t.served_fail);
+          ("failovers", Json.Int t.failovers);
+          ("hedges", Json.Int t.hedges);
+          ("hedge_wins", Json.Int t.hedge_wins);
+          ("backoffs", Json.Int t.backoffs);
+          ("shards", shards);
+        ])

@@ -1,0 +1,110 @@
+(** The cluster front door: route each request to the shard that owns its
+    NPN class, fail over to replicas when that shard sheds, drains or
+    dies, and keep tail latency bounded with hedges and budgeted retries.
+
+    {2 Request path}
+
+    A request's key ({!Ring.key_of_spec}) fixes its failover order on the
+    consistent hash ring. The router walks that order in rounds:
+
+    - Shards whose {!Breaker} is [Open] are skipped — unless {e every}
+      shard is quarantined, in which case the router degrades gracefully
+      and routes through the quarantine anyway (a live request is the
+      cheapest health probe there is).
+    - A transport failure or a typed [unavailable] (draining shard) feeds
+      the shard's breaker and falls over to the next replica.
+    - A typed [overloaded] shed is {e backpressure, not death}: it never
+      trips the breaker. The router tries the next replica, and when a
+      whole round sheds, sleeps a jittered exponential backoff seeded by
+      the largest [retry_after_s] hint, then goes again — within
+      [retry_budget_s] seconds and [max_rounds] rounds total.
+    - [bad_request], [deadline_exceeded] and [internal] are deterministic:
+      the same request would fail on every replica, so they are returned
+      to the caller immediately.
+
+    With [hedge_after_s] set, the very first attempt races a {e hedge}:
+    if the primary has not answered within the window, the same request
+    is fired at the next replica and the first reply wins (one hedge per
+    request, so the extra load is bounded at 2×).
+
+    Every {!outcome} is tagged with the answering shard, whether failover
+    occurred (answered by a non-primary), whether the hedge fired, and
+    the attempt count — the storm bench and the cluster front-end surface
+    these.
+
+    A background prober pings every shard each [probe_interval_s],
+    feeding the breakers so a quarantined shard is re-admitted (via
+    half-open probes) without waiting for user traffic. *)
+
+module Json = Mm_report.Json
+module Spec = Mm_boolfun.Spec
+module Wire = Mm_serve.Wire
+module Client = Mm_serve.Client
+
+type shard_info = { id : string; addr : Client.addr }
+
+type config = {
+  replicas : int;  (** distinct shards tried per round (≥ 1) *)
+  hedge_after_s : float option;  (** hedge window; [None] disables *)
+  retry_budget_s : float;  (** total wall budget across rounds *)
+  max_rounds : int;  (** backoff rounds before giving up *)
+  breaker : Breaker.config;
+  pool_size : int;  (** connections per shard ({!Client.Pool}) *)
+  reply_timeout_s : float;  (** per-reply wait on pooled connections *)
+  probe_interval_s : float option;  (** health-probe period; [None] off *)
+  seed : int;  (** jitter determinism *)
+  log : (string -> unit) option;
+}
+
+(** Defaults: 2 replicas, no hedging, 2 s budget, 4 rounds, default
+    breaker, pool of 4, 30 s reply timeout, 0.5 s probes, seed 0. *)
+val config :
+  ?replicas:int ->
+  ?hedge_after_s:float ->
+  ?retry_budget_s:float ->
+  ?max_rounds:int ->
+  ?breaker:Breaker.config ->
+  ?pool_size:int ->
+  ?reply_timeout_s:float ->
+  ?probe_interval_s:float option ->
+  ?seed:int ->
+  ?log:(string -> unit) ->
+  unit ->
+  config
+
+type t
+
+(** [create cfg shards] — connection pools open lazily; the prober (if
+    enabled) starts immediately.
+    @raise Invalid_argument on an empty shard list. *)
+val create : config -> shard_info list -> t
+
+val n_shards : t -> int
+
+(** Stop the prober and close every pool. *)
+val close : t -> unit
+
+type outcome = {
+  reply : Wire.reply;
+  shard : string;  (** answering shard id ([""] when no shard answered) *)
+  failover : bool;  (** answered by a non-primary shard *)
+  hedged : bool;  (** the hedge fired (whether or not it won) *)
+  attempts : int;
+}
+
+(** Route [req] by [key] through the failover/backoff machinery.
+    [Ok] carries the shard's reply — including typed refusals after the
+    budget is spent; [Error] means no shard produced any reply. *)
+val request : t -> key:string -> Wire.request -> (outcome, string) result
+
+(** {!request} with the spec's NPN-class routing key. *)
+val synth :
+  ?params:Wire.synth_params -> t -> Spec.t -> (outcome, string) result
+
+(** One probe sweep, synchronously (tests; the background prober calls
+    the same code). *)
+val probe_once : t -> unit
+
+(** Router-level counters and per-shard breaker/traffic state
+    (schema ["mmsynth-cluster-stats-v1"]). *)
+val stats_json : t -> Json.t

@@ -2,7 +2,7 @@ module Rng = Mm_device.Rng
 
 type stage = Worker | Solver | Cache_read | Cache_write | Verify | Conn
 
-type action = Crash | Delay of float | Unknown_result
+type action = Crash | Delay of float | Unknown_result | Kill | Refuse
 
 type rule = { stage : stage; rate : float; action : action; only : string option }
 
@@ -60,7 +60,9 @@ let guard plan ~stage ~key f =
     | Some (Delay s) ->
       Unix.sleepf s;
       f ()
-    | Some Unknown_result | None -> f ())
+    (* Kill/Refuse are serve-layer verdicts: inside an engine stage they
+       have no sensible meaning, so they pass through like no fault *)
+    | Some (Unknown_result | Kill | Refuse) | None -> f ())
 
 let forced_unknown plan ~stage ~key =
   match plan with
@@ -99,11 +101,14 @@ let parse_spec s =
         | "cache-write" -> Ok (rule Cache_write rate Crash)
         | "verify" -> Ok (rule Verify rate Crash)
         | "conn" -> Ok (rule Conn rate Crash)
+        | "kill" -> Ok (rule Conn rate Kill)
+        | "partition" -> Ok (rule Conn rate Refuse)
         | _ ->
           Error
             (Printf.sprintf
                "unknown stage %S \
-                (worker|solver|cache-read|cache-write|verify|conn)"
+                (worker|solver|cache-read|cache-write|verify|conn|kill|\
+                 partition)"
                stage)))
     | _ -> Error (Printf.sprintf "expected stage:rate, got %S" part)
   in

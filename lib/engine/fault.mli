@@ -31,6 +31,13 @@ type action =
   | Delay of float  (** sleep this many seconds, then proceed *)
   | Unknown_result
       (** force the solver to report an (injected) [Unknown]/timeout *)
+  | Kill
+      (** serve layer, [Conn] stage: the whole daemon dies abruptly — no
+          drain, no replies to queued work (simulated shard crash) *)
+  | Refuse
+      (** serve layer, [Conn] stage at accept time: the connection is
+          closed before a single frame is read (simulated network
+          partition / refused shard) *)
 
 type rule
 
@@ -76,5 +83,8 @@ val corrupt_file : ?seed:int -> ?offset:int -> string -> unit
     ["worker:0.3,solver:0.1"]. Stages: [worker] (crash), [solver]
     (unknown), [cache-read] (crash), [cache-write] (corrupt-on-flush,
     interpreted by the engine), [verify] (crash), [conn]
-    (connection drop, interpreted by the serve layer). *)
+    (connection drop, interpreted by the serve layer), [kill] (abrupt
+    daemon death at the [Conn] stage — a shard crash the cluster router
+    must fail over) and [partition] (connections refused at accept — a
+    shard the router sees as unreachable). *)
 val parse_spec : string -> (rule list, string) result

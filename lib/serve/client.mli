@@ -1,36 +1,65 @@
-(** Synchronous client for the {!Server} wire protocol.
+(** Pipelined client for the {!Server} wire protocol.
 
-    One [t] wraps one connection; requests are serialized under a mutex
-    (one in-flight request per connection — the daemon replies in order)
-    and matched to replies by frame id. All failures are returned, never
-    raised: transport problems ([Error msg]) are distinct from typed
-    daemon refusals ([Ok (Err _)]). *)
+    One [t] wraps one connection. Requests are {e pipelined}: any number of
+    threads may have requests in flight on the same connection — frame
+    writes are serialized under a mutex, and a dedicated reader thread
+    demultiplexes replies to their waiters by frame id (the daemon handles
+    each frame in its own thread, so replies can arrive in any order).
+    All failures are returned, never raised: transport problems
+    ([Error msg]) are distinct from typed daemon refusals ([Ok (Err _)]).
+
+    {!Pool} multiplexes a bounded set of these pipelined connections to
+    one daemon, so a router (or any fan-out caller) gets high in-flight
+    concurrency without a connection per request.
+
+    {!retry} turns [overloaded] sheds into jittered, budgeted backoff
+    honoring the server's [retry_after_s] hint — the polite way to ride
+    out a load spike instead of failing on the first shed. *)
 
 module Json = Mm_report.Json
 module Spec = Mm_boolfun.Spec
 
 type addr = Unix_sock of string | Tcp of string * int
 
+val pp_addr : addr -> string
+
 type t
 
 (** [connect addr] — [read_timeout] (default 60 s) bounds each reply wait
-    so a hung daemon cannot block the client forever. *)
+    so a hung daemon cannot block a caller forever (the connection is
+    still usable after one request times out; the late reply, if any, is
+    discarded by id). *)
 val connect : ?read_timeout:float -> addr -> (t, string) result
 
 val close : t -> unit
+
+(** The connection has not seen a transport error and is not closed.
+    A false return is sticky: reconnect to recover. *)
+val alive : t -> bool
 
 (** [wait_ready addr] polls [connect] until the daemon accepts (startup
     race helper for tests and scripts). Total budget [timeout] seconds
     (default 5). *)
 val wait_ready : ?timeout:float -> addr -> (t, string) result
 
-(** One round trip: send, block for the matching reply. *)
-val request : t -> Wire.request -> (Wire.reply, string) result
+(** Backoff policy for {e shed} ([overloaded]) replies: up to [max_tries]
+    attempts within [budget_s] seconds total (defaults 8 and 2.0), sleeping
+    the server's [retry_after_s] hint (default 50 ms when absent) doubled
+    per attempt and jittered in [0.5, 1.5) — deterministic per [seed]. *)
+type retry
+
+val retry : ?budget_s:float -> ?max_tries:int -> ?seed:int -> unit -> retry
+
+(** Send, block for the id-matched reply. With [?retry], [overloaded]
+    refusals are retried under the policy; every other outcome returns
+    immediately. *)
+val request : ?retry:retry -> t -> Wire.request -> (Wire.reply, string) result
 
 val synth :
   ?timeout:float ->
   ?deadline:float ->
   ?fallback:string ->
+  ?retry:retry ->
   t ->
   Spec.t ->
   (Wire.reply, string) result
@@ -41,3 +70,32 @@ val ping : t -> (Wire.reply, string) result
 
 (** Ask the daemon to drain. The [ok] reply arrives before the drain. *)
 val shutdown : t -> (Wire.reply, string) result
+
+(** A bounded pool of pipelined connections to one daemon.
+
+    Connections are opened lazily, reused by least-in-flight, evicted as
+    soon as they die, and transparently re-dialed once when a request
+    rides a connection that breaks under it. [size] (default 4) bounds
+    the file descriptors spent per shard, not the in-flight requests —
+    each pooled connection pipelines. *)
+module Pool : sig
+  type p
+
+  val create : ?size:int -> ?read_timeout:float -> addr -> p
+  val size : p -> int
+
+  val request :
+    ?retry:retry -> ?attempts:int -> p -> Wire.request ->
+    (Wire.reply, string) result
+
+  val synth :
+    ?timeout:float ->
+    ?deadline:float ->
+    ?fallback:string ->
+    ?retry:retry ->
+    p ->
+    Spec.t ->
+    (Wire.reply, string) result
+
+  val close : p -> unit
+end

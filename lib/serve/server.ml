@@ -18,11 +18,12 @@ type config = {
   drain_grace : float;
   fault : Fault.t option;
   log : (string -> unit) option;
+  shard_id : string option;
 }
 
 let config ?tcp_port ?(engine = Engine.config ()) ?(max_pending = 64)
     ?(max_batch = 16) ?default_deadline ?(drain_grace = 5.0) ?fault ?log
-    ~socket_path () =
+    ?shard_id ~socket_path () =
   {
     socket_path;
     tcp_port;
@@ -33,6 +34,7 @@ let config ?tcp_port ?(engine = Engine.config ()) ?(max_pending = 64)
     drain_grace = Float.max 0. drain_grace;
     fault;
     log;
+    shard_id;
   }
 
 type job = {
@@ -60,6 +62,7 @@ type t = {
   close_r : Unix.file_descr;
   close_w : Unix.file_descr;
   listeners : Unix.file_descr list;
+  mutable listeners_closed : bool;
   mutable accept_threads : Thread.t list;
   mutable dispatcher : Thread.t option;
 }
@@ -72,12 +75,14 @@ let log t fmt =
 let draining t = Mutex.protect t.m (fun () -> t.draining)
 let stopped t = Mutex.protect t.m (fun () -> t.stopped)
 let active_conns t = Mutex.protect t.m (fun () -> t.conns)
+let shard_id t = Option.value t.cfg.shard_id ~default:t.cfg.socket_path
 
 let stats_json t =
   let queue_depth, conns, draining =
     Mutex.protect t.m (fun () -> (Queue.length t.queue, t.conns, t.draining))
   in
-  Stats.snapshot t.stats ~queue_depth ~active_conns:conns ~draining
+  Stats.snapshot t.stats ~shard:(shard_id t) ~queue_depth ~active_conns:conns
+    ~draining
     ~cache_entries:
       (Option.map
          (fun c -> (Cache.counters c).Cache.entries)
@@ -96,6 +101,46 @@ let request_drain t =
   if fresh then begin
     log t "drain requested";
     ignore (Unix.write t.drain_w (Bytes.of_string "d") 0 1)
+  end
+
+(* Close the listening sockets exactly once (die and wait both want them
+   gone; closing an fd twice could hit an unrelated reused descriptor). *)
+let close_listeners t =
+  let fds =
+    Mutex.protect t.m (fun () ->
+        if t.listeners_closed then []
+        else begin
+          t.listeners_closed <- true;
+          t.listeners
+        end)
+  in
+  List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) fds;
+  if fds <> [] then
+    try Sys.remove t.cfg.socket_path with Sys_error _ -> ()
+
+(* Abrupt death — the simulated shard crash. No drain: queued jobs are
+   abandoned (their waiters are answered [unavailable] so connection
+   threads can unwind), listeners close immediately, and every thread is
+   told to exit. Used by the fault plan's [Kill] action and by the storm
+   harness to kill a shard mid-run. *)
+let die t =
+  let fresh =
+    Mutex.protect t.m (fun () ->
+        if t.stopped then false
+        else begin
+          t.draining <- true;
+          t.stopped <- true;
+          Queue.clear t.queue;
+          Condition.broadcast t.work;
+          Condition.broadcast t.done_;
+          true
+        end)
+  in
+  if fresh then begin
+    log t "killed (abrupt, no drain)";
+    ignore (Unix.write t.drain_w (Bytes.of_string "d") 0 1);
+    ignore (Unix.write t.close_w (Bytes.of_string "c") 0 1);
+    close_listeners t
   end
 
 (* ---- dispatcher ------------------------------------------------------ *)
@@ -274,10 +319,16 @@ let process_batch t jobs =
 let dispatcher_loop t =
   let rec loop () =
     Mutex.lock t.m;
-    while Queue.is_empty t.queue && not t.draining do
+    while Queue.is_empty t.queue && not t.draining && not t.stopped do
       Condition.wait t.work t.m
     done;
-    if not (Queue.is_empty t.queue) then begin
+    if t.stopped then begin
+      (* abrupt death: abandon queued work, wake every waiter *)
+      Queue.clear t.queue;
+      Condition.broadcast t.done_;
+      Mutex.unlock t.m
+    end
+    else if not (Queue.is_empty t.queue) then begin
       let batch = ref [] in
       while (not (Queue.is_empty t.queue)) && List.length !batch < t.cfg.max_batch
       do
@@ -322,6 +373,7 @@ let health_json t =
   Json.Obj
     [
       ("status", Json.String (if draining then "draining" else "ok"));
+      ("shard", Json.String (shard_id t));
       ("protocol_version", Json.Int Wire.protocol_version);
       ("uptime_s", Json.Float (Stats.uptime_s t.stats));
       ("queue_depth", Json.Int queue_depth);
@@ -404,8 +456,42 @@ let handle_payload t payload =
         | Wire.Result r -> (Wire.ok_json ~id r, None, false)
         | Wire.Err e -> (Wire.error_json ~id e, Some e.Wire.code, false))))
 
+(* One reader loop per connection; every frame is handed to its own
+   handler thread, which computes the reply and writes it under the
+   connection's write mutex. Replies are matched by frame id, not by
+   order, so a pipelined client can keep several requests in flight on one
+   connection and a [Fault.Delay] on one request never stalls the others —
+   the delay sleeps inside that request's handler, while the reader keeps
+   accepting frames and the dispatcher keeps batching unrelated jobs. The
+   reader waits for in-flight handlers before closing the fd (a write to a
+   closed-and-reused descriptor could hit an unrelated socket). *)
 let conn_loop t fd conn_id =
   let reqs = ref 0 in
+  let wm = Mutex.create () in  (* one frame write at a time *)
+  let im = Mutex.create () in
+  let idle = Condition.create () in
+  let inflight = ref 0 in
+  let handler_done () =
+    Mutex.protect im (fun () ->
+        decr inflight;
+        if !inflight = 0 then Condition.broadcast idle)
+  in
+  let handle ~delay payload () =
+    let t0 = Unix.gettimeofday () in
+    (match delay with Some s -> Unix.sleepf s | None -> ());
+    let response, err, drain_after = handle_payload t payload in
+    (match err with
+     | None -> Stats.note_reply_ok t.stats
+     | Some code -> Stats.note_reply_err t.stats code);
+    Stats.observe_total t.stats (Unix.gettimeofday () -. t0);
+    (match
+       Mutex.protect wm (fun () ->
+           Wire.write_frame fd (Json.to_string response))
+     with
+     | Error _ -> Stats.note_conn_dropped t.stats
+     | Ok () -> if drain_after then request_drain t);
+    handler_done ()
+  in
   let rec loop () =
     match Unix.select [ fd; t.close_r ] [] [] (-1.0) with
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
@@ -417,7 +503,6 @@ let conn_loop t fd conn_id =
         | Error _ -> ()  (* client hung up or sent garbage framing *)
         | Ok payload -> (
           incr reqs;
-          let t0 = Unix.gettimeofday () in
           let key = Printf.sprintf "conn%d/req%d" conn_id !reqs in
           let injected =
             match t.cfg.fault with
@@ -425,26 +510,28 @@ let conn_loop t fd conn_id =
             | Some f -> Fault.decide f ~stage:Fault.Conn ~key
           in
           match injected with
-          | Some Fault.Crash ->
+          | Some (Fault.Crash | Fault.Refuse) ->
             (* injected connection drop: vanish without a reply *)
             log t "conn%d: injected drop at %s" conn_id key;
             Stats.note_conn_dropped t.stats
-          | (Some (Fault.Delay _ | Fault.Unknown_result) | None) as inj -> (
-            (match inj with
-             | Some (Fault.Delay s) -> Unix.sleepf s
-             | _ -> ());
-            let response, err, drain_after = handle_payload t payload in
-            (match err with
-             | None -> Stats.note_reply_ok t.stats
-             | Some code -> Stats.note_reply_err t.stats code);
-            Stats.observe_total t.stats (Unix.gettimeofday () -. t0);
-            match Wire.write_frame fd (Json.to_string response) with
-            | Error _ -> Stats.note_conn_dropped t.stats
-            | Ok () ->
-              if drain_after then request_drain t;
-              loop ())))
+          | Some Fault.Kill ->
+            (* injected shard crash: the whole daemon dies, abruptly *)
+            log t "conn%d: injected shard kill at %s" conn_id key;
+            die t
+          | (Some (Fault.Delay _ | Fault.Unknown_result) | None) as inj ->
+            let delay =
+              match inj with Some (Fault.Delay s) -> Some s | _ -> None
+            in
+            Mutex.protect im (fun () -> incr inflight);
+            ignore (Thread.create (handle ~delay payload) ());
+            loop ()))
   in
   (try loop () with _ -> ());
+  (* let in-flight handlers deliver (or fail) their replies first *)
+  Mutex.protect im (fun () ->
+      while !inflight > 0 do
+        Condition.wait idle im
+      done);
   (try Unix.close fd with Unix.Unix_error _ -> ());
   Mutex.protect t.m (fun () -> t.conns <- t.conns - 1)
 
@@ -460,23 +547,40 @@ let accept_loop t lfd =
         | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
         | exception Unix.Unix_error _ -> if draining t then () else loop ()
         | fd, _ ->
-          (* cap mid-frame stalls so a wedged client cannot pin a thread *)
-          (try
-             Unix.setsockopt_float fd Unix.SO_RCVTIMEO 30.;
-             Unix.setsockopt_float fd Unix.SO_SNDTIMEO 30.
-           with Unix.Unix_error _ -> ());
-          Stats.note_conn_accepted t.stats;
-          let conn_id, thread_slot =
+          let conn_id =
             Mutex.protect t.m (fun () ->
-                t.conns <- t.conns + 1;
                 t.next_conn <- t.next_conn + 1;
-                (t.next_conn, ()))
+                t.next_conn)
           in
-          ignore thread_slot;
-          let th = Thread.create (fun () -> conn_loop t fd conn_id) () in
-          Mutex.protect t.m (fun () ->
-              t.conn_threads <- th :: t.conn_threads);
-          loop ())
+          let refused =
+            match t.cfg.fault with
+            | None -> false
+            | Some f ->
+              Fault.decide f ~stage:Fault.Conn
+                ~key:(Printf.sprintf "accept/conn%d" conn_id)
+              = Some Fault.Refuse
+          in
+          if refused then begin
+            (* injected partition: the shard is unreachable — close before
+               reading a single frame, as a dead network path would *)
+            log t "conn%d: injected partition (refused at accept)" conn_id;
+            Stats.note_conn_dropped t.stats;
+            (try Unix.close fd with Unix.Unix_error _ -> ());
+            loop ()
+          end
+          else begin
+            (* cap mid-frame stalls so a wedged client cannot pin a thread *)
+            (try
+               Unix.setsockopt_float fd Unix.SO_RCVTIMEO 30.;
+               Unix.setsockopt_float fd Unix.SO_SNDTIMEO 30.
+             with Unix.Unix_error _ -> ());
+            Stats.note_conn_accepted t.stats;
+            Mutex.protect t.m (fun () -> t.conns <- t.conns + 1);
+            let th = Thread.create (fun () -> conn_loop t fd conn_id) () in
+            Mutex.protect t.m (fun () ->
+                t.conn_threads <- th :: t.conn_threads);
+            loop ()
+          end)
   in
   loop ()
 
@@ -552,6 +656,7 @@ let start cfg =
           close_r;
           close_w;
           listeners;
+          listeners_closed = false;
           accept_threads = [];
           dispatcher = None;
         }
@@ -578,10 +683,7 @@ let wait t =
   List.iter Thread.join t.accept_threads;
   let conn_threads = Mutex.protect t.m (fun () -> t.conn_threads) in
   List.iter Thread.join conn_threads;
-  List.iter
-    (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
-    t.listeners;
-  (try Sys.remove t.cfg.socket_path with Sys_error _ -> ());
+  close_listeners t;
   List.iter
     (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
     [ t.drain_r; t.drain_w; t.close_r; t.close_w ]

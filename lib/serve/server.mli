@@ -11,8 +11,12 @@
     {2 Architecture}
 
     - One {e accept} thread per listener hands connections to per-connection
-      threads (blocking frame reads; [stats]/[health]/[ping] are answered
-      inline so observability stays live under synthesis load).
+      {e reader} threads. Every frame a reader pulls off the wire is handed
+      to its own handler thread, which computes the reply and writes it
+      under the connection's write mutex — replies are matched by frame id,
+      not arrival order, so pipelined clients ({!Client.Pool}) keep several
+      requests in flight on one connection, and one slow (or
+      fault-delayed) request never stalls the others.
     - Synthesis requests pass {e admission control}: a bounded pending queue
       of at most [max_pending] jobs. A full queue sheds the request with a
       typed [overloaded] reply (plus [retry_after_s]) instead of queueing
@@ -39,10 +43,14 @@
     {2 Fault injection}
 
     [fault] applies {!Mm_engine.Fault} rules at the [Conn] stage, keyed
-    ["conn<N>/req<M>"]: [Crash] drops the connection without a reply (the
-    client sees a reset; the daemon must not crash), [Delay] slows the
-    response. Worker/solver faults are injected through the engine config
-    as in batch mode. *)
+    ["conn<N>/req<M>"] per request and ["accept/conn<N>"] at accept time:
+    [Crash] drops the connection without a reply (the client sees a reset;
+    the daemon must not crash), [Delay] slows that one response (never the
+    rest of the connection), [Refuse] closes the connection at accept
+    before a frame is read (a partitioned shard), and [Kill] makes the
+    whole daemon {!die} abruptly (a crashed shard the cluster router must
+    fail over). Worker/solver faults are injected through the engine
+    config as in batch mode. *)
 
 module Engine = Mm_engine.Engine
 module Fault = Mm_engine.Fault
@@ -60,6 +68,9 @@ type config = {
   drain_grace : float;  (** seconds to let clients disconnect on drain *)
   fault : Fault.t option;  (** [Conn]-stage injection plan *)
   log : (string -> unit) option;
+  shard_id : string option;
+      (** identity reported in [stats]/[health] snapshots (default: the
+          socket path) so a router can attribute per-shard metrics *)
 }
 
 val config :
@@ -71,6 +82,7 @@ val config :
   ?drain_grace:float ->
   ?fault:Fault.t ->
   ?log:(string -> unit) ->
+  ?shard_id:string ->
   socket_path:string ->
   unit ->
   config
@@ -85,6 +97,17 @@ val start : config -> (t, string) result
 
 (** Begin a graceful drain (idempotent, non-blocking). *)
 val request_drain : t -> unit
+
+(** Abrupt death, no drain: queued jobs are abandoned (their connection
+    threads unwind with [unavailable]), listeners close immediately.
+    Deterministic stand-in for [kill -9] in tests and the storm bench;
+    also triggered by an injected [Fault.Kill]. Idempotent. Follow with
+    {!wait} to join the (now exiting) threads. *)
+val die : t -> unit
+
+(** The daemon's reported identity: configured shard id, else socket
+    path. *)
+val shard_id : t -> string
 
 val draining : t -> bool
 val stopped : t -> bool

@@ -132,7 +132,7 @@ let observe_queue_wait t x =
 let observe_synth t x = Mutex.protect t.m (fun () -> Hist.observe t.synth x)
 let observe_total t x = Mutex.protect t.m (fun () -> Hist.observe t.total x)
 
-let snapshot t ~queue_depth ~active_conns ~draining ~cache_entries =
+let snapshot t ~shard ~queue_depth ~active_conns ~draining ~cache_entries =
   Mutex.protect t.m (fun () ->
       let tbl_json tbl =
         Json.Obj
@@ -141,7 +141,8 @@ let snapshot t ~queue_depth ~active_conns ~draining ~cache_entries =
       in
       Json.Obj
         [
-          ("schema", Json.String "mmsynth-serve-stats-v3");
+          ("schema", Json.String "mmsynth-serve-stats-v4");
+          ("shard", Json.String shard);
           ("protocol_version", Json.Int Wire.protocol_version);
           ("uptime_s", Json.Float (uptime_s t));
           ("draining", Json.Bool draining);

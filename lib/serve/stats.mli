@@ -4,9 +4,11 @@
 
     All updates are mutex-protected — connection threads and the dispatcher
     share one registry. {!snapshot} renders the whole registry as one JSON
-    object ([mmsynth-serve-stats-v3]) served verbatim by the [stats]
+    object ([mmsynth-serve-stats-v4]) served verbatim by the [stats]
     endpoint; the engine sub-object is the shared
-    {!Mm_engine.Engine.stats_to_json} schema. *)
+    {!Mm_engine.Engine.stats_to_json} schema. v4 adds the [shard] identity
+    field so the cluster router and the storm bench can attribute
+    per-shard metrics. *)
 
 module Json = Mm_report.Json
 
@@ -54,9 +56,12 @@ val observe_queue_wait : t -> float -> unit
 val observe_synth : t -> float -> unit
 val observe_total : t -> float -> unit
 
-(** Point-in-time gauges are passed by the server at snapshot time. *)
+(** Point-in-time gauges are passed by the server at snapshot time;
+    [shard] is the daemon's identity (configured shard id, else its
+    socket path). *)
 val snapshot :
   t ->
+  shard:string ->
   queue_depth:int ->
   active_conns:int ->
   draining:bool ->

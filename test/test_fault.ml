@@ -95,6 +95,20 @@ let test_parse_spec () =
   (match Fault.parse_spec "reactor:0.5" with
    | Error _ -> ()
    | Ok _ -> Alcotest.fail "unknown stage must be rejected");
+  (match Fault.parse_spec "kill:1.0" with
+   | Ok rules ->
+     let plan = Fault.create ~seed:0 rules in
+     Alcotest.(check bool) "kill parses to a Conn-stage Kill" true
+       (Fault.decide plan ~stage:Fault.Conn ~key:"conn0/req0"
+        = Some Fault.Kill)
+   | Error e -> Alcotest.failf "kill should parse: %s" e);
+  (match Fault.parse_spec "partition:1.0" with
+   | Ok rules ->
+     let plan = Fault.create ~seed:0 rules in
+     Alcotest.(check bool) "partition parses to a Conn-stage Refuse" true
+       (Fault.decide plan ~stage:Fault.Conn ~key:"accept/conn0"
+        = Some Fault.Refuse)
+   | Error e -> Alcotest.failf "partition should parse: %s" e);
   match Fault.parse_spec "worker:lots" with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "non-numeric rate must be rejected"

@@ -209,7 +209,9 @@ let test_end_to_end () =
       (match Client.stats c with
        | Ok (Wire.Result r) ->
          Alcotest.(check (option string)) "stats schema"
-           (Some "mmsynth-serve-stats-v3") (get_str "schema" r);
+           (Some "mmsynth-serve-stats-v4") (get_str "schema" r);
+         Alcotest.(check bool) "shard identity present" true
+           (get_str "shard" r <> None);
          Alcotest.(check bool) "synth counted" true
            (match Json.member "requests" r with
             | Some reqs -> get_int "synth" reqs = Some 1
@@ -399,6 +401,199 @@ let test_stale_socket_replaced () =
      | Error _ -> Server.stop t2)
   | Error msg -> Alcotest.failf "restart: %s" msg
 
+let test_delay_not_stalling () =
+  (* an injected per-request Delay must slow only its own reply: other
+     requests pipelined on the same connection are handled concurrently
+     and answer within their own time, not queued behind the sleeper *)
+  let fault =
+    Fault.create ~seed:3 [ Fault.rule Fault.Conn 1.0 (Fault.Delay 0.6) ]
+  in
+  with_server ~fault (fun sock _t ->
+      let c = connect sock in
+      let n = 4 in
+      let done_at = Array.make n 0. in
+      let t0 = Unix.gettimeofday () in
+      let threads =
+        Array.init n (fun i ->
+            Thread.create
+              (fun () ->
+                (match Client.ping c with
+                 | Ok (Wire.Result _) -> ()
+                 | Ok (Wire.Err e) -> Alcotest.failf "ping %d: %s" i e.Wire.msg
+                 | Error msg -> Alcotest.failf "ping %d: %s" i msg);
+                done_at.(i) <- Unix.gettimeofday () -. t0)
+              ())
+      in
+      Array.iter Thread.join threads;
+      let slowest = Array.fold_left Float.max 0. done_at in
+      (* serial handling would need n * 0.6 s; concurrent handlers pay the
+         0.6 s once (generous bound for slow CI) *)
+      Alcotest.(check bool)
+        (Printf.sprintf "pipelined delayed requests overlap (%.2fs)" slowest)
+        true
+        (slowest < 0.6 *. float_of_int n -. 0.5);
+      Client.close c)
+
+let test_wire_fuzz () =
+  (* random truncations and mutations of valid frames: every byte storm
+     must end in a typed bad_request or a dropped connection — never a
+     daemon crash or hang *)
+  with_server (fun sock _t ->
+      let rng = Mm_device.Rng.create 99 in
+      let valid_payload id =
+        Json.to_string
+          (Wire.request_to_json ~id (Wire.Synth { spec = xor2; params = Wire.no_params }))
+      in
+      let raw_connect () =
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_UNIX sock);
+        fd
+      in
+      let send_raw bytes =
+        let fd = raw_connect () in
+        (try
+           let n = String.length bytes in
+           let rec go off =
+             if off < n then go (off + Unix.write_substring fd bytes off (n - off))
+           in
+           go 0
+         with Unix.Unix_error _ -> ());
+        (* read whatever comes back (typed error or EOF), bounded wait *)
+        Unix.setsockopt_float fd Unix.SO_RCVTIMEO 2.0;
+        let buf = Bytes.create 4096 in
+        (try ignore (Unix.read fd buf 0 4096) with Unix.Unix_error _ -> ());
+        try Unix.close fd with Unix.Unix_error _ -> ()
+      in
+      let frame payload =
+        let n = String.length payload in
+        let b = Buffer.create (4 + n) in
+        Buffer.add_char b (Char.chr ((n lsr 24) land 0xff));
+        Buffer.add_char b (Char.chr ((n lsr 16) land 0xff));
+        Buffer.add_char b (Char.chr ((n lsr 8) land 0xff));
+        Buffer.add_char b (Char.chr (n land 0xff));
+        Buffer.add_string b payload;
+        Buffer.contents b
+      in
+      (* hand-picked edge cases *)
+      send_raw "";  (* connect and hang up *)
+      send_raw "\x00";  (* truncated length prefix *)
+      send_raw "\xff\xff\xff\xff";  (* absurd length *)
+      send_raw (frame "");  (* empty payload *)
+      send_raw (frame "not json at all");
+      send_raw (frame "{\"v\":1,\"id\":1}");  (* no op *)
+      send_raw (frame "{\"v\":99,\"id\":1,\"op\":\"ping\"}");  (* bad version *)
+      (let f = frame (valid_payload 1) in
+       send_raw (String.sub f 0 (String.length f - 3)) (* truncated payload *));
+      (* randomized: truncate or mutate a valid frame *)
+      for i = 2 to 41 do
+        let f = frame (valid_payload i) in
+        let f =
+          if Mm_device.Rng.bool rng then
+            String.sub f 0 (Mm_device.Rng.int rng (String.length f))
+          else begin
+            let b = Bytes.of_string f in
+            for _ = 0 to Mm_device.Rng.int rng 8 do
+              Bytes.set b
+                (Mm_device.Rng.int rng (Bytes.length b))
+                (Char.chr (Mm_device.Rng.int rng 256))
+            done;
+            Bytes.to_string b
+          end
+        in
+        send_raw f
+      done;
+      (* the daemon survived all of it and still answers cleanly *)
+      let c = connect sock in
+      (match Client.synth c xor2 with
+       | Ok (Wire.Result r) ->
+         Alcotest.(check (option string)) "verdict after fuzz" (Some "sat")
+           (get_str "verdict" r)
+       | Ok (Wire.Err e) -> Alcotest.failf "refused after fuzz: %s" e.Wire.msg
+       | Error msg -> Alcotest.failf "dead after fuzz: %s" msg);
+      Client.close c)
+
+let test_pool () =
+  with_server (fun sock _t ->
+      let p = Client.Pool.create ~size:2 (Client.Unix_sock sock) in
+      let n = 8 in
+      let oks = Atomic.make 0 in
+      let threads =
+        Array.init n (fun i ->
+            Thread.create
+              (fun () ->
+                match
+                  Client.Pool.synth p (spec_of ~name:(Printf.sprintf "p%d" i) 2 (i * 3))
+                with
+                | Ok (Wire.Result _) -> Atomic.incr oks
+                | Ok (Wire.Err e) -> Alcotest.failf "pool synth: %s" e.Wire.msg
+                | Error msg -> Alcotest.failf "pool synth: %s" msg)
+              ())
+      in
+      Array.iter Thread.join threads;
+      Alcotest.(check int) "all answered through 2 connections" n
+        (Atomic.get oks);
+      Client.Pool.close p)
+
+let test_retry_overloaded () =
+  (* a hand-rolled mini daemon that sheds twice with a retry hint and then
+     answers: [?retry] must ride out the sheds instead of surfacing them *)
+  let sock = fresh_socket () in
+  let lfd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind lfd (Unix.ADDR_UNIX sock);
+  Unix.listen lfd 4;
+  let sheds = ref 0 in
+  let server =
+    Thread.create
+      (fun () ->
+        let fd, _ = Unix.accept lfd in
+        let rec serve () =
+          match Wire.read_frame fd with
+          | Error _ -> ()
+          | Ok payload ->
+            let id =
+              match Json.of_string payload with
+              | Ok j -> Option.value ~default:0 (Json.get Json.to_int "id" j)
+              | Error _ -> 0
+            in
+            let reply =
+              if !sheds < 2 then begin
+                incr sheds;
+                Wire.error_json ~id
+                  { Wire.code = Wire.Overloaded; msg = "busy";
+                    retry_after_s = Some 0.02 }
+              end
+              else Wire.ok_json ~id (Json.Obj [ ("pong", Json.Bool true) ])
+            in
+            ignore (Wire.write_frame fd (Json.to_string reply));
+            serve ()
+        in
+        serve ();
+        (try Unix.close fd with Unix.Unix_error _ -> ()))
+      ()
+  in
+  let c = connect sock in
+  (* without retry: the shed surfaces as a typed refusal *)
+  (match Client.ping c with
+   | Ok (Wire.Err e) ->
+     Alcotest.(check string) "typed shed" "overloaded" (Wire.code_tag e.Wire.code)
+   | Ok (Wire.Result _) -> Alcotest.fail "expected a shed"
+   | Error msg -> Alcotest.failf "transport: %s" msg);
+  (* with retry: the hinted backoff rides out the remaining shed *)
+  let t0 = Unix.gettimeofday () in
+  (match Client.request ~retry:(Client.retry ~budget_s:2.0 ()) c Wire.Ping with
+   | Ok (Wire.Result r) ->
+     Alcotest.(check (option bool)) "answered after backoff" (Some true)
+       (Json.get Json.to_bool "pong" r)
+   | Ok (Wire.Err e) -> Alcotest.failf "still refused: %s" e.Wire.msg
+   | Error msg -> Alcotest.failf "transport: %s" msg);
+  Alcotest.(check bool) "backoff actually waited" true
+    (Unix.gettimeofday () -. t0 >= 0.01);
+  Alcotest.(check int) "two sheds served" 2 !sheds;
+  Client.close c;
+  (try Unix.close lfd with Unix.Unix_error _ -> ());
+  (try Thread.join server with _ -> ());
+  try Sys.remove sock with Sys_error _ -> ()
+
 let () =
   Alcotest.run "serve"
     [
@@ -420,5 +615,12 @@ let () =
             test_drain_refuses_new_work;
           Alcotest.test_case "stale socket replaced" `Quick
             test_stale_socket_replaced;
+          Alcotest.test_case "delay does not stall pipelined requests" `Quick
+            test_delay_not_stalling;
+          Alcotest.test_case "wire fuzz never kills the daemon" `Quick
+            test_wire_fuzz;
+          Alcotest.test_case "connection pool" `Quick test_pool;
+          Alcotest.test_case "client retries overloaded" `Quick
+            test_retry_overloaded;
         ] );
     ]
