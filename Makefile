@@ -28,9 +28,10 @@ CLUSTER_SOCK := $(shell mktemp -u /tmp/mmsynth_cluster_XXXXXX.sock)
 CLUSTER_DIR  := $(shell mktemp -u /tmp/mmsynth_cluster_XXXXXX)
 MMSYNTH     := _build/default/bin/mmsynth.exe
 
-.PHONY: all build test smoke smoke-fault smoke-serve smoke-ladder smoke-map \
-  smoke-atlas smoke-cluster check bench bench-ladder bench-map \
-  bench-robustness bench-serve bench-storm bench-atlas clean
+.PHONY: all build test smoke smoke-fault smoke-serve smoke-ladder \
+  smoke-prove smoke-map smoke-atlas smoke-cluster check bench bench-ladder \
+  bench-prove bench-map bench-robustness bench-serve bench-storm \
+  bench-atlas clean
 
 all: build
 
@@ -100,6 +101,30 @@ smoke-ladder: build
 	rm -rf $$tmp; \
 	echo "smoke-ladder: OK (verdicts, minima, re-verification identical across paths)"
 
+# The proof orchestrator must land on exactly the monolithic solver's
+# verdicts and minima in both of its modes, and `--replay` makes the run
+# exit non-zero unless every point's verdict is reproduced single-core
+# from its recorded provenance.
+smoke-prove: build
+	@set -e; \
+	tmp=$$(mktemp -d /tmp/mmsynth_prove_XXXXXX); \
+	for e in 'x1 ^ x2' '(x1 & x2) | x3' 'x1 ^ x2 ^ x3'; do \
+	  $(MMSYNTH) synth --minimize --timeout 30 --no-incremental -e "$$e" \
+	    | grep -E '^(tried|N_R minimal)' \
+	    | sed -E 's/ *\([0-9]+ vars.*\)//' > $$tmp/mono.txt; \
+	  for mode in portfolio cube; do \
+	    $(MMSYNTH) prove --timeout 30 --workers 2 --mode $$mode --replay \
+	      -e "$$e" \
+	      | grep -E '^(tried|N_R minimal)' \
+	      | sed -E 's/ *\([0-9]+ vars.*\)//' > $$tmp/$$mode.txt; \
+	    diff -u $$tmp/mono.txt $$tmp/$$mode.txt || { \
+	      echo "smoke-prove: $$mode/monolithic divergence on '$$e'"; \
+	      rm -rf $$tmp; exit 1; }; \
+	  done; \
+	done; \
+	rm -rf $$tmp; \
+	echo "smoke-prove: OK (portfolio and cube verdicts, minima and replays match monolithic)"
+
 # `mmsynth map` exits non-zero unless the stitched schedule re-verifies on
 # every input row, so the simulator check is implicit; the second adder run
 # must answer its library probes from the shared cache.
@@ -163,14 +188,17 @@ smoke-cluster: build
 	rm -rf $(CLUSTER_DIR) $(CLUSTER_SOCK); \
 	echo "smoke-cluster: OK (40/40 answered across a mid-stream shard kill)"
 
-check: test smoke smoke-fault smoke-serve smoke-ladder smoke-map smoke-atlas \
-  smoke-cluster
+check: test smoke smoke-fault smoke-serve smoke-ladder smoke-prove smoke-map \
+  smoke-atlas smoke-cluster
 
 bench:
 	dune exec bench/main.exe -- engine
 
 bench-ladder:
 	dune exec bench/main.exe -- ladder
+
+bench-prove:
+	dune exec bench/main.exe -- prove
 
 bench-map:
 	dune exec bench/main.exe -- map

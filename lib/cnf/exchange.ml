@@ -1,0 +1,109 @@
+(* Learnt-clause exchange between portfolio workers.
+
+   A single mutex-guarded append-only pool: workers publish learnt clauses
+   (LBD-filtered at the solver hook, capacity-bounded here) and drain the
+   clauses published by *other* workers since their own last drain. Drains
+   happen only at restart boundaries — see Solver.set_clause_import — so
+   the mutex is touched a few times per second per worker, not per
+   conflict. Publications take the lock once per learnt clause under the
+   LBD cap; everything else about solving runs lock-free.
+
+   Soundness: a learnt clause is implied by the clause set alone (conflict
+   analysis never uses assumption semantics, only reasons), so any clause
+   learnt by one worker on formula Φ may be added as a permanent clause by
+   any other worker on the same Φ — even when the two race with different
+   assumptions or different diversification configs. The only requirement
+   is identical variable numbering, which holds because every portfolio
+   worker rebuilds Φ through the same deterministic Encode.build. *)
+
+type entry = { owner : int; lits : Mm_sat.Lit.t array }
+
+type t = {
+  mutex : Mutex.t;
+  pool : entry array ref;       (* grown geometrically, never shrunk *)
+  mutable size : int;
+  capacity : int;
+  cursors : int array;          (* per-worker: next pool index to read *)
+  max_lbd : int;
+  mutable published : int;
+  mutable dropped : int;        (* refused: pool at capacity *)
+  mutable drained : int;        (* clauses handed out across all drains *)
+}
+
+let dummy_entry = { owner = -1; lits = [||] }
+
+let create ?(max_lbd = 4) ?(capacity = 4096) ~workers () =
+  if workers <= 0 then invalid_arg "Exchange.create: workers must be positive";
+  {
+    mutex = Mutex.create ();
+    pool = ref (Array.make 64 dummy_entry);
+    size = 0;
+    capacity;
+    cursors = Array.make workers 0;
+    max_lbd;
+    published = 0;
+    dropped = 0;
+    drained = 0;
+  }
+
+let max_lbd t = t.max_lbd
+let workers t = Array.length t.cursors
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+(* [lits] must already be private to the exchange (the solver export hook
+   passes a copy). *)
+let publish t ~worker lits =
+  if worker < 0 || worker >= Array.length t.cursors then
+    invalid_arg "Exchange.publish: bad worker index";
+  with_lock t (fun () ->
+      if t.size >= t.capacity then t.dropped <- t.dropped + 1
+      else begin
+        let pool = !(t.pool) in
+        let pool =
+          if t.size >= Array.length pool then begin
+            let bigger = Array.make (2 * Array.length pool) dummy_entry in
+            Array.blit pool 0 bigger 0 t.size;
+            t.pool := bigger;
+            bigger
+          end
+          else pool
+        in
+        pool.(t.size) <- { owner = worker; lits };
+        t.size <- t.size + 1;
+        t.published <- t.published + 1
+      end)
+
+(* Clauses published by other workers since this worker's last drain,
+   oldest first. The worker's own clauses are skipped (it already has
+   them) but still advance the cursor. *)
+let drain t ~worker =
+  if worker < 0 || worker >= Array.length t.cursors then
+    invalid_arg "Exchange.drain: bad worker index";
+  with_lock t (fun () ->
+      let pool = !(t.pool) in
+      let acc = ref [] in
+      for i = t.size - 1 downto t.cursors.(worker) do
+        let e = pool.(i) in
+        if e.owner <> worker then acc := e.lits :: !acc
+      done;
+      t.cursors.(worker) <- t.size;
+      t.drained <- t.drained + List.length !acc;
+      !acc)
+
+(* Wire both solver hooks for one worker. The export hook runs on the
+   worker's domain for every learnt clause under the LBD cap, the import
+   hook at its restart boundaries. *)
+let attach t ~worker solver =
+  Mm_sat.Solver.set_clause_export solver ~max_lbd:t.max_lbd (fun lits ~lbd:_ ->
+      publish t ~worker lits);
+  Mm_sat.Solver.set_clause_import solver (fun () -> drain t ~worker)
+
+type stats = { published : int; dropped : int; drained : int; in_pool : int }
+
+let stats t =
+  with_lock t (fun () ->
+      { published = t.published; dropped = t.dropped; drained = t.drained;
+        in_pool = t.size })

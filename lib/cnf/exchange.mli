@@ -1,0 +1,48 @@
+(** Mutex-guarded learnt-clause exchange for portfolio solving.
+
+    Diversified solvers racing the same formula publish their short
+    (low-LBD) learnt clauses here and drain each other's at restart
+    boundaries, so one worker's refutation work prunes every other
+    worker's search. Sharing is sound between any solvers built over the
+    same formula with identical variable numbering — learnt clauses are
+    implied by the formula alone, independent of each worker's assumptions
+    or diversification config (see the soundness note in the
+    implementation).
+
+    The exchange is append-only and capacity-bounded: once [capacity]
+    clauses have been published, further publications are counted as
+    dropped rather than blocking or evicting (the pool exists for the
+    duration of one proof attempt, not a long-running service). *)
+
+type t
+
+(** [create ~workers ()] builds an exchange for a fixed worker count.
+    [max_lbd] (default 4) is the sharing quality cap handed to
+    {!attach}; [capacity] (default 4096) bounds the pool. *)
+val create : ?max_lbd:int -> ?capacity:int -> workers:int -> unit -> t
+
+val max_lbd : t -> int
+val workers : t -> int
+
+(** [publish t ~worker lits] appends a clause owned by [worker]. The array
+    must be private to the exchange (solver export hooks pass copies).
+    Silently counted as dropped once the pool is at capacity. *)
+val publish : t -> worker:int -> Mm_sat.Lit.t array -> unit
+
+(** [drain t ~worker]: clauses published by {e other} workers since this
+    worker's last drain, oldest first. *)
+val drain : t -> worker:int -> Mm_sat.Lit.t array list
+
+(** [attach t ~worker solver] wires the solver's export hook (publishing
+    learnts with LBD <= [max_lbd t]) and import hook (draining at restart
+    boundaries) to this exchange. *)
+val attach : t -> worker:int -> Mm_sat.Solver.t -> unit
+
+type stats = {
+  published : int;  (** clauses accepted into the pool *)
+  dropped : int;  (** publications refused at capacity *)
+  drained : int;  (** clauses handed out, summed over all drains *)
+  in_pool : int;  (** current pool size *)
+}
+
+val stats : t -> stats

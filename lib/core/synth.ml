@@ -19,6 +19,23 @@ let default_legs ?(adder = false) spec ~n_rops =
   let base = n_rops + Spec.output_count spec in
   max 1 (if adder then base - 1 else base)
 
+(* BENCH_ladder measured racing at ~1.0x on a 1-core host: the speculative
+   ladder just steals the core from the frontier one. Silently burning the
+   caller's budget is worse than refusing, so racing degrades to the plain
+   sweep there — warning once per process, not once per call. *)
+let racing_warned = Atomic.make false
+
+let racing_usable ~racing =
+  if not racing then false
+  else if Domain.recommended_domain_count () >= 2 then true
+  else begin
+    if not (Atomic.exchange racing_warned true) then
+      Printf.eprintf
+        "mmsynth: warning: --racing disabled (only %d core available)\n%!"
+        (Domain.recommended_domain_count ());
+    false
+  end
+
 let solve_instance ?timeout (cfg : Encode.config) spec =
   let solver = Solver.create () in
   let builder = Builder.create ~solver () in
@@ -83,7 +100,7 @@ let pp_attempt ppf a =
    SAT. *)
 let minimize ?(timeout_per_call = 60.) ?max_rops ?(max_steps = 0) ?legs_of
     ?(rop_kind = Rop.Nor) ?(taps = Encode.Any_vop) ?(symmetry_breaking = true)
-    ?(incremental = true) ?(racing = false) ?lookup ?store spec =
+    ?(incremental = true) ?(racing = false) ?prove ?lookup ?store spec =
   let max_steps =
     if max_steps > 0 then max_steps else Spec.arity spec + 2
   in
@@ -95,7 +112,9 @@ let minimize ?(timeout_per_call = 60.) ?max_rops ?(max_steps = 0) ?legs_of
     | Some f -> f
     | None -> fun n_rops -> default_legs spec ~n_rops
   in
-  let racing = racing && incremental in
+  (* A prove orchestrator already runs its own workers on the pool; racing
+     a speculative ladder on top would oversubscribe it. *)
+  let racing = racing_usable ~racing && incremental && prove = None in
   let make_ladder enc_rops =
     let max_legs = ref 0 in
     for r = 0 to enc_rops do
@@ -151,10 +170,13 @@ let minimize ?(timeout_per_call = 60.) ?max_rops ?(max_steps = 0) ?legs_of
         | Some a -> a
         | None ->
           let a =
-            if incremental then
-              Ladder.solve_point ~timeout:timeout_per_call
-                (ladder_for ladder ~n_rops) ~n_legs ~steps ~n_rops
-            else solve_instance ~timeout:timeout_per_call cfg spec
+            match prove with
+            | Some p -> p ~timeout:timeout_per_call cfg
+            | None ->
+              if incremental then
+                Ladder.solve_point ~timeout:timeout_per_call
+                  (ladder_for ladder ~n_rops) ~n_legs ~steps ~n_rops
+              else solve_instance ~timeout:timeout_per_call cfg spec
           in
           (match store with Some g -> g cfg a | None -> ());
           a
@@ -272,7 +294,8 @@ let minimize ?(timeout_per_call = 60.) ?max_rops ?(max_steps = 0) ?legs_of
     }
 
 let minimize_r_only ?(timeout_per_call = 60.) ?max_rops ?(rop_kind = Rop.Nor)
-    ?(symmetry_breaking = true) ?(incremental = true) ?lookup ?store spec =
+    ?(symmetry_breaking = true) ?(incremental = true) ?prove ?lookup ?store
+    spec =
   let baseline = Baseline.nor_network spec in
   let max_rops =
     match max_rops with Some m -> m | None -> Circuit.n_rops baseline
@@ -294,10 +317,13 @@ let minimize_r_only ?(timeout_per_call = 60.) ?max_rops ?(rop_kind = Rop.Nor)
       | Some a -> a
       | None ->
         let a =
-          if incremental then
-            Ladder.solve_point ~timeout:timeout_per_call (Lazy.force ladder)
-              ~n_legs:0 ~steps:0 ~n_rops
-          else solve_instance ~timeout:timeout_per_call cfg spec
+          match prove with
+          | Some p -> p ~timeout:timeout_per_call cfg
+          | None ->
+            if incremental then
+              Ladder.solve_point ~timeout:timeout_per_call (Lazy.force ladder)
+                ~n_legs:0 ~steps:0 ~n_rops
+            else solve_instance ~timeout:timeout_per_call cfg spec
         in
         (match store with Some g -> g cfg a | None -> ());
         a

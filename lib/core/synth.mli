@@ -73,6 +73,18 @@ type report = {
     [racing] (off by default, implies [incremental]) overlaps each frontier
     point with its successor on a second ladder instance in its own domain,
     cancelling the loser through the solver's cooperative [stop] hook.
+    Racing is automatically disabled — with a once-per-process warning —
+    when [Domain.recommended_domain_count () < 2]: on a 1-core host the
+    speculative ladder just steals the core (measured ~1.0x in
+    BENCH_ladder).
+
+    [prove] delegates each budget point to an external proof orchestrator
+    (see [Mm_prove]): when given, it replaces both the ladder and the
+    monolithic path for fresh solves — [lookup]/[store] and the in-call
+    memo still apply — and forces [racing] off (the orchestrator runs its
+    own workers). The hook receives the per-call timeout and the exact
+    {!Encode.config} of the requested point and must return a faithful
+    {!attempt} (a [Sat] verdict must carry a circuit valid for [spec]).
 
     Result reuse: dimensions already answered inside this call (possible
     when a custom [legs_of] maps different N_R to identical N_L) are never
@@ -92,6 +104,7 @@ val minimize :
   ?symmetry_breaking:bool ->
   ?incremental:bool ->
   ?racing:bool ->
+  ?prove:(timeout:float -> Encode.config -> attempt) ->
   ?lookup:(Encode.config -> attempt option) ->
   ?store:(Encode.config -> attempt -> unit) ->
   Spec.t ->
@@ -107,6 +120,7 @@ val minimize_r_only :
   ?rop_kind:Rop.kind ->
   ?symmetry_breaking:bool ->
   ?incremental:bool ->
+  ?prove:(timeout:float -> Encode.config -> attempt) ->
   ?lookup:(Encode.config -> attempt option) ->
   ?store:(Encode.config -> attempt -> unit) ->
   Spec.t ->

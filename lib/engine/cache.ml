@@ -9,9 +9,15 @@ let magic = "MMSYNTH-ENGINE-CACHE"
    v4: the sharded overlay layout. A v4 file is one shard of a directory
    of shards and carries an extra (index, of_k) header after the version;
    the record framing is unchanged. Single-file caches keep writing v3, so
-   legacy caches and the tools that read them are untouched. *)
-let format_version = 3
-let shard_format_version = 4
+   legacy caches and the tools that read them are untouched.
+   v5 (single-file) / v6 (shard): Solver.stats grew restarts and
+   imported_clauses (proof layer), changing the Marshal layout again —
+   older files are quarantined on load exactly like the v2→v3 bump. The
+   bump also rides a record-framing change: records are now raw
+   digest ‖ length ‖ payload frames (see the layout comment below) so
+   the digest is verified before any byte reaches Marshal. *)
+let format_version = 5
+let shard_format_version = 6
 
 type entry = { budget : float; attempt : Synth.attempt }
 
@@ -79,15 +85,21 @@ type t = {
 
 (* On-disk layout:
      magic bytes
-     Marshal int                          -- format version (3 or 4)
-     Marshal (int * int)                  -- v4 only: (shard index, of_k)
+     Marshal int                          -- format version (5 or 6)
+     Marshal (int * int)                  -- v6 only: (shard index, of_k)
      record*                              -- until EOF
-   where each record is Marshal (digest, payload): payload the marshalled
-   (key, entry) pair, digest its MD5. The digest detects flipped payload
-   bytes that still unmarshal; Marshal's own framing detects truncation.
-   A record that fails its digest is skipped (framing is intact, the next
-   record may be fine); a record that fails to unmarshal ends the read —
-   everything after a torn frame is unreliable. *)
+   where each record is raw framing we control end to end:
+     16 bytes   MD5 digest of the payload
+      8 bytes   big-endian payload length
+      N bytes   payload = Marshal (key, entry)
+   The digest is checked BEFORE the payload is unmarshalled — Marshal is
+   not memory-safe on attacker-chosen bytes (a corrupted frame can crash
+   the decoder outright), so the only bytes it ever decodes are ones the
+   digest proves we wrote. A record that fails its digest is skipped at
+   its recorded length (a payload flip leaves framing intact, the next
+   record may be fine); an implausible length or short read means the
+   framing itself is torn and ends the read — everything after it is
+   unreliable. *)
 
 type raw_read =
   | R_fresh
@@ -96,23 +108,40 @@ type raw_read =
   | R_corrupt
   | R_salvaged of int * int
 
+(* A length larger than this is a torn frame, not a record: no marshalled
+   (key, entry) pair comes anywhere near it, and trusting a corrupted
+   length would make the reader allocate garbage-sized buffers. *)
+let max_record_payload = 1 lsl 26
+
 let read_records ic table =
   let kept = ref 0 and dropped = ref 0 and torn = ref false in
   let reading = ref true in
   while !reading do
-    match (Marshal.from_channel ic : Digest.t * string) with
+    match really_input_string ic 16 with
     | exception End_of_file -> reading := false
-    | exception Failure _ ->
-      torn := true;
-      reading := false
-    | digest, payload ->
-      if Digest.string payload = digest then (
-        match (Marshal.from_string payload 0 : string * entry) with
-        | k, e ->
-          Hashtbl.replace table k e;
-          incr kept
-        | exception Failure _ -> incr dropped)
-      else incr dropped
+    | digest -> (
+      match really_input_string ic 8 with
+      | exception End_of_file ->
+        torn := true;
+        reading := false
+      | lenb ->
+        let len = Int64.to_int (String.get_int64_be lenb 0) in
+        if len < 0 || len > max_record_payload then (
+          torn := true;
+          reading := false)
+        else
+          match really_input_string ic len with
+          | exception End_of_file ->
+            torn := true;
+            reading := false
+          | payload ->
+            if Digest.string payload = digest then (
+              match (Marshal.from_string payload 0 : string * entry) with
+              | k, e ->
+                Hashtbl.replace table k e;
+                incr kept
+              | exception Failure _ -> incr dropped)
+            else incr dropped)
   done;
   if !torn || !dropped > 0 then
     R_salvaged (!kept, !dropped + if !torn then 1 else 0)
@@ -478,7 +507,11 @@ let write_file ~version ?shard p iter =
   Option.iter (fun hdr -> Marshal.to_channel oc (hdr : int * int) []) shard;
   iter (fun k e ->
       let payload = Marshal.to_string (k, e) [] in
-      Marshal.to_channel oc (Digest.string payload, payload) []);
+      output_string oc (Digest.string payload);
+      let lenb = Bytes.create 8 in
+      Bytes.set_int64_be lenb 0 (Int64.of_int (String.length payload));
+      output_bytes oc lenb;
+      output_string oc payload);
   close_out oc;
   Sys.rename tmp p
 

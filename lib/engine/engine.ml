@@ -22,18 +22,23 @@ type config = {
   fallback : degrade;
   fault : Fault.t option;
   incremental : bool;
+  (* A proof-orchestrator factory ([Mm_prove] lives above this library, so
+     it arrives as a closure): given the solve target, yields the
+     [Synth.minimize ?prove] hook that replaces per-point solving. *)
+  prove :
+    (Spec.t -> timeout:float -> Mm_core.Encode.config -> Synth.attempt) option;
 }
 
 let config ?(rop_kind = Mm_core.Rop.Nor) ?(taps = Mm_core.Encode.Any_vop)
     ?(timeout_per_call = 60.) ?max_rops ?max_steps
     ?(domains = Pool.default_domains ()) ?(canonicalize = true) ?cache
     ?deadline ?(retries = 1) ?(retry_backoff_s = 0.05)
-    ?(fallback = No_fallback) ?fault ?(incremental = true) () =
+    ?(fallback = No_fallback) ?fault ?(incremental = true) ?prove () =
   { rop_kind; taps; timeout_per_call; max_rops; max_steps;
     domains = max 1 domains; canonicalize; cache;
     deadline; retries = max 0 retries;
     retry_backoff_s = Float.max 0. retry_backoff_s; fallback; fault;
-    incremental }
+    incremental; prove }
 
 type provenance = Exact | From_atlas | Via_baseline | Via_heuristic
 
@@ -66,6 +71,8 @@ type summary = {
   solves_per_s : float;
   solver_calls : int;
   propagations : int;
+  restarts : int;
+  imported_clauses : int;
   peak_learnts : int;
   props_per_s : float;
   cache : Cache.counters option;
@@ -241,8 +248,9 @@ let run (cfg : config) specs =
                 in
                 Synth.minimize ~timeout_per_call:budget ?max_rops:cfg.max_rops
                   ?max_steps:cfg.max_steps ~rop_kind:cfg.rop_kind
-                  ~taps:cfg.taps ~incremental:cfg.incremental ?lookup ?store
-                  target
+                  ~taps:cfg.taps ~incremental:cfg.incremental
+                  ?prove:(Option.map (fun f -> f target) cfg.prove)
+                  ?lookup ?store target
               end
             in
             Deadline.finish mgr;
@@ -397,19 +405,22 @@ let run (cfg : config) specs =
         then incr unsat
         else incr timeout)
     results;
-  let solver_calls, propagations, peak_learnts =
+  let solver_calls, propagations, restarts, imported_clauses, peak_learnts =
     Array.fold_left
-      (fun (calls, props, peak) o ->
+      (fun (calls, props, rst, imp, peak) o ->
         match o with
         | Some { Pool.result = Ok (Solved r); _ } ->
           List.fold_left
-            (fun (calls, props, peak) a ->
+            (fun (calls, props, rst, imp, peak) a ->
+              let st = a.Synth.solver_stats in
               ( calls + 1,
-                props + a.Synth.solver_stats.Mm_sat.Solver.propagations,
-                max peak a.Synth.solver_stats.Mm_sat.Solver.peak_learnts ))
-            (calls, props, peak) r.Synth.attempts
-        | Some _ | None -> (calls, props, peak))
-      (0, 0, 0) outcomes
+                props + st.Mm_sat.Solver.propagations,
+                rst + st.Mm_sat.Solver.restarts,
+                imp + st.Mm_sat.Solver.imported_clauses,
+                max peak st.Mm_sat.Solver.peak_learnts ))
+            (calls, props, rst, imp, peak) r.Synth.attempts
+        | Some _ | None -> (calls, props, rst, imp, peak))
+      (0, 0, 0, 0, 0) outcomes
   in
   let summary =
     {
@@ -428,6 +439,8 @@ let run (cfg : config) specs =
          else 0.);
       solver_calls;
       propagations;
+      restarts;
+      imported_clauses;
       peak_learnts;
       props_per_s =
         (if wall_s > 0. then float_of_int propagations /. wall_s else 0.);
@@ -487,15 +500,17 @@ let probe_class ?(r_only = false) (cfg : config) spec =
             Cache.add c ~timeout:cfg.timeout_per_call (Cache.key ecfg target) a)
       )
   in
+  let prove = Option.map (fun f -> f target) cfg.prove in
   let report =
     if r_only then
       Synth.minimize_r_only ~timeout_per_call:cfg.timeout_per_call
         ?max_rops:cfg.max_rops ~rop_kind:cfg.rop_kind
-        ~incremental:cfg.incremental ?lookup ?store target
+        ~incremental:cfg.incremental ?prove ?lookup ?store target
     else
       Synth.minimize ~timeout_per_call:cfg.timeout_per_call
         ?max_rops:cfg.max_rops ?max_steps:cfg.max_steps ~rop_kind:cfg.rop_kind
-        ~taps:cfg.taps ~incremental:cfg.incremental ?lookup ?store target
+        ~taps:cfg.taps ~incremental:cfg.incremental ?prove ?lookup ?store
+        target
   in
   match report.Synth.best with
   | None -> None
@@ -516,8 +531,8 @@ let probe_class ?(r_only = false) (cfg : config) spec =
 let empty_summary =
   { functions = 0; classes = 0; sat = 0; atlas = 0; unsat = 0; timeout = 0;
     fallbacks = 0; retries_used = 0; deadline_hit = false; wall_s = 0.;
-    solves_per_s = 0.; solver_calls = 0; propagations = 0; peak_learnts = 0;
-    props_per_s = 0.; cache = None }
+    solves_per_s = 0.; solver_calls = 0; propagations = 0; restarts = 0;
+    imported_clauses = 0; peak_learnts = 0; props_per_s = 0.; cache = None }
 
 let add_summary a b =
   let cache =
@@ -549,6 +564,8 @@ let add_summary a b =
        else 0.);
     solver_calls = a.solver_calls + b.solver_calls;
     propagations = a.propagations + b.propagations;
+    restarts = a.restarts + b.restarts;
+    imported_clauses = a.imported_clauses + b.imported_clauses;
     peak_learnts = max a.peak_learnts b.peak_learnts;
     props_per_s =
       (if wall_s > 0. then
@@ -561,7 +578,8 @@ let stats_to_json s =
   let open Mm_report.Json in
   Obj
     [
-      ("schema", String "mmsynth-stats-v3");
+      (* v4: restarts + imported_clauses counters (proof layer) *)
+      ("schema", String "mmsynth-stats-v4");
       ("functions", Int s.functions);
       ("classes", Int s.classes);
       ("sat", Int s.sat);
@@ -575,6 +593,8 @@ let stats_to_json s =
       ("solves_per_s", Float s.solves_per_s);
       ("solver_calls", Int s.solver_calls);
       ("propagations", Int s.propagations);
+      ("restarts", Int s.restarts);
+      ("imported_clauses", Int s.imported_clauses);
       ("peak_learnts", Int s.peak_learnts);
       ("props_per_s", Float s.props_per_s);
       ( "cache",
@@ -597,9 +617,12 @@ let pp_summary ppf s =
      %.2fs wall (%.1f functions/s, %d solver calls)"
     s.functions s.classes s.sat s.atlas s.unsat s.timeout s.wall_s
     s.solves_per_s s.solver_calls;
-  if s.propagations > 0 then
+  if s.propagations > 0 then begin
     Format.fprintf ppf "@.solver: %d propagations (%.0f/s), peak learnt DB %d"
       s.propagations s.props_per_s s.peak_learnts;
+    if s.imported_clauses > 0 then
+      Format.fprintf ppf ", %d imported clauses" s.imported_clauses
+  end;
   if s.fallbacks > 0 || s.retries_used > 0 || s.deadline_hit then
     Format.fprintf ppf
       "@.robustness: %d fallback circuits, %d retries%s"

@@ -1,0 +1,221 @@
+(* Cube-and-conquer over Φ's operation-selector groups.
+
+   Splitting: Encode.cube_groups returns complete exactly-one selector
+   banks (first-leg first-step TE selectors first — the bank the leg-order
+   symmetry constraint is anchored on). Asserting each member of a bank in
+   turn yields cubes that are exhaustive (all-false is forbidden by the
+   exactly-one constraint) and mutually exclusive; deeper splits take the
+   cartesian product of the first [depth] banks.
+
+   Conquering: N workers share an atomic cube counter. Each worker builds
+   its own copy of Φ (same deterministic Encode.build, same variable
+   numbering) once and then solves cubes as assumption jobs on that one
+   solver, keeping its learnt clauses across cubes. A SAT cube ends the
+   race through the shared cancel flag; a refuted cube contributes its
+   failed-assumption core.
+
+   Certificates: for cube c_i refuted with core K_i ⊆ c_i (the instance
+   carries no assumptions beyond the cube), the fold ∪_i (K_i \ c_i) over
+   ALL cubes is a valid failed-assumption core for Φ itself: every model
+   of Φ satisfies exactly one cube, and that cube is refuted. With no
+   extra assumptions the fold is empty — the ladder's "UNSAT under every
+   assignment" certificate. A fold over a strict subset of the cubes
+   proves nothing about Φ, so any cancelled or unattempted cube forces
+   [certificate = None] (and verdict Timeout). *)
+
+module Spec = Mm_boolfun.Spec
+module Solver = Mm_sat.Solver
+module Lit = Mm_sat.Lit
+module Builder = Mm_cnf.Builder
+module Encode = Mm_core.Encode
+module Synth = Mm_core.Synth
+module Circuit = Mm_core.Circuit
+module Pool = Mm_engine.Pool
+
+let zero_stats =
+  {
+    Solver.conflicts = 0;
+    decisions = 0;
+    propagations = 0;
+    restarts = 0;
+    imported_clauses = 0;
+    learnt_clauses = 0;
+    peak_learnts = 0;
+    props_per_s = 0.;
+  }
+
+let add_stats (a : Solver.stats) (b : Solver.stats) =
+  {
+    Solver.conflicts = a.conflicts + b.conflicts;
+    decisions = a.decisions + b.decisions;
+    propagations = a.propagations + b.propagations;
+    restarts = a.restarts + b.restarts;
+    imported_clauses = a.imported_clauses + b.imported_clauses;
+    learnt_clauses = a.learnt_clauses + b.learnt_clauses;
+    peak_learnts = max a.peak_learnts b.peak_learnts;
+    props_per_s = 0.;
+  }
+
+(* The cube set of an instance: cartesian product of the first [depth]
+   selector banks, each literal asserted positively. [[]] (one empty cube)
+   when the instance has nothing to split on — the conquer loop then
+   degrades to a single unsplit solve, which keeps [solve] total. *)
+let cubes ?(depth = 1) (cfg : Encode.config) spec =
+  let b = Builder.create () in
+  let layout = Encode.build b cfg spec in
+  let groups = Encode.cube_groups layout in
+  let rec take k = function
+    | g :: rest when k > 0 -> g :: take (k - 1) rest
+    | _ -> []
+  in
+  let groups = take (max 1 depth) groups in
+  List.fold_left
+    (fun acc group ->
+      List.concat_map
+        (fun cube ->
+          Array.to_list (Array.map (fun v -> cube @ [ Lit.pos v ]) group))
+        acc)
+    [ [] ] groups
+
+type outcome = {
+  attempt : Synth.attempt;
+  cubes_total : int;
+  cubes_refuted : int;
+  sat_cube : int option;  (** index of the satisfiable cube, if any *)
+  certificate : Lit.t list option;
+      (** a ladder-compatible failed-assumption core for the whole Φ —
+          present {e only} when every cube was refuted *)
+}
+
+type cube_result =
+  | Refuted of Lit.t list  (* failed-assumption core *)
+  | Satisfied of Circuit.t
+  | Abandoned  (* cancelled / out of budget before an answer *)
+
+let solve ?(workers = 4) ?seed ?(depth = 1) ?timeout ?stop
+    (cfg : Encode.config) spec =
+  if workers <= 0 then invalid_arg "Cube.solve: workers must be positive";
+  let t0 = Unix.gettimeofday () in
+  let deadline = Option.map (fun s -> t0 +. s) timeout in
+  let cube_list = cubes ~depth cfg spec in
+  let cube_arr = Array.of_list cube_list in
+  let n_cubes = Array.length cube_arr in
+  let next = Atomic.make 0 in
+  let cancel = Atomic.make false in
+  let sat_cube = Atomic.make (-1) in
+  let stop_w () =
+    Atomic.get cancel || (match stop with Some f -> f () | None -> false)
+  in
+  (* Workers get distinct solver seeds so two workers grinding through
+     sibling cubes do not mirror each other's decision order; everything
+     is still deterministic per (seed, cube assignment). *)
+  let base_seed = match seed with Some s -> s | None -> 0 in
+  let job w () =
+    let config = { Solver.default_config with seed = base_seed + w } in
+    let solver = Solver.create ~config () in
+    let builder = Builder.create ~solver () in
+    let layout = Encode.build builder cfg spec in
+    let results = ref [] in
+    let running = ref true in
+    while !running do
+      let i = Atomic.fetch_and_add next 1 in
+      if i >= n_cubes || stop_w () then running := false
+      else begin
+        let budget =
+          Option.map (fun d -> max 0.01 (d -. Unix.gettimeofday ())) deadline
+        in
+        let r =
+          Solver.solve ~assumptions:cube_arr.(i) ?timeout:budget ~stop:stop_w
+            solver
+        in
+        match r with
+        | Solver.Sat ->
+          let circuit = Encode.decode layout ~value:(Solver.value_var solver) in
+          (match Circuit.realizes circuit spec with
+           | Ok () ->
+             ignore (Atomic.compare_and_set sat_cube (-1) i);
+             Atomic.set cancel true;
+             results := (i, Satisfied circuit) :: !results;
+             running := false
+           | Error row ->
+             failwith
+               (Printf.sprintf "Cube: decoded circuit wrong on row %d" row))
+        | Solver.Unsat ->
+          results := (i, Refuted (Solver.failed_assumptions solver)) :: !results
+        | Solver.Unknown ->
+          (* budget or cancellation — this cube has no answer *)
+          results := (i, Abandoned) :: !results;
+          running := false
+      end
+    done;
+    (!results, Solver.stats solver, Builder.num_vars builder,
+     Builder.num_clauses builder)
+  in
+  let outcomes = Pool.run ~domains:workers (Array.init workers job) in
+  let time_s = Unix.gettimeofday () -. t0 in
+  (* Aggregate. Crashed workers contribute nothing: their claimed cubes
+     stay unanswered, which correctly blocks any certificate. *)
+  let per_cube = Array.make n_cubes Abandoned in
+  let stats = ref zero_stats in
+  let vars = ref 0 and clauses = ref 0 in
+  Array.iter
+    (fun (o : _ Pool.outcome) ->
+      match o.Pool.result with
+      | Error _ -> ()
+      | Ok (results, st, v, c) ->
+        stats := add_stats !stats st;
+        vars := max !vars v;
+        clauses := max !clauses c;
+        List.iter (fun (i, r) -> per_cube.(i) <- r) results)
+    outcomes;
+  if !vars = 0 then begin
+    let v, c = Encode.size cfg spec in
+    vars := v;
+    clauses := c
+  end;
+  let refuted = ref 0 in
+  let sat_circuit = ref None in
+  let all_refuted = ref true in
+  let cert = ref [] in
+  Array.iteri
+    (fun i r ->
+      match r with
+      | Refuted core ->
+        incr refuted;
+        (* fold: core_i \ cube_i — empty in instance mode, where the cube
+           is the entire assumption set, making the fold the ladder's
+           "UNSAT under every assignment" certificate *)
+        List.iter
+          (fun l ->
+            if (not (List.mem l cube_arr.(i))) && not (List.mem l !cert) then
+              cert := l :: !cert)
+          core
+      | Satisfied c -> if !sat_circuit = None then sat_circuit := Some c
+      | Abandoned -> all_refuted := false)
+    per_cube;
+  let verdict, certificate =
+    match !sat_circuit with
+    | Some c -> (Synth.Sat c, None)
+    | None ->
+      if !all_refuted && n_cubes > 0 then (Synth.Unsat, Some (List.rev !cert))
+      else (Synth.Timeout, None)
+  in
+  let attempt =
+    {
+      Synth.n_legs = cfg.Encode.n_legs;
+      steps_per_leg = cfg.Encode.steps_per_leg;
+      n_rops = cfg.Encode.n_rops;
+      verdict;
+      vars = !vars;
+      clauses = !clauses;
+      time_s;
+      solver_stats = !stats;
+    }
+  in
+  {
+    attempt;
+    cubes_total = n_cubes;
+    cubes_refuted = !refuted;
+    sat_cube = (let i = Atomic.get sat_cube in if i >= 0 then Some i else None);
+    certificate;
+  }

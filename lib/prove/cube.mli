@@ -1,0 +1,52 @@
+(** Cube-and-conquer over Φ's operation-selector groups.
+
+    [cubes] splits an instance on complete exactly-one selector banks
+    ({!Mm_core.Encode.cube_groups}): the cubes are exhaustive and mutually
+    exclusive by construction. [solve] conquers them as independent
+    assumption jobs on [workers] domains sharing an atomic cube counter —
+    each worker keeps one solver (and its learnt clauses) across all the
+    cubes it claims.
+
+    Verdicts: a SAT cube is a SAT answer for Φ (decoded and re-verified).
+    All cubes refuted is an UNSAT answer, with a folded certificate in the
+    ladder's failed-assumption-core format: the union of each core minus
+    its own cube — empty in instance mode, i.e. "UNSAT under every
+    assignment". Any cube left unanswered (cancellation, budget, worker
+    crash) makes the verdict [Timeout] with [certificate = None]: a fold
+    over a strict subset of the cubes proves nothing about Φ. *)
+
+module Spec = Mm_boolfun.Spec
+module Lit = Mm_sat.Lit
+module Encode = Mm_core.Encode
+module Synth = Mm_core.Synth
+
+(** The cube set: cartesian product of the first [depth] (default 1)
+    selector banks, positively asserted. Returns [[[]]] — one empty cube,
+    degrading {!solve} to a single unsplit job — when the instance has no
+    splittable group. *)
+val cubes : ?depth:int -> Encode.config -> Spec.t -> Lit.t list list
+
+type outcome = {
+  attempt : Synth.attempt;
+  cubes_total : int;
+  cubes_refuted : int;
+  sat_cube : int option;  (** index of the satisfiable cube, if any *)
+  certificate : Lit.t list option;
+      (** ladder-compatible core for Φ itself; present {e only} when every
+          cube was refuted *)
+}
+
+(** [solve cfg spec] runs the conquer loop. [workers] defaults to 4;
+    [seed] diversifies the per-worker solver seeds (worker [w] runs seed
+    [seed + w], recorded provenance-style via determinism of the
+    assignment). The attempt's [solver_stats] are summed across
+    workers. *)
+val solve :
+  ?workers:int ->
+  ?seed:int ->
+  ?depth:int ->
+  ?timeout:float ->
+  ?stop:(unit -> bool) ->
+  Encode.config ->
+  Spec.t ->
+  outcome

@@ -1,0 +1,203 @@
+(* Diversified SAT portfolio over one Φ instance.
+
+   Every worker rebuilds the same formula through the same deterministic
+   Encode.build — identical variable numbering — then searches it under a
+   different Solver.config (seed, polarity noise, restart schedule, phase
+   init, VSIDS jitter). Workers share short learnt clauses through a
+   Mm_cnf.Exchange and race to the first definitive verdict; the winner
+   cancels the rest through the solver's cooperative stop hook. Any single
+   verdict is reproducible without the portfolio: re-run the winner's
+   recorded config alone (see [replay]) — the only nondeterministic input,
+   the imported-clause stream, can only prune the search, never change a
+   verdict (shared clauses are implied by Φ). *)
+
+module Spec = Mm_boolfun.Spec
+module Solver = Mm_sat.Solver
+module Builder = Mm_cnf.Builder
+module Exchange = Mm_cnf.Exchange
+module Encode = Mm_core.Encode
+module Synth = Mm_core.Synth
+module Circuit = Mm_core.Circuit
+module Pool = Mm_engine.Pool
+
+type worker_config = { label : string; config : Solver.config }
+
+let zero_stats =
+  {
+    Solver.conflicts = 0;
+    decisions = 0;
+    propagations = 0;
+    restarts = 0;
+    imported_clauses = 0;
+    learnt_clauses = 0;
+    peak_learnts = 0;
+    props_per_s = 0.;
+  }
+
+(* The diversification table. Worker 0 always runs the exact default
+   configuration: the portfolio is then never slower in total work than
+   the single-core solver by more than the sharing overhead, and its
+   verdict stream contains the sequential solver's verdict stream. The
+   other presets change one search dimension each — restart shape, phase
+   memory, polarity noise, VSIDS tie-breaking — so the workers explore
+   genuinely different parts of the search tree rather than shifted copies
+   of the same one. Every preset derives its randomness from [seed + w],
+   recorded in the config itself, so provenance is complete. *)
+let diversify ?(seed = 0) ~n () =
+  if n <= 0 then invalid_arg "Portfolio.diversify: n must be positive";
+  let d = Solver.default_config in
+  Array.init n (fun w ->
+      let s = seed + w in
+      match w mod 6 with
+      | 0 -> { label = "default"; config = { d with seed = s } }
+      | 1 ->
+        { label = "geometric";
+          config = { d with seed = s; restart = Solver.Geometric } }
+      | 2 ->
+        { label = "noisy-polarity";
+          config = { d with seed = s; random_polarity = 0.02; var_jitter = 0.1 } }
+      | 3 ->
+        { label = "phase-true";
+          config = { d with seed = s; phase_init = true; restart_base = 50 } }
+      | 4 ->
+        { label = "wild-polarity";
+          config =
+            { d with seed = s; random_polarity = 0.05;
+              restart = Solver.Geometric; restart_base = 200 } }
+      | _ ->
+        { label = "jitter";
+          config = { d with seed = s; var_jitter = 1.0; restart_base = 200 } })
+
+type outcome = {
+  attempt : Synth.attempt;
+  winner : worker_config option;  (** [None] when every worker timed out *)
+  winner_index : int;  (** -1 when every worker timed out *)
+  exchange : Exchange.stats;
+}
+
+(* One worker's report, produced entirely on its own domain. *)
+type worker_report = {
+  w_verdict : Synth.verdict;
+  w_stats : Solver.stats;
+  w_vars : int;
+  w_clauses : int;
+}
+
+let solve_one ~config ?timeout ?stop (cfg : Encode.config) spec ~attach =
+  let solver = Solver.create ~config () in
+  let builder = Builder.create ~solver () in
+  let layout = Encode.build builder cfg spec in
+  attach solver;
+  let result = Solver.solve ?timeout ?stop solver in
+  let verdict =
+    match result with
+    | Solver.Sat ->
+      let circuit = Encode.decode layout ~value:(Solver.value_var solver) in
+      (match Circuit.realizes circuit spec with
+       | Ok () -> Synth.Sat circuit
+       | Error row ->
+         failwith
+           (Printf.sprintf
+              "Portfolio: decoded circuit wrong on row %d (encoder bug)" row))
+    | Solver.Unsat -> Synth.Unsat
+    | Solver.Unknown -> Synth.Timeout
+  in
+  {
+    w_verdict = verdict;
+    w_stats = Solver.stats solver;
+    w_vars = Builder.num_vars builder;
+    w_clauses = Builder.num_clauses builder;
+  }
+
+(* Replay path for satellite reproducibility: the winner's config alone,
+   single solver, no exchange. Must agree with the portfolio verdict. *)
+let replay ?timeout ?stop ~config (cfg : Encode.config) spec =
+  let t0 = Unix.gettimeofday () in
+  let r = solve_one ~config ?timeout ?stop cfg spec ~attach:(fun _ -> ()) in
+  {
+    Synth.n_legs = cfg.Encode.n_legs;
+    steps_per_leg = cfg.Encode.steps_per_leg;
+    n_rops = cfg.Encode.n_rops;
+    verdict = r.w_verdict;
+    vars = r.w_vars;
+    clauses = r.w_clauses;
+    time_s = Unix.gettimeofday () -. t0;
+    solver_stats = r.w_stats;
+  }
+
+let solve ?(workers = 4) ?seed ?(exchange_lbd = 4) ?timeout ?stop
+    (cfg : Encode.config) spec =
+  if workers <= 0 then invalid_arg "Portfolio.solve: workers must be positive";
+  let t0 = Unix.gettimeofday () in
+  let configs = diversify ?seed ~n:workers () in
+  let exchange = Exchange.create ~max_lbd:exchange_lbd ~workers () in
+  let cancel = Atomic.make false in
+  let winner = Atomic.make (-1) in
+  let stop_w () =
+    Atomic.get cancel || (match stop with Some f -> f () | None -> false)
+  in
+  let job w () =
+    let r =
+      solve_one ~config:configs.(w).config ?timeout ~stop:stop_w cfg spec
+        ~attach:(fun solver -> Exchange.attach exchange ~worker:w solver)
+    in
+    (match r.w_verdict with
+     | Synth.Sat _ | Synth.Unsat ->
+       if Atomic.compare_and_set winner (-1) w then Atomic.set cancel true
+     | Synth.Timeout -> ());
+    r
+  in
+  let outcomes = Pool.run ~domains:workers (Array.init workers job) in
+  let time_s = Unix.gettimeofday () -. t0 in
+  let report_of w =
+    match outcomes.(w).Pool.result with Ok r -> Some r | Error _ -> None
+  in
+  (* The CAS winner holds the first definitive verdict. When no worker won
+     (all timed out or crashed), fall back to worker 0's report for the
+     stats and dimensions, or synthesize a bare timeout if even that
+     crashed. *)
+  let widx = Atomic.get winner in
+  let chosen = if widx >= 0 then report_of widx else None in
+  let fallback =
+    match chosen with
+    | Some _ -> chosen
+    | None ->
+      let rec first w =
+        if w >= workers then None
+        else match report_of w with Some r -> Some r | None -> first (w + 1)
+      in
+      first 0
+  in
+  let attempt =
+    match fallback with
+    | Some r ->
+      {
+        Synth.n_legs = cfg.Encode.n_legs;
+        steps_per_leg = cfg.Encode.steps_per_leg;
+        n_rops = cfg.Encode.n_rops;
+        verdict = (if widx >= 0 then r.w_verdict else Synth.Timeout);
+        vars = r.w_vars;
+        clauses = r.w_clauses;
+        time_s;
+        solver_stats = r.w_stats;
+      }
+    | None ->
+      (* every worker crashed — surface as a timeout with empty stats *)
+      let vars, clauses = Encode.size cfg spec in
+      {
+        Synth.n_legs = cfg.Encode.n_legs;
+        steps_per_leg = cfg.Encode.steps_per_leg;
+        n_rops = cfg.Encode.n_rops;
+        verdict = Synth.Timeout;
+        vars;
+        clauses;
+        time_s;
+        solver_stats = zero_stats;
+      }
+  in
+  {
+    attempt;
+    winner = (if widx >= 0 then Some configs.(widx) else None);
+    winner_index = widx;
+    exchange = Exchange.stats exchange;
+  }

@@ -1,0 +1,60 @@
+(** Diversified SAT portfolio over one Φ instance.
+
+    [solve] races [workers] independent solvers — identical formula and
+    variable numbering (same deterministic {!Mm_core.Encode.build}),
+    different {!Mm_sat.Solver.config} — with learnt-clause sharing through
+    a {!Mm_cnf.Exchange} and first-definitive-verdict-wins cancellation.
+    Sound for both answers: a SAT model is decoded and re-verified on the
+    winning worker; an UNSAT is a refutation of the same Φ every worker
+    built.
+
+    Reproducibility: diversification is a pure function of [seed], and the
+    winning worker's full config is returned — {!replay} re-runs it alone,
+    single-core, and must reach the same verdict (imported clauses can
+    only prune a search, never flip an answer). *)
+
+module Spec = Mm_boolfun.Spec
+module Solver = Mm_sat.Solver
+module Encode = Mm_core.Encode
+module Synth = Mm_core.Synth
+
+type worker_config = { label : string; config : Solver.config }
+
+(** [diversify ~n ()] is the portfolio's configuration table: worker 0 is
+    exactly {!Mm_sat.Solver.default_config} (plus [seed]); the others each
+    vary one search dimension (restart schedule, polarity noise, phase
+    init, VSIDS jitter), seeded with [seed + w]. Deterministic. *)
+val diversify : ?seed:int -> n:int -> unit -> worker_config array
+
+type outcome = {
+  attempt : Synth.attempt;
+  winner : worker_config option;  (** [None] when every worker timed out *)
+  winner_index : int;  (** -1 when every worker timed out *)
+  exchange : Mm_cnf.Exchange.stats;
+}
+
+(** [solve cfg spec] races the portfolio on Φ(cfg, spec). [workers]
+    defaults to 4, [exchange_lbd] (sharing quality cap) to 4. [timeout]
+    and [stop] are per the underlying solver; a cancelled or exhausted
+    portfolio reports a [Timeout] attempt. The attempt's [solver_stats]
+    are the winning worker's (imported_clauses included). *)
+val solve :
+  ?workers:int ->
+  ?seed:int ->
+  ?exchange_lbd:int ->
+  ?timeout:float ->
+  ?stop:(unit -> bool) ->
+  Encode.config ->
+  Spec.t ->
+  outcome
+
+(** [replay ~config cfg spec] re-runs one configuration alone — fresh
+    solver, no exchange, single domain. Used to reproduce any portfolio
+    verdict from its recorded provenance. *)
+val replay :
+  ?timeout:float ->
+  ?stop:(unit -> bool) ->
+  config:Solver.config ->
+  Encode.config ->
+  Spec.t ->
+  Synth.attempt

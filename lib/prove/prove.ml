@@ -1,0 +1,148 @@
+(* Proof orchestration: one entry point over the portfolio and the
+   cube-and-conquer engines, shaped to plug into Synth.minimize ?prove.
+
+   Mode policy: [Cube] and [Portfolio] force their engine; [Auto] prefers
+   cubing whenever the instance exposes a splittable selector bank — the
+   split reduces total work even on a single core, where a portfolio can
+   only time-slice — and falls back to the portfolio otherwise (0-R-op
+   instances, for example, have nothing to split on). *)
+
+module Spec = Mm_boolfun.Spec
+module Solver = Mm_sat.Solver
+module Lit = Mm_sat.Lit
+module Builder = Mm_cnf.Builder
+module Encode = Mm_core.Encode
+module Synth = Mm_core.Synth
+
+type mode = Portfolio_mode | Cube_mode | Auto
+
+type config = {
+  workers : int;
+  mode : mode;
+  seed : int;
+  exchange_lbd : int;
+  cube_depth : int;
+}
+
+let default =
+  { workers = 4; mode = Auto; seed = 0; exchange_lbd = 4; cube_depth = 1 }
+
+(* Everything needed to reproduce or audit one orchestrated verdict. *)
+type provenance = {
+  used_mode : mode;  (** the engine actually used (Auto resolved) *)
+  p_workers : int;
+  p_seed : int;
+  p_depth : int;  (** cube depth (cube mode) *)
+  winner : Portfolio.worker_config option;
+      (** portfolio: the config that produced the verdict *)
+  cubes_total : int;
+  cubes_refuted : int;
+  sat_cube : int option;
+  certificate : Lit.t list option;
+  exchange : Mm_cnf.Exchange.stats option;
+}
+
+let pp_mode ppf m =
+  Format.pp_print_string ppf
+    (match m with
+     | Portfolio_mode -> "portfolio"
+     | Cube_mode -> "cube"
+     | Auto -> "auto")
+
+let pp_solver_config ppf (c : Solver.config) =
+  Format.fprintf ppf
+    "seed=%d polarity=%.3f restart=%s base=%d phase_init=%b jitter=%.2f"
+    c.seed c.random_polarity
+    (match c.restart with Solver.Luby -> "luby" | Solver.Geometric -> "geometric")
+    c.restart_base c.phase_init c.var_jitter
+
+let pp_provenance ppf p =
+  Format.fprintf ppf "mode=%a workers=%d seed=%d" pp_mode p.used_mode
+    p.p_workers p.p_seed;
+  (match p.winner with
+   | Some w ->
+     Format.fprintf ppf " winner=%s (%a)" w.Portfolio.label pp_solver_config
+       w.Portfolio.config
+   | None -> ());
+  if p.cubes_total > 0 then
+    Format.fprintf ppf " cubes=%d/%d refuted" p.cubes_refuted p.cubes_total;
+  match p.certificate with
+  | Some [] -> Format.fprintf ppf " certificate=unconditional"
+  | Some c -> Format.fprintf ppf " certificate=%d-lit core" (List.length c)
+  | None -> ()
+
+(* Is there anything to split on? Mirrors Encode.cube_groups without
+   paying for a full build twice: a leg with at least one step, or at
+   least one R-op, exposes an exactly-one bank. *)
+let splittable (cfg : Encode.config) =
+  (cfg.Encode.n_legs > 0 && cfg.Encode.steps_per_leg > 0)
+  || cfg.Encode.n_rops > 0
+
+let resolve_mode t (cfg : Encode.config) =
+  match t.mode with
+  | Auto -> if splittable cfg then Cube_mode else Portfolio_mode
+  | m -> m
+
+let solve_instance ?timeout ?stop t (cfg : Encode.config) spec =
+  match resolve_mode t cfg with
+  | Cube_mode ->
+    let o =
+      Cube.solve ~workers:t.workers ~seed:t.seed ~depth:t.cube_depth ?timeout
+        ?stop cfg spec
+    in
+    ( o.Cube.attempt,
+      {
+        used_mode = Cube_mode;
+        p_workers = t.workers;
+        p_seed = t.seed;
+        p_depth = t.cube_depth;
+        winner = None;
+        cubes_total = o.Cube.cubes_total;
+        cubes_refuted = o.Cube.cubes_refuted;
+        sat_cube = o.Cube.sat_cube;
+        certificate = o.Cube.certificate;
+        exchange = None;
+      } )
+  | Portfolio_mode | Auto ->
+    let o =
+      Portfolio.solve ~workers:t.workers ~seed:t.seed
+        ~exchange_lbd:t.exchange_lbd ?timeout ?stop cfg spec
+    in
+    ( o.Portfolio.attempt,
+      {
+        used_mode = Portfolio_mode;
+        p_workers = t.workers;
+        p_seed = t.seed;
+        p_depth = 0;
+        winner = o.Portfolio.winner;
+        cubes_total = 0;
+        cubes_refuted = 0;
+        sat_cube = None;
+        certificate = None;
+        exchange = Some o.Portfolio.exchange;
+      } )
+
+(* The Synth.minimize ?prove adapter. One hook instance serves a whole
+   sweep; [log] observes each budget point's provenance as it is
+   produced (the CLI prints it, the engine records it). *)
+let hook ?log ?stop t spec ~timeout (cfg : Encode.config) =
+  let attempt, prov = solve_instance ~timeout ?stop t cfg spec in
+  (match log with Some f -> f cfg prov | None -> ());
+  attempt
+
+(* Single-core reproduction of a recorded verdict (satellite: portfolio
+   replay). Cube verdicts replay through the same cube set with one
+   worker; portfolio verdicts replay the winning config alone. *)
+let replay ?timeout prov (cfg : Encode.config) spec =
+  match prov.used_mode with
+  | Cube_mode ->
+    (Cube.solve ~workers:1 ~seed:prov.p_seed ~depth:prov.p_depth ?timeout cfg
+       spec)
+      .Cube.attempt
+  | Portfolio_mode | Auto ->
+    let config =
+      match prov.winner with
+      | Some w -> w.Portfolio.config
+      | None -> Solver.default_config
+    in
+    Portfolio.replay ?timeout ~config cfg spec

@@ -1,0 +1,77 @@
+(** Proof orchestration over {!Portfolio} and {!Cube}.
+
+    The paper's hardest optimality proofs ran on a 16-core parallel SAT
+    solver; this module is that role's orchestrator. [solve_instance]
+    attacks one Φ instance with [workers] crash-isolated workers on the
+    {!Mm_engine.Pool} and returns both a {!Mm_core.Synth.attempt} (the
+    shape the minimization loop consumes) and a {!provenance} record from
+    which the verdict can be reproduced single-core ({!replay}).
+
+    [hook] adapts the orchestrator to [Synth.minimize ?prove]: the hook
+    replaces the ladder/monolithic solve of every budget point in a
+    sweep. *)
+
+module Spec = Mm_boolfun.Spec
+module Solver = Mm_sat.Solver
+module Lit = Mm_sat.Lit
+module Encode = Mm_core.Encode
+module Synth = Mm_core.Synth
+
+type mode = Portfolio_mode | Cube_mode | Auto
+
+type config = {
+  workers : int;
+  mode : mode;
+  seed : int;  (** diversification seed, threaded into every worker *)
+  exchange_lbd : int;  (** portfolio clause-sharing quality cap *)
+  cube_depth : int;  (** selector banks in the cartesian split *)
+}
+
+(** 4 workers, [Auto] mode, seed 0, LBD cap 4, depth 1. *)
+val default : config
+
+type provenance = {
+  used_mode : mode;  (** the engine actually used ([Auto] resolved) *)
+  p_workers : int;
+  p_seed : int;
+  p_depth : int;  (** cube depth (cube mode) *)
+  winner : Portfolio.worker_config option;
+      (** portfolio: the config that produced the verdict *)
+  cubes_total : int;
+  cubes_refuted : int;
+  sat_cube : int option;
+  certificate : Lit.t list option;
+  exchange : Mm_cnf.Exchange.stats option;
+}
+
+val pp_mode : Format.formatter -> mode -> unit
+val pp_solver_config : Format.formatter -> Solver.config -> unit
+val pp_provenance : Format.formatter -> provenance -> unit
+
+(** [Auto] resolution: cube when the instance exposes a splittable
+    selector bank, portfolio otherwise. *)
+val resolve_mode : config -> Encode.config -> mode
+
+val solve_instance :
+  ?timeout:float ->
+  ?stop:(unit -> bool) ->
+  config ->
+  Encode.config ->
+  Spec.t ->
+  Synth.attempt * provenance
+
+(** The [Synth.minimize ?prove] adapter. [log] observes each budget
+    point's provenance as it is produced. *)
+val hook :
+  ?log:(Encode.config -> provenance -> unit) ->
+  ?stop:(unit -> bool) ->
+  config ->
+  Spec.t ->
+  timeout:float ->
+  Encode.config ->
+  Synth.attempt
+
+(** Single-core reproduction of a recorded verdict: the winning portfolio
+    config alone, or the same cube set conquered by one worker. *)
+val replay :
+  ?timeout:float -> provenance -> Encode.config -> Spec.t -> Synth.attempt

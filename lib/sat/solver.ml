@@ -19,17 +19,45 @@ let dummy_clause =
 
 type result = Sat | Unsat | Unknown
 
+type restart_schedule = Luby | Geometric
+
+(* Portfolio diversification knobs. The default configuration reproduces
+   the historical solver bit-for-bit (no jitter, saved-phase decisions,
+   Luby restarts at base 100), so every existing verdict and statistic is
+   unchanged unless a caller opts in. *)
+type config = {
+  seed : int;
+  random_polarity : float;
+  restart : restart_schedule;
+  restart_base : int;
+  phase_init : bool;
+  var_jitter : float;
+}
+
+let default_config =
+  {
+    seed = 0;
+    random_polarity = 0.;
+    restart = Luby;
+    restart_base = 100;
+    phase_init = false;
+    var_jitter = 0.;
+  }
+
 type stats = {
   conflicts : int;
   decisions : int;
   propagations : int;
   restarts : int;
+  imported_clauses : int;
   learnt_clauses : int;
   peak_learnts : int;
   props_per_s : float;
 }
 
 type t = {
+  cfg : config;
+  mutable rng : int64;
   mutable nvars : int;
   mutable assigns : int array;
   mutable level : int array;
@@ -60,11 +88,43 @@ type t = {
   mutable peak_learnts : int;
   mutable solve_time_s : float;
   mutable failed : int list; (* failed assumptions of the last Unsat *)
+  (* Portfolio clause sharing. [export] is called from [record_learnt] for
+     learnts with LBD <= [export_max_lbd]; [import] is drained at restart
+     boundaries (decision level 0), where adding permanent clauses is sound. *)
+  mutable export : (int array -> lbd:int -> unit) option;
+  mutable export_max_lbd : int;
+  mutable import : (unit -> int array list) option;
+  mutable imported : int;
 }
 
-let create () =
+(* splitmix64: turns a caller seed into a well-mixed non-zero RNG state. *)
+let mix64 seed =
+  let z = Int64.add (Int64.of_int seed) 0x9e3779b97f4a7c15L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94d049bb133111ebL in
+  let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+  if Int64.equal z 0L then 0x2545f4914f6cdd1dL else z
+
+(* xorshift64*: cheap per-decision randomness, deterministic per seed. *)
+let rand_bits t =
+  let x = t.rng in
+  let x = Int64.logxor x (Int64.shift_left x 13) in
+  let x = Int64.logxor x (Int64.shift_right_logical x 7) in
+  let x = Int64.logxor x (Int64.shift_left x 17) in
+  t.rng <- x;
+  Int64.mul x 0x2545f4914f6cdd1dL
+
+let rand_float t =
+  let bits = Int64.to_int (Int64.shift_right_logical (rand_bits t) 11) in
+  float_of_int bits /. 9007199254740992. (* 2^53 *)
+
+let rand_bool t = Int64.logand (rand_bits t) 1L = 1L
+
+let create ?(config = default_config) () =
   let t =
     {
+      cfg = config;
+      rng = mix64 config.seed;
       nvars = 0;
       assigns = [||];
       level = [||];
@@ -95,6 +155,10 @@ let create () =
       peak_learnts = 0;
       solve_time_s = 0.;
       failed = [];
+      export = None;
+      export_max_lbd = 0;
+      import = None;
+      imported = 0;
     }
   in
   t.heap <- Heap.create ~prio:(fun v -> t.var_act.(v));
@@ -103,6 +167,13 @@ let create () =
 let nvars t = t.nvars
 let nclauses t = Vec.size t.clauses
 let ok t = t.ok
+let config t = t.cfg
+
+let set_clause_export t ~max_lbd f =
+  t.export <- Some f;
+  t.export_max_lbd <- max_lbd
+
+let set_clause_import t f = t.import <- Some f
 
 let grow_arrays t cap =
   let grow_int a = Array.append a (Array.make (cap - Array.length a) 0) in
@@ -113,7 +184,7 @@ let grow_arrays t cap =
   t.level <- grow_int t.level;
   t.reason <- grow_clause t.reason;
   t.var_act <- grow_float t.var_act;
-  t.phase <- grow_bool t.phase;
+  t.phase <- Array.append t.phase (Array.make (cap - Array.length t.phase) t.cfg.phase_init);
   t.seen <- grow_bool t.seen;
   let w = Array.init (2 * cap) (fun i ->
       if i < Array.length t.watches then t.watches.(i)
@@ -126,6 +197,9 @@ let new_var t =
   t.nvars <- v + 1;
   if v >= Array.length t.assigns then
     grow_arrays t (max 16 (2 * Array.length t.assigns + 1));
+  (* Jitter must land before the heap insert: the heap priority reads
+     var_act at insertion time. *)
+  if t.cfg.var_jitter > 0. then t.var_act.(v) <- rand_float t *. t.cfg.var_jitter;
   Heap.ensure t.heap v;
   Heap.insert t.heap v;
   v
@@ -406,6 +480,11 @@ let analyze t confl =
   (Array.init (Vec.size minimized) (Vec.get minimized), !bt_level, Hashtbl.length levels)
 
 let record_learnt t lits lbd =
+  (match t.export with
+   | Some f when lbd <= t.export_max_lbd || Array.length lits = 1 ->
+     (* Copy: watch juggling in [propagate] permutes the live array. *)
+     f (Array.copy lits) ~lbd
+   | _ -> ());
   if Array.length lits = 1 then enqueue t lits.(0) dummy_clause
   else begin
     let c = { lits; learnt = true; activity = 0.; lbd; removed = false } in
@@ -591,7 +670,12 @@ let search t ~assumptions ~conflict_budget ~deadline ~global_conflicts ~stop =
            end;
            t.decisions <- t.decisions + 1;
            new_decision_level t;
-           enqueue t (Lit.make v (not t.phase.(v))) dummy_clause
+           let ph =
+             if t.cfg.random_polarity > 0. && rand_float t < t.cfg.random_polarity
+             then rand_bool t
+             else t.phase.(v)
+           in
+           enqueue t (Lit.make v (not ph)) dummy_clause
          end
        end
      done;
@@ -621,7 +705,33 @@ let solve ?(assumptions = []) ?max_conflicts ?timeout ?stop t =
     let restart = ref 0 in
     let continue = ref true in
     while !continue do
-      let budget = int_of_float (luby 2.0 !restart *. 100.) in
+      (* Restart boundary: decision level is 0 here (initially, and [search]
+         cancels to 0 before raising Exit), so foreign learnts can be added
+         as ordinary permanent clauses. Learnt clauses are implied by the
+         formula alone — independent of this worker's assumptions — so
+         importing across differently-assumed workers is sound. *)
+      (match t.import with
+       | Some f when t.ok ->
+         List.iter
+           (fun lits ->
+             if Array.for_all (fun l -> Lit.var l < t.nvars) lits then begin
+               add_clause_a t lits;
+               t.imported <- t.imported + 1
+             end)
+           (f ())
+       | _ -> ());
+      if not t.ok then begin
+        t.failed <- [];
+        result := Unsat;
+        continue := false
+      end
+      else begin
+      let base = float_of_int t.cfg.restart_base in
+      let budget =
+        match t.cfg.restart with
+        | Luby -> int_of_float (luby 2.0 !restart *. base)
+        | Geometric -> int_of_float (base *. (1.5 ** float_of_int !restart))
+      in
       t.restarts <- t.restarts + (if !restart > 0 then 1 else 0);
       (match
          search t ~assumptions ~conflict_budget:budget ~deadline
@@ -651,6 +761,7 @@ let solve ?(assumptions = []) ?max_conflicts ?timeout ?stop t =
            t.max_learnts <- t.max_learnts *. 1.05
          end);
       ()
+      end
     done;
     cancel_until t 0;
     t.solve_time_s <- t.solve_time_s +. (Unix.gettimeofday () -. t0);
@@ -664,7 +775,7 @@ let value t l =
 
 let value_var t v = value t (Lit.pos v)
 
-let reset_phases t = Array.fill t.phase 0 (Array.length t.phase) false
+let reset_phases t = Array.fill t.phase 0 (Array.length t.phase) t.cfg.phase_init
 
 let failed_assumptions t = t.failed
 
@@ -674,6 +785,7 @@ let stats t =
     decisions = t.decisions;
     propagations = t.propagations;
     restarts = t.restarts;
+    imported_clauses = t.imported;
     learnt_clauses = Vec.size t.learnts;
     peak_learnts = t.peak_learnts;
     props_per_s =
@@ -684,7 +796,7 @@ let stats t =
 
 let pp_stats ppf (s : stats) =
   Format.fprintf ppf
-    "conflicts=%d decisions=%d propagations=%d restarts=%d learnt=%d \
-     peak_learnt=%d props/s=%.0f"
-    s.conflicts s.decisions s.propagations s.restarts s.learnt_clauses
-    s.peak_learnts s.props_per_s
+    "conflicts=%d decisions=%d propagations=%d restarts=%d imported=%d \
+     learnt=%d peak_learnt=%d props/s=%.0f"
+    s.conflicts s.decisions s.propagations s.restarts s.imported_clauses
+    s.learnt_clauses s.peak_learnts s.props_per_s

@@ -141,7 +141,9 @@ let snapshot t ~shard ~queue_depth ~active_conns ~draining ~cache_entries =
       in
       Json.Obj
         [
-          ("schema", Json.String "mmsynth-serve-stats-v4");
+          (* v5: embedded engine summary moved to mmsynth-stats-v4
+             (restarts + imported_clauses) *)
+          ("schema", Json.String "mmsynth-serve-stats-v5");
           ("shard", Json.String shard);
           ("protocol_version", Json.Int Wire.protocol_version);
           ("uptime_s", Json.Float (uptime_s t));
