@@ -19,6 +19,7 @@
 
 SMOKE_CACHE := $(shell mktemp -u /tmp/mmsynth_smoke_XXXXXX.cache)
 MAP_CACHE   := $(shell mktemp -u /tmp/mmsynth_map_XXXXXX.cache)
+XBAR_CACHE  := $(shell mktemp -u /tmp/mmsynth_xbar_XXXXXX.cache)
 FAULT_CACHE := $(shell mktemp -u /tmp/mmsynth_fault_XXXXXX.cache)
 SERVE_SOCK  := $(shell mktemp -u /tmp/mmsynth_serve_XXXXXX.sock)
 SERVE_CACHE := $(shell mktemp -u /tmp/mmsynth_serve_XXXXXX.cache)
@@ -29,9 +30,9 @@ CLUSTER_DIR  := $(shell mktemp -u /tmp/mmsynth_cluster_XXXXXX)
 MMSYNTH     := _build/default/bin/mmsynth.exe
 
 .PHONY: all build test smoke smoke-fault smoke-serve smoke-ladder \
-  smoke-prove smoke-map smoke-atlas smoke-cluster check bench bench-ladder \
-  bench-prove bench-map bench-robustness bench-serve bench-storm \
-  bench-atlas clean
+  smoke-prove smoke-map smoke-xbar smoke-atlas smoke-cluster check bench \
+  bench-ladder bench-prove bench-map bench-xbar bench-robustness \
+  bench-serve bench-storm bench-atlas clean
 
 all: build
 
@@ -137,6 +138,23 @@ smoke-map: build
 	  --cache $(MAP_CACHE) --stats
 	rm -f $(MAP_CACHE)
 
+# The crossbar backend, end to end: place and schedule one workload across
+# crossbar rows, execute every input row on the crossbar simulator, and
+# cross-check the outputs against the 1D line-array backend row by row —
+# `map --target xbar` exits non-zero unless both the simulator validation
+# and the backend diff pass, and the grep makes the full row counts an
+# explicit gate rather than trusting the exit code alone.
+smoke-xbar: build
+	@set -e; \
+	out=$$(dune exec bin/mmsynth.exe -- map --workload adder2 --effort 1 \
+	  --cache $(XBAR_CACHE) --target xbar --rows 8); \
+	echo "$$out" | grep -q "simulator validation: 32/32 rows correct" \
+	  || { echo "smoke-xbar: simulator validation failed"; exit 1; }; \
+	echo "$$out" | grep -q "cross-check vs 1D backend: 32/32 rows agree" \
+	  || { echo "smoke-xbar: backend diff failed"; exit 1; }; \
+	rm -f $(XBAR_CACHE); \
+	echo "smoke-xbar: OK (crossbar schedule verified and matches the 1D backend on all rows)"
+
 # The zero-SAT serve path, end to end: an exact tiny atlas must answer a
 # covered sweep with no solver calls and no fallbacks, both through the
 # batch engine and through a daemon round trip, and `atlas verify` must
@@ -189,7 +207,7 @@ smoke-cluster: build
 	echo "smoke-cluster: OK (40/40 answered across a mid-stream shard kill)"
 
 check: test smoke smoke-fault smoke-serve smoke-ladder smoke-prove smoke-map \
-  smoke-atlas smoke-cluster
+  smoke-xbar smoke-atlas smoke-cluster
 
 bench:
 	dune exec bench/main.exe -- engine
@@ -202,6 +220,9 @@ bench-prove:
 
 bench-map:
 	dune exec bench/main.exe -- map
+
+bench-xbar:
+	dune exec bench/main.exe -- xbar
 
 bench-robustness:
 	dune exec bench/main.exe -- robustness

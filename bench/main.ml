@@ -669,11 +669,13 @@ let map_bench ?(budget = 0.5) () =
       "{\n\
       \  \"workload\": \"technology mapping vs heuristic vs QMC->NOR \
        baseline\",\n\
+      \  \"host_cores\": %d,\n\
       \  \"probe_budget_s\": %.2f,\n\
       \  \"cost_metric\": \"V-steps per leg + R-ops (total schedule \
        steps)\",\n\
       \  \"results\": [\n%s\n  ]\n\
        }"
+      (Domain.recommended_domain_count ())
       budget
       (String.concat ",\n" (List.rev !rows))
   in
@@ -685,6 +687,123 @@ let map_bench ?(budget = 0.5) () =
     "\nShape: wide xor-heavy functions (parity) gain most — V-op blocks\n\
      absorb whole sub-trees the two-level baseline pays per-minterm for;\n\
      written to BENCH_map.json\n"
+
+(* ------------------------------------------------------------------ *)
+(* Xbar: row-parallel crossbar backend vs the serial 1D schedule       *)
+(* ------------------------------------------------------------------ *)
+
+let xbar_bench ?(budget = 0.5) ?(rows = 16) ?(ports = 4) () =
+  let module Engine = Mm_engine.Engine in
+  let module Cache = Mm_engine.Cache in
+  let module Stitch = Mm_map.Stitch in
+  let module Mapper = Mm_map.Mapper in
+  let module Xsched = Mm_map.Xsched in
+  let module Xstitch = Mm_map.Xstitch in
+  section "Xbar: row-parallel placement + cycle-minimizing scheduling";
+  Printf.printf
+    "Each workload is compiled for both backends: the 1D line array\n\
+     (steps = V-steps + R-ops, depth-insensitive) and a %d-row crossbar\n\
+     where independent MAGIC NORs share a cycle, identical TE patterns\n\
+     share a broadcast V-cycle, and cross-row operands pay explicit\n\
+     peripheral transfer cycles (%d ports). The crossbar pipeline maps\n\
+     from a depth-balanced AIG (linear subfunctions become XOR trees)\n\
+     because cycles track the critical path. Every schedule is executed\n\
+     on the crossbar simulator for all input rows.\n\n%!"
+    rows ports;
+  let t =
+    Table.create
+      [ "function"; "n"; "1D steps"; "xbar cycles"; "V/R/T"; "xfers";
+        "depth"; "rows"; "polish"; "time [s]"; "verified" ]
+  in
+  let cache = Cache.create () in
+  let cfg =
+    Engine.config ~timeout_per_call:budget ~max_rops:8 ~domains:1
+      ~taps:E.Final_only ~cache ()
+  in
+  let results = ref [] and wins = ref 0 and total = ref 0 in
+  let case spec =
+    let t0 = Unix.gettimeofday () in
+    let st_1d = Stitch.compile cfg spec in
+    let r = Xstitch.compile ~rows ~ports cfg spec in
+    let dt = Unix.gettimeofday () -. t0 in
+    let st = r.Xstitch.stitch in
+    let steps_1d = C.n_steps st_1d.Stitch.stitched.Stitch.circuit in
+    let sc = r.Xstitch.sched in
+    incr total;
+    if r.Xstitch.cycles < steps_1d then incr wins;
+    Table.add_row t
+      [
+        Spec.name spec;
+        string_of_int (Spec.arity spec);
+        string_of_int steps_1d;
+        string_of_int r.Xstitch.cycles;
+        Printf.sprintf "%d/%d/%d" sc.Xsched.v_cycles sc.Xsched.r_cycles
+          sc.Xsched.t_cycles;
+        string_of_int r.Xstitch.transfers;
+        string_of_int st.Stitch.dag.Mapper.depth;
+        string_of_int r.Xstitch.rows_used;
+        Printf.sprintf "-%d" sc.Xsched.polish_gain;
+        Printf.sprintf "%.1f" dt;
+        (if r.Xstitch.verified then "yes" else "NO");
+      ];
+    results :=
+      Printf.sprintf
+        "    { \"function\": %S, \"n\": %d, \"steps_1d\": %d,\n\
+        \      \"cycles\": %d, \"v_cycles\": %d, \"r_cycles\": %d,\n\
+        \      \"t_cycles\": %d, \"transfers\": %d, \"readout\": %d,\n\
+        \      \"blocks\": %d, \"block_depth\": %d, \"rows_used\": %d,\n\
+        \      \"cols_used\": %d, \"polish_gain\": %d, \"time_s\": %.2f,\n\
+        \      \"faster_than_1d\": %b, \"verified\": %b }"
+        (Spec.name spec) (Spec.arity spec) steps_1d r.Xstitch.cycles
+        sc.Xsched.v_cycles sc.Xsched.r_cycles sc.Xsched.t_cycles
+        r.Xstitch.transfers r.Xstitch.readout
+        (Array.length st.Stitch.dag.Mapper.blocks)
+        st.Stitch.dag.Mapper.depth r.Xstitch.rows_used r.Xstitch.cols_used
+        sc.Xsched.polish_gain dt
+        (r.Xstitch.cycles < steps_1d)
+        r.Xstitch.verified
+      :: !results
+  in
+  case (Arith.adder_bits 2);
+  case (Arith.adder_bits 3);
+  case (Arith.adder_bits 4);
+  case (Arith.majority 5);
+  case (Arith.majority 6);
+  case (Arith.majority 7);
+  case (Arith.parity 5);
+  case (Arith.parity 6);
+  case (Arith.parity 7);
+  case (Arith.parity 8);
+  Table.print t;
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"workload\": \"crossbar row-parallel scheduling (balanced-AIG \
+       cover) vs serial 1D schedule\",\n\
+      \  \"host_cores\": %d,\n\
+      \  \"probe_budget_s\": %.2f,\n\
+      \  \"rows\": %d,\n\
+      \  \"ports\": %d,\n\
+      \  \"cycle_metric\": \"V broadcast cycles + parallel NOR cycles + \
+       transfer cycles (readout reported separately, matching the 1D step \
+       metric)\",\n\
+      \  \"faster_than_1d\": %d,\n\
+      \  \"workloads\": %d,\n\
+      \  \"results\": [\n%s\n  ]\n\
+       }"
+      (Domain.recommended_domain_count ())
+      budget rows ports !wins !total
+      (String.concat ",\n" (List.rev !results))
+  in
+  let oc = open_out "BENCH_xbar.json" in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf
+    "\nShape: %d/%d workloads need fewer crossbar cycles than 1D steps —\n\
+     the R-op phase parallelizes across rows while placement affinity\n\
+     keeps transfer cycles low; written to BENCH_xbar.json\n"
+    !wins !total
 
 (* ------------------------------------------------------------------ *)
 (* Engine: NPN-canonicalizing, cached, multicore batch synthesis       *)
@@ -746,6 +865,7 @@ let engine_bench () =
     Printf.sprintf
       "{\n\
       \  \"workload\": \"all 256 3-input functions, minimize loop\",\n\
+      \  \"host_cores\": %d,\n\
       \  \"cores\": %d,\n\
       \  \"domains\": %d,\n\
       \  \"functions\": %d,\n\
@@ -760,7 +880,8 @@ let engine_bench () =
       \  \"cold_cache_hit_rate\": %.3f,\n\
       \  \"warm_cache_hit_rate\": %.3f\n\
        }"
-      cores domains seq.Engine.functions seq.Engine.classes seq.Engine.wall_s
+      cores cores domains seq.Engine.functions seq.Engine.classes
+      seq.Engine.wall_s
       par.Engine.wall_s speedup seq.Engine.solves_per_s par.Engine.solves_per_s
       warm.Engine.wall_s warm.Engine.solves_per_s (hit_rate par) (hit_rate warm)
   in
@@ -921,6 +1042,7 @@ let ladder_bench ?(budget = 60.) ?(limit = 24) () =
       \  \"schema\": \"mmsynth-bench-ladder-v1\",\n\
       \  \"workload\": \"4-input NPN class representatives, minimize sweep \
        (max_rops=4, max_steps=3)\",\n\
+      \  \"host_cores\": %d,\n\
       \  \"cores\": %d,\n\
       \  \"budget_per_call_s\": %.1f,\n\
       \  \"classes_total\": %d,\n\
@@ -937,6 +1059,7 @@ let ladder_bench ?(budget = 60.) ?(limit = 24) () =
       \  \"verdict_mismatches\": %d,\n\
       \  \"per_class\": [\n%s\n  ]\n\
        }"
+      (Domain.recommended_domain_count ())
       (Domain.recommended_domain_count ())
       budget n_total limit !skipped wall_mono wall_inc wall_race confl_mono
       confl_inc confl_race speedup_inc speedup_race !mismatches per_class
@@ -1142,6 +1265,7 @@ let prove_bench ?(budget = 15.) ?(limit = 4) ?(workers = 4) () =
       \  \"schema\": \"mmsynth-bench-prove-v1\",\n\
       \  \"workload\": \"hardest in-budget 4-input NPN classes, minimize \
        sweep (max_rops=4, max_steps=3)\",\n\
+      \  \"host_cores\": %d,\n\
       \  \"cores\": %d,\n\
       \  \"workers\": %d,\n\
       \  \"budget_per_call_s\": %.1f,\n\
@@ -1159,6 +1283,7 @@ let prove_bench ?(budget = 15.) ?(limit = 4) ?(workers = 4) () =
       \  \"over_budget_attempt\": %s,\n\
       \  \"per_class\": [\n%s\n  ]\n\
        }"
+      (Domain.recommended_domain_count ())
       (Domain.recommended_domain_count ())
       workers budget n_screen (List.length over) (List.length done_rows)
       wall_single wall_p1 wall_pn speedup_workers speedup_vs_single
@@ -1246,10 +1371,12 @@ let robustness_bench () =
     Printf.sprintf
       "{\n\
       \  \"workload\": \"all 256 3-input functions, minimize loop, retries=2, baseline fallback\",\n\
+      \  \"host_cores\": %d,\n\
       \  \"seed\": 2025,\n\
       \  \"points\": [\n%s\n\
       \  ]\n\
        }"
+      (Domain.recommended_domain_count ())
       (String.concat ",\n"
          (List.map
             (fun (rate, (completion, (s : Engine.summary))) ->
@@ -1546,6 +1673,7 @@ let serve_bench () =
         ( "workload",
           Json.String
             "all 256 3-input functions over the Unix socket, warm cache" );
+        ("host_cores", Json.Int (Domain.recommended_domain_count ()));
         ("levels", Json.List (List.map level_json levels));
         ( "warm_vs_cold",
           Json.Obj
@@ -1800,6 +1928,7 @@ let storm_bench () =
           Json.String
             "open-loop Poisson arrivals, all 2- and 3-input functions \
              shuffled, 4 shards, replicas=2, one shard killed mid-warm-run" );
+        ("host_cores", Json.Int (Domain.recommended_domain_count ()));
         ("n_shards", Json.Int n_shards);
         ("phases", Json.List [ cold_json; warm_json ]);
         ("availability_under_kill", Json.Float availability);
@@ -1930,6 +2059,7 @@ let atlas_bench () =
           Json.String
             "all NPN classes n<=3, both modes and polarities, per effort \
              tier; lookups over all 256 3-input functions" );
+        ("host_cores", Json.Int (Domain.recommended_domain_count ()));
         ("goals", Json.Int (List.length goals));
         ("tiers", Json.List (List.map tier_json tiers));
         ("lookup_us", Json.Float (1e6 *. lookup_s));
@@ -2045,6 +2175,8 @@ let usage () =
     \  heuristic    scalable heuristic synthesis (extension E)\n\
     \  map          cut-based technology mapping onto SAT-optimal blocks\n\
     \               -> BENCH_map.json; --budget SECONDS per library probe\n\
+    \  xbar         crossbar row-parallel scheduling vs 1D steps on the map\n\
+    \               workloads -> BENCH_xbar.json; --budget SECONDS per probe\n\
     \  engine       batch engine: NPN classes + cache + domain pool -> BENCH_engine.json\n\
     \  ladder       incremental assumption sweep vs monolithic -> BENCH_ladder.json;\n\
     \               --budget SECONDS, --limit N classes\n\
@@ -2093,6 +2225,7 @@ let () =
     crossbar ();
     heuristic_bench ();
     map_bench ();
+    xbar_bench ();
     engine_bench ();
     ladder_bench ~budget:60. ~limit ();
     prove_bench ();
@@ -2124,6 +2257,7 @@ let () =
   | [ "crossbar" ] -> crossbar ()
   | [ "heuristic" ] -> heuristic_bench ()
   | [ "map" ] -> map_bench ~budget:(value "--budget" 0.5) ()
+  | [ "xbar" ] -> xbar_bench ~budget:(value "--budget" 0.5) ()
   | [ "engine" ] -> engine_bench ()
   | [ "ladder" ] ->
     ladder_bench ~budget:(value "--budget" 60.) ~limit ()

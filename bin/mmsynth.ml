@@ -1364,6 +1364,9 @@ let map_cmd =
   let module Cache = Mm_engine.Cache in
   let module Stitch = Mm_map.Stitch in
   let module Blocklib = Mm_map.Blocklib in
+  let module Mapper = Mm_map.Mapper in
+  let module Xsched = Mm_map.Xsched in
+  let module Xstitch = Mm_map.Xstitch in
   let module Table = Mm_report.Table in
   let k_arg =
     Arg.(value & opt int 4 & info [ "k" ] ~docv:"K"
@@ -1395,8 +1398,29 @@ let map_cmd =
     Arg.(value & flag & info [ "stats" ]
            ~doc:"Print the per-block provenance table.")
   in
+  let target_arg =
+    Arg.(value & opt (enum [ ("line", `Line); ("xbar", `Xbar) ]) `Line
+         & info [ "target" ] ~docv:"TARGET"
+             ~doc:"Backend: $(b,line) serializes the cover onto one line \
+                   array; $(b,xbar) places blocks across crossbar rows and \
+                   schedules cycle-parallel MAGIC NORs, shared broadcast \
+                   V-cycles and explicit peripheral transfer cycles.")
+  in
+  let rows_arg =
+    Arg.(value & opt int 16 & info [ "rows" ] ~docv:"R"
+           ~doc:"Crossbar rows available to the placer (xbar target).")
+  in
+  let ports_arg =
+    Arg.(value & opt int 4 & info [ "ports" ] ~docv:"P"
+           ~doc:"Peripheral transfers per transfer cycle (xbar target).")
+  in
+  let no_polish =
+    Arg.(value & flag & info [ "no-polish" ]
+           ~doc:"Skip the SAT window polish over the greedy schedule \
+                 (xbar target).")
+  in
   let run exprs pla tables workload arity name k cut_limit passes cache_file
-      cache_shards atlas effort stats json dot =
+      cache_shards atlas effort stats json dot target rows ports no_polish =
     match spec_of_inputs name exprs arity pla tables workload with
     | Error msg -> `Error (false, msg)
     | Ok spec ->
@@ -1418,6 +1442,199 @@ let map_cmd =
         match Stitch.compile ~k ~cut_limit ~passes cfg spec with
         | exception (Invalid_argument msg | Failure msg) -> `Error (false, msg)
         | r ->
+        let print_blocks placed =
+          let t =
+            Table.create
+              [ "block"; "leaves"; "kind"; "source"; "optimal"; "N_L";
+                "N_VS"; "N_R" ]
+          in
+          List.iter
+            (fun (p : Stitch.placed) ->
+              Table.add_row t
+                [ Printf.sprintf "n%d" p.Stitch.root;
+                  String.concat ","
+                    (List.map string_of_int
+                       (Array.to_list p.Stitch.leaves));
+                  (match p.Stitch.kind with
+                   | Blocklib.Mixed -> "mixed"
+                   | Blocklib.R_only -> "r-only");
+                  (if p.Stitch.exact then "SAT" else "fallback");
+                  (if p.Stitch.optimal then "yes" else "no");
+                  string_of_int p.Stitch.legs;
+                  string_of_int p.Stitch.steps;
+                  string_of_int p.Stitch.rops ])
+            placed;
+          Table.print t;
+          print_newline ()
+        in
+        let block_json (p : Stitch.placed) =
+          Json.Obj
+            [ ("root", Json.Int p.Stitch.root);
+              ( "leaves",
+                Json.List
+                  (List.map (fun l -> Json.Int l)
+                     (Array.to_list p.Stitch.leaves)) );
+              ( "kind",
+                Json.String
+                  (match p.Stitch.kind with
+                   | Blocklib.Mixed -> "mixed"
+                   | Blocklib.R_only -> "r-only") );
+              ("exact", Json.Bool p.Stitch.exact);
+              ("optimal", Json.Bool p.Stitch.optimal);
+              ("legs", Json.Int p.Stitch.legs);
+              ("steps", Json.Int p.Stitch.steps);
+              ("rops", Json.Int p.Stitch.rops) ]
+        in
+        match target with
+        | `Xbar ->
+          if rows < 1 then `Error (false, "--rows must be >= 1")
+          else if ports < 1 then `Error (false, "--ports must be >= 1")
+          else begin
+            match
+              Xstitch.compile ~k ~cut_limit ~passes ~rows ~ports
+                ~polish:(not no_polish) cfg spec
+            with
+            | exception (Invalid_argument msg | Failure msg) ->
+              `Error (false, msg)
+            | xr ->
+              Option.iter Cache.flush cache;
+              let xst = xr.Xstitch.stitch in
+              let sc = xr.Xstitch.sched in
+              let p = sc.Xsched.place in
+              let n_rows_spec = 1 lsl Spec.arity spec in
+              Printf.printf
+                "aig (balanced): %d inputs, %d AND nodes; cover: %d blocks \
+                 (%d exact, %d fallback), critical-path depth %d\n"
+                xst.Stitch.aig_inputs xst.Stitch.aig_ands
+                (List.length xst.Stitch.stitched.Stitch.placed)
+                xst.Stitch.lib_exact xst.Stitch.lib_fallbacks
+                xst.Stitch.dag.Mapper.depth;
+              Printf.printf
+                "placement: %d rows x %d cols, %d transfer(s), %d \
+                 inverter(s)\n"
+                xr.Xstitch.rows_used xr.Xstitch.cols_used
+                xr.Xstitch.transfers
+                (Array.length p.Mm_map.Place.invs);
+              Printf.printf
+                "schedule: %d cycles (%d V + %d R + %d T) + %d readout, \
+                 polish -%d\n\n"
+                xr.Xstitch.cycles sc.Xsched.v_cycles sc.Xsched.r_cycles
+                sc.Xsched.t_cycles xr.Xstitch.readout sc.Xsched.polish_gain;
+              if stats then print_blocks xst.Stitch.stitched.Stitch.placed;
+              (* zero-trust: replay the schedule on the crossbar simulator
+                 for every input row *)
+              let failures = Xstitch.verify sc spec in
+              Printf.printf "simulator validation: %d/%d rows correct\n"
+                (n_rows_spec - List.length failures)
+                n_rows_spec;
+              (* and cross-check the two backends row by row *)
+              let plan = Schedule.plan r.Stitch.stitched.Stitch.circuit in
+              let disagree = ref [] in
+              for input = n_rows_spec - 1 downto 0 do
+                let line = Schedule.execute plan ~input () in
+                let xrow = Xstitch.execute sc ~input () in
+                if
+                  Xstitch.word_of line.Schedule.outputs
+                  <> Xstitch.word_of xrow.Xstitch.outputs
+                then disagree := input :: !disagree
+              done;
+              Printf.printf "cross-check vs 1D backend: %d/%d rows agree\n"
+                (n_rows_spec - List.length !disagree)
+                n_rows_spec;
+              if json then begin
+                let module Place = Mm_map.Place in
+                let cycle_json i cyc =
+                  let typ, ops =
+                    match cyc with
+                    | Xsched.C_v set ->
+                      ( "V",
+                        List.map
+                          (fun (s, st) ->
+                            Json.Obj
+                              [ ("slot", Json.Int s);
+                                ("step", Json.Int st);
+                                ( "row",
+                                  Json.Int p.Place.slots.(s).Place.row ) ])
+                          set )
+                    | Xsched.C_r refs ->
+                      ( "R",
+                        List.map
+                          (function
+                            | Xsched.Gate (s, j) ->
+                              Json.Obj
+                                [ ("slot", Json.Int s);
+                                  ("rop", Json.Int j);
+                                  ( "row",
+                                    Json.Int p.Place.slots.(s).Place.row ) ]
+                            | Xsched.Inverter iv ->
+                              Json.Obj
+                                [ ("inverter", Json.Int iv);
+                                  ( "row",
+                                    Json.Int
+                                      p.Place.invs.(iv).Place.i_out
+                                        .Place.row ) ])
+                          refs )
+                    | Xsched.C_t ixs ->
+                      ( "T",
+                        List.map
+                          (fun ix ->
+                            let x = p.Place.xfers.(ix) in
+                            Json.Obj
+                              [ ("transfer", Json.Int ix);
+                                ( "src_row",
+                                  Json.Int x.Place.x_src.Place.row );
+                                ( "dst_row",
+                                  Json.Int x.Place.x_dst.Place.row ) ])
+                          ixs )
+                  in
+                  Json.Obj
+                    [ ("cycle", Json.Int i);
+                      ("type", Json.String typ);
+                      ("ops", Json.List ops) ]
+                in
+                print_endline
+                  (Json.to_string_pretty
+                     (Json.Obj
+                        [ ("spec", Json.String (Spec.name spec));
+                          ("arity", Json.Int (Spec.arity spec));
+                          ("outputs", Json.Int (Spec.output_count spec));
+                          ("target", Json.String "xbar");
+                          ( "aig",
+                            Json.Obj
+                              [ ("inputs", Json.Int xst.Stitch.aig_inputs);
+                                ("ands", Json.Int xst.Stitch.aig_ands);
+                                ("balanced", Json.Bool true) ] );
+                          ( "block_depth",
+                            Json.Int xst.Stitch.dag.Mapper.depth );
+                          ("rows", Json.Int rows);
+                          ("ports", Json.Int ports);
+                          ("rows_used", Json.Int xr.Xstitch.rows_used);
+                          ("cols_used", Json.Int xr.Xstitch.cols_used);
+                          ("cycles", Json.Int xr.Xstitch.cycles);
+                          ("v_cycles", Json.Int sc.Xsched.v_cycles);
+                          ("r_cycles", Json.Int sc.Xsched.r_cycles);
+                          ("t_cycles", Json.Int sc.Xsched.t_cycles);
+                          ("transfers", Json.Int xr.Xstitch.transfers);
+                          ("readout", Json.Int xr.Xstitch.readout);
+                          ("polish_gain", Json.Int sc.Xsched.polish_gain);
+                          ("verified", Json.Bool (failures = []));
+                          ( "agrees_with_line",
+                            Json.Bool (!disagree = []) );
+                          ( "blocks",
+                            Json.List
+                              (List.map block_json
+                                 xst.Stitch.stitched.Stitch.placed) );
+                          ( "schedule",
+                            Json.List
+                              (List.mapi cycle_json
+                                 (Array.to_list sc.Xsched.cycles)) ) ]))
+              end;
+              if failures = [] && !disagree = [] then `Ok 0
+              else
+                `Error
+                  (false, "crossbar schedule failed simulator validation")
+          end
+        | `Line ->
           Option.iter Cache.flush cache;
           let st = r.Stitch.stitched in
           let c = st.Stitch.circuit in
@@ -1428,33 +1645,11 @@ let map_cmd =
             (List.length st.Stitch.placed)
             r.Stitch.lib_exact r.Stitch.lib_fallbacks st.Stitch.inverters;
           Printf.printf
-            "library: %d lookups, %d memo hits\n\n"
-            r.Stitch.lib_lookups r.Stitch.lib_memo_hits;
-          if stats then begin
-            let t =
-              Table.create
-                [ "block"; "leaves"; "kind"; "source"; "optimal"; "N_L";
-                  "N_VS"; "N_R" ]
-            in
-            List.iter
-              (fun (p : Stitch.placed) ->
-                Table.add_row t
-                  [ Printf.sprintf "n%d" p.Stitch.root;
-                    String.concat ","
-                      (List.map string_of_int
-                         (Array.to_list p.Stitch.leaves));
-                    (match p.Stitch.kind with
-                     | Blocklib.Mixed -> "mixed"
-                     | Blocklib.R_only -> "r-only");
-                    (if p.Stitch.exact then "SAT" else "fallback");
-                    (if p.Stitch.optimal then "yes" else "no");
-                    string_of_int p.Stitch.legs;
-                    string_of_int p.Stitch.steps;
-                    string_of_int p.Stitch.rops ])
-              st.Stitch.placed;
-            Table.print t;
-            print_newline ()
-          end;
+            "library: %d lookups, %d memo hits; block DAG critical-path \
+             depth %d\n\n"
+            r.Stitch.lib_lookups r.Stitch.lib_memo_hits
+            r.Stitch.dag.Mapper.depth;
+          if stats then print_blocks st.Stitch.placed;
           print_circuit ~json:false ~dot c;
           let plan = Schedule.plan c in
           let failures = Schedule.verify plan spec in
@@ -1462,24 +1657,6 @@ let map_cmd =
             ((1 lsl Spec.arity spec) - List.length failures)
             (1 lsl Spec.arity spec);
           if json then begin
-            let block_json (p : Stitch.placed) =
-              Json.Obj
-                [ ("root", Json.Int p.Stitch.root);
-                  ( "leaves",
-                    Json.List
-                      (List.map (fun l -> Json.Int l)
-                         (Array.to_list p.Stitch.leaves)) );
-                  ( "kind",
-                    Json.String
-                      (match p.Stitch.kind with
-                       | Blocklib.Mixed -> "mixed"
-                       | Blocklib.R_only -> "r-only") );
-                  ("exact", Json.Bool p.Stitch.exact);
-                  ("optimal", Json.Bool p.Stitch.optimal);
-                  ("legs", Json.Int p.Stitch.legs);
-                  ("steps", Json.Int p.Stitch.steps);
-                  ("rops", Json.Int p.Stitch.rops) ]
-            in
             print_endline
               (Json.to_string_pretty
                  (Json.Obj
@@ -1505,6 +1682,7 @@ let map_cmd =
                             ("total_steps", Json.Int (C.n_steps c));
                             ("devices", Json.Int (C.n_devices c)) ] );
                       ("inverters", Json.Int st.Stitch.inverters);
+                      ("block_depth", Json.Int r.Stitch.dag.Mapper.depth);
                       ("verified", Json.Bool (failures = []));
                       ( "blocks",
                         Json.List (List.map block_json st.Stitch.placed) )
@@ -1525,7 +1703,8 @@ let map_cmd =
       ret
         (const run $ exprs $ pla_file $ tables_file $ workload_t $ arity
         $ name_t $ k_arg $ cut_limit $ passes $ cache_file $ cache_shards_arg
-        $ atlas_arg $ effort $ stats_flag $ json_flag $ dot_out))
+        $ atlas_arg $ effort $ stats_flag $ json_flag $ dot_out $ target_arg
+        $ rows_arg $ ports_arg $ no_polish))
 
 (* ---- cache info / gc --------------------------------------------------- *)
 

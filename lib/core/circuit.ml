@@ -117,6 +117,24 @@ let realizes t spec =
     end
   end
 
+(* ASAP dependency level of each R-op (1-based); literals, legs and V-op
+   taps are level 0. The maximum is the R-phase critical path — the cycle
+   lower bound a row-parallel scheduler chases. *)
+let rop_levels t =
+  let n = Array.length t.rops in
+  let level = Array.make n 1 in
+  Array.iteri
+    (fun i { in1; in2 } ->
+      let of_src = function
+        | From_rop r -> level.(r)
+        | From_literal _ | From_leg _ | From_vop _ -> 0
+      in
+      level.(i) <- 1 + max (of_src in1) (of_src in2))
+    t.rops;
+  level
+
+let rop_depth t = Array.fold_left max 0 (rop_levels t)
+
 let n_legs t = Array.length t.legs
 let steps_per_leg t = if n_legs t = 0 then 0 else Array.length t.legs.(0)
 let n_vops t = n_legs t * steps_per_leg t

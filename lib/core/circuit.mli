@@ -91,6 +91,15 @@ val n_outputs : t -> int
     sequential on a line array). *)
 val n_steps : t -> int
 
+(** ASAP dependency level of every R-op (1-based; literal, leg and V-op
+    sources count as level 0). R-ops of equal level are mutually
+    independent and may fire in the same cycle on a row-parallel target. *)
+val rop_levels : t -> int array
+
+(** [max (rop_levels t)] (0 when there are no R-ops) — the R-phase critical
+    path, the cycle lower bound a row-parallel scheduler is chasing. *)
+val rop_depth : t -> int
+
 (** Devices: one per distinct tap point of each leg (at least one per leg),
     one per R-op output, one per distinct literal fed directly to an R-op
     (loaded at initialization). For final-tap circuits this is

@@ -19,18 +19,7 @@ type plan = {
    Gates of one dependency level live on distinct rows by construction and
    fire in a single parallel cycle. *)
 
-let levelize (c : Circuit.t) =
-  let n = Circuit.n_rops c in
-  let level = Array.make n 1 in
-  Array.iteri
-    (fun i { Circuit.in1; in2 } ->
-      let of_src = function
-        | Circuit.From_rop r -> level.(r)
-        | Circuit.From_literal _ | Circuit.From_leg _ | Circuit.From_vop _ -> 0
-      in
-      level.(i) <- 1 + max (of_src in1) (of_src in2))
-    c.Circuit.rops;
-  level
+let levelize = Circuit.rop_levels
 
 let plan c =
   if c.Circuit.rop_kind <> Rop.Nor then

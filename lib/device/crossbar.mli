@@ -8,9 +8,22 @@
     row} and gates on {e distinct rows} may fire in the same cycle —
     precisely the parallelism a 1D array lacks. A peripheral-assisted
     [transfer] (readout + rewrite, the costly operation the paper mentions
-    for R-ops feeding TE/BE) moves values between rows. *)
+    for R-ops feeding TE/BE) moves values between rows.
+
+    Every operation updates the cycle {!counts} so a scheduler's claimed
+    latency can be cross-checked against what the hardware model actually
+    executed. *)
 
 type t
+
+(** Cycle/operation accounting since {!create}. *)
+type counts = {
+  v_cycles : int;  (** V-op cycles (single-row or broadcast) *)
+  r_cycles : int;  (** parallel MAGIC NOR cycles *)
+  nors : int;  (** individual gates fired across all R cycles *)
+  transfers : int;  (** peripheral read+rewrite moves *)
+  reads : int;  (** junction readouts *)
+}
 
 val create :
   rng:Rng.t ->
@@ -23,6 +36,7 @@ val create :
 
 val rows : t -> int
 val cols : t -> int
+val counts : t -> counts
 val device : t -> row:int -> col:int -> Device.t
 
 (** Logical states, [states t].(row).(col). *)
@@ -34,17 +48,30 @@ val set_state : t -> row:int -> col:int -> bool -> unit
     against the row's BE rail, [None] meaning the dummy TE = BE. *)
 val vop_cycle_row : t -> row:int -> te:(int -> bool option) -> be:bool -> unit
 
+(** [vop_cycle_rows t ~active ~te] — one broadcast V-op cycle: the single
+    column TE pattern [te] is driven on the shared bit lines and lands on
+    every row in [active] (pairs [(row, be)], each against its own BE rail);
+    unlisted rows float and are untouched. Every active row sees the {e
+    full} pattern, so co-activating rows that want different patterns is a
+    scheduling error this function executes faithfully (and verification
+    catches) rather than masks. Raises [Invalid_argument] if a row is
+    listed twice. *)
+val vop_cycle_rows : t -> active:(int * bool) list -> te:(int -> bool option) -> unit
+
 (** [parallel_magic_nor t gates] fires one NOR per listed row in a single
     cycle. Each gate is [(row, in1_col, in2_col, out_col)]; rows must be
-    pairwise distinct and the output column distinct from the inputs
-    ([in1 = in2] degenerates to MAGIC NOT). Raises [Invalid_argument] on a
-    row clash — that is exactly the restriction that makes R-ops sequential
-    on a 1D array. *)
+    pairwise distinct and the output column distinct from both input
+    columns ([in1 = in2] degenerates to MAGIC NOT). Raises
+    [Invalid_argument] on a row clash or an in/out column collision —
+    validation runs before any gate fires, so a bad batch never partially
+    mutates the array. *)
 val parallel_magic_nor : t -> (int * int * int * int) list -> unit
 
 (** [transfer t ~src ~dst] copies a state between junctions via readout and
-    rewrite (counts as one peripheral cycle; both cells' coordinates are
-    (row, col)). *)
+    rewrite (one peripheral move; both coordinates are (row, col)). The
+    rewrite is a genuine write pulse: it counts against the destination's
+    switch/endurance budget, and a stuck or endurance-exhausted destination
+    keeps its old value. *)
 val transfer : t -> src:int * int -> dst:int * int -> unit
 
 (** Read one junction: (logical value, |I| at read voltage). *)

@@ -20,15 +20,16 @@ type t = {
 
 type builder = {
   n : int;
+  balance : bool;  (** balanced trees for linear (XOR) subfunctions *)
   mutable fan : (lit * lit) array;
   mutable len : int;
   strash : (lit * lit, lit) Hashtbl.t;
   memo : (string, lit) Hashtbl.t;  (** truth-table translation memo *)
 }
 
-let create ~n_inputs =
+let create ?(balance = false) ~n_inputs () =
   if n_inputs < 1 then invalid_arg "Aig.create: n_inputs < 1";
-  { n = n_inputs; fan = Array.make 16 (0, 0); len = 0;
+  { n = n_inputs; balance; fan = Array.make 16 (0, 0); len = 0;
     strash = Hashtbl.create 64; memo = Hashtbl.create 64 }
 
 let input b i =
@@ -92,6 +93,34 @@ let sop b cubes =
    the top support variable so XOR-rich functions keep BDD-size graphs *)
 let qmc_cube_threshold = 3
 
+(* balanced XOR over a list of edges: depth ceil(log2 k) instead of the
+   k-long chain a variable-at-a-time Shannon split would produce *)
+let rec xor_tree b = function
+  | [] -> lit_false
+  | [ l ] -> l
+  | ls ->
+    let k = List.length ls in
+    let rec split i acc rest =
+      if i = 0 then (List.rev acc, rest)
+      else
+        match rest with
+        | x :: tl -> split (i - 1) (x :: acc) tl
+        | [] -> (List.rev acc, [])
+    in
+    let left, right = split (k / 2) [] ls in
+    mk_xor b (xor_tree b left) (xor_tree b right)
+
+(* [tt] restricted to its support is linear iff it equals the XOR of its
+   support variables up to complement *)
+let linear_of b tt sup =
+  let x =
+    List.fold_left (fun acc v -> Tt.(acc ^^^ Tt.var b.n v)) (Tt.const b.n false)
+      sup
+  in
+  if Tt.equal tt x then Some false
+  else if Tt.equal tt (Tt.lnot x) then Some true
+  else None
+
 let of_table b tt =
   if Tt.arity tt <> b.n then invalid_arg "Aig.of_table: arity mismatch";
   let rec go tt =
@@ -106,13 +135,18 @@ let of_table b tt =
           | [ v ] ->
             if Tt.equal tt (Tt.var b.n v) then input b v
             else lit_neg (input b v)
-          | v :: _ ->
-            let cubes = Qmc.minimize tt in
-            if List.length cubes <= qmc_cube_threshold then sop b cubes
-            else
-              mk_mux b ~sel:(input b v)
-                (go (Tt.cofactor tt v true))
-                (go (Tt.cofactor tt v false))
+          | v :: _ as sup -> (
+            match (if b.balance then linear_of b tt sup else None) with
+            | Some compl ->
+              let t = xor_tree b (List.map (input b) sup) in
+              if compl then lit_neg t else t
+            | None ->
+              let cubes = Qmc.minimize tt in
+              if List.length cubes <= qmc_cube_threshold then sop b cubes
+              else
+                mk_mux b ~sel:(input b v)
+                  (go (Tt.cofactor tt v true))
+                  (go (Tt.cofactor tt v false)))
           | [] -> assert false (* non-constant with empty support *)
       in
       Hashtbl.add b.memo key l;
@@ -128,12 +162,12 @@ let freeze b outputs =
   { n_inputs = b.n; fanin = Array.sub b.fan 0 b.len; outputs }
 
 let of_exprs ~n exprs =
-  let b = create ~n_inputs:n in
+  let b = create ~n_inputs:n () in
   let outs = List.map (of_expr b) exprs in
   freeze b (Array.of_list outs)
 
-let of_spec spec =
-  let b = create ~n_inputs:(Spec.arity spec) in
+let of_spec ?balance spec =
+  let b = create ?balance ~n_inputs:(Spec.arity spec) () in
   let outs = Array.map (of_table b) (Spec.outputs spec) in
   freeze b outs
 

@@ -42,9 +42,15 @@ val lit_compl : lit -> bool
 
 type builder
 
-(** [create ~n_inputs] starts an empty graph over [x1 .. x_{n_inputs}];
-    [n_inputs >= 1]. *)
-val create : n_inputs:int -> builder
+(** [create ~n_inputs ()] starts an empty graph over [x1 .. x_{n_inputs}];
+    [n_inputs >= 1]. With [~balance:true], {!of_table} detects linear (pure
+    XOR) subfunctions and builds balanced [ceil(log2 k)]-depth XOR trees for
+    them instead of the variable-at-a-time Shannon chain — same node
+    semantics, logarithmic instead of linear depth. Depth is irrelevant to
+    the 1D step metric (total ops), so the default is [false] and the
+    legacy mapping pipeline is bit-stable; the crossbar backend turns it on
+    because its cycle count tracks the critical path. *)
+val create : ?balance:bool -> n_inputs:int -> unit -> builder
 
 (** Edge for input variable [i] (1-based). *)
 val input : builder -> int -> lit
@@ -73,8 +79,9 @@ val freeze : builder -> lit array -> t
 (** One builder call per output: expressions over at most [n] variables. *)
 val of_exprs : n:int -> Expr.t list -> t
 
-(** AIG of a multi-output spec via {!of_table} (outputs share the memo). *)
-val of_spec : Spec.t -> t
+(** AIG of a multi-output spec via {!of_table} (outputs share the memo).
+    [balance] as in {!create} (default [false]). *)
+val of_spec : ?balance:bool -> Spec.t -> t
 
 (** {2 Inspection} *)
 

@@ -10,6 +10,45 @@ type mapping = {
   const_nodes : (int * bool) list;
 }
 
+(* The cover's dependency structure: block i consumes block j's root as an
+   intermediate leaf. Levels are ASAP; blocks of one level are mutually
+   independent, so [depth] is the critical path in blocks — the parallelism
+   bound a row-parallel backend schedules against. *)
+type dag = {
+  blocks : block array;
+  deps : int list array;
+  level : int array;
+  depth : int;
+}
+
+let dag (m : mapping) =
+  let n = Aig.n_inputs m.aig in
+  let blocks = Array.of_list m.blocks in
+  let producer = Hashtbl.create 16 in
+  Array.iteri (fun i b -> Hashtbl.replace producer b.root i) blocks;
+  let deps =
+    Array.map
+      (fun b ->
+        Array.to_list b.cut.Cut.leaves
+        |> List.filter_map (fun l ->
+               if l <= n then None else Hashtbl.find_opt producer l)
+        |> List.sort_uniq compare)
+      blocks
+  in
+  let level = Array.make (Array.length blocks) 0 in
+  (* blocks are ascending by root and every leaf precedes its root, so a
+     left-to-right pass is a topological sweep *)
+  Array.iteri
+    (fun i ds ->
+      level.(i) <-
+        List.fold_left (fun acc j -> max acc (level.(j) + 1)) 0 ds)
+    deps;
+  let depth =
+    if Array.length blocks = 0 then 0
+    else 1 + Array.fold_left max 0 level
+  in
+  { blocks; deps; level; depth }
+
 (* per-node selection: a hidden-constant cone or a priced cut *)
 type choice =
   | Const of bool
@@ -35,8 +74,13 @@ let stitch_inverters n_inputs (cut : Cut.t) (entry : Blocklib.entry) =
 let is_self v (c : Cut.t) =
   Array.length c.leaves = 1 && c.leaves.(0) = v
 
-(* one area-flow pass: returns per-node best choice *)
-let select aig cuts lib refs =
+(* one area-flow pass: returns per-node best choice. [v_weight] prices one
+   V-step relative to one R-op: the 1D target leaves it at 1.0 (steps and
+   R-ops serialize alike), the crossbar backend raises it because broadcast
+   V-cycles serialize globally while MAGIC NORs parallelize across rows —
+   there an all-PI cut may be cheaper as an R-only block consuming free
+   input literals, so both kinds are priced. *)
+let select aig cuts lib refs ~v_weight =
   let n = Aig.n_inputs aig in
   let nn = Aig.n_nodes aig in
   let af = Array.make nn 0.0 in
@@ -53,24 +97,34 @@ let select aig cuts lib refs =
             end
           end
           else begin
-            let kind =
-              if Array.for_all (fun l -> l <= n) c.leaves then Blocklib.Mixed
-              else Blocklib.R_only
+            let price kind =
+              let entry = Blocklib.lookup lib kind c.tt in
+              let inv =
+                if kind = Blocklib.R_only then
+                  float_of_int (stitch_inverters n c entry)
+                else 0.0
+              in
+              ( entry,
+                (v_weight *. float_of_int entry.Blocklib.steps)
+                +. float_of_int entry.Blocklib.rops
+                +. inv )
             in
-            let entry = Blocklib.lookup lib kind c.tt in
-            let inv =
-              if kind = Blocklib.R_only then
-                float_of_int (stitch_inverters n c entry)
-              else 0.0
+            let entry, base =
+              if Array.for_all (fun l -> l <= n) c.leaves then
+                if v_weight = 1.0 then price Blocklib.Mixed
+                else begin
+                  let ((_, cm) as m) = price Blocklib.Mixed in
+                  let ((_, cr) as r) = price Blocklib.R_only in
+                  if cr < cm then r else m
+                end
+              else price Blocklib.R_only
             in
             let cost =
               Array.fold_left
                 (fun acc l ->
                   if l > n then acc +. (af.(l) /. float_of_int refs.(l))
                   else acc)
-                (float_of_int (entry.Blocklib.steps + entry.Blocklib.rops)
-                 +. inv)
-                c.leaves
+                base c.leaves
             in
             if cost < !bcost then begin
               bc := Some (Mapped (c, entry));
@@ -124,9 +178,10 @@ let extract aig best =
   in
   (blocks, !consts)
 
-let compute aig ~lib ~k ~cut_limit ~passes =
+let compute ?(v_weight = 1.0) aig ~lib ~k ~cut_limit ~passes =
   if k < 2 || k > 4 then invalid_arg "Mapper.compute: need 2 <= k <= 4";
   if passes < 1 then invalid_arg "Mapper.compute: passes < 1";
+  if not (v_weight > 0.0) then invalid_arg "Mapper.compute: v_weight <= 0";
   let n = Aig.n_inputs aig in
   let nn = Aig.n_nodes aig in
   let cuts = Cut.enumerate aig ~k ~limit:cut_limit in
@@ -143,7 +198,7 @@ let compute aig ~lib ~k ~cut_limit ~passes =
   let refs = Array.map (max 1) fanout in
   let result = ref None in
   for _pass = 1 to passes do
-    let best = select aig cuts lib refs in
+    let best = select aig cuts lib refs ~v_weight in
     let blocks, consts = extract aig best in
     result := Some (blocks, consts);
     (* area recovery: next pass prices sharing by the cover just chosen *)

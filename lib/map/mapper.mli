@@ -27,8 +27,37 @@ type mapping = {
       (** AND nodes whose cone is structurally hidden constant *)
 }
 
+(** The cover's block-dependency DAG. [deps.(i)] lists the indices (into
+    [blocks], which mirrors [mapping.blocks] in ascending-root order) of the
+    blocks whose roots block [i] consumes as intermediate leaves;
+    primary-input and constant leaves contribute no edge. [level] is the
+    ASAP level (0-based): blocks of one level are mutually independent, so
+    [depth] (= max level + 1, 0 for an empty cover) is the critical path in
+    blocks — the cycle lower bound a row-parallel backend is chasing, and a
+    useful quality metric even on the 1D target. *)
+type dag = {
+  blocks : block array;
+  deps : int list array;
+  level : int array;
+  depth : int;
+}
+
+val dag : mapping -> dag
+
 (** [compute aig ~lib ~k ~cut_limit ~passes] — requires [2 <= k <= 4]
     (an AND node always has its fanin-pair cut only when [k >= 2]),
-    [cut_limit >= 1], [passes >= 1]. *)
+    [cut_limit >= 1], [passes >= 1]. [v_weight] (default [1.0], must be
+    positive) prices one V-step against one R-op in the area flow: the 1D
+    line array serializes both, so its step metric is the unweighted sum;
+    a crossbar serializes broadcast V-cycles globally but runs MAGIC NORs
+    row-parallel, so its backend raises the weight — all-PI cuts are then
+    priced both as mixed blocks and as R-only blocks over free input
+    literals, whichever is cheaper. *)
 val compute :
-  Aig.t -> lib:Blocklib.t -> k:int -> cut_limit:int -> passes:int -> mapping
+  ?v_weight:float ->
+  Aig.t ->
+  lib:Blocklib.t ->
+  k:int ->
+  cut_limit:int ->
+  passes:int ->
+  mapping

@@ -1,0 +1,252 @@
+module Literal = Mm_boolfun.Literal
+module Circuit = Mm_core.Circuit
+module Compose = Mm_core.Compose
+
+type cell = { row : int; col : int }
+
+type producer =
+  | P_init  (** preset during initialization (literal/constant cells) *)
+  | P_vdone of int  (** final V-step of slot [i]'s leg schedule *)
+  | P_rop of int * int  (** R-op [j] of slot [i] *)
+  | P_xfer of int  (** peripheral transfer [i] *)
+  | P_inv of int  (** stitch inverter [i] *)
+
+type slot = {
+  block : int;
+  row : int;
+  circuit : Circuit.t;
+  legged : bool;
+  leg_cols : int array;
+  rop_cols : int array;
+  rop_ins : (cell * cell) array;
+  out : cell;
+}
+
+type xfer = { x_node : int; x_src : cell; x_dst : cell }
+type inv = { i_node : int; i_in : cell; i_out : cell }
+
+type t = {
+  arity : int;
+  dag : Mapper.dag;
+  slots : slot array;
+  n_rows : int;
+  n_cols : int;
+  lit_cells : (cell * Literal.t) list;
+  xfers : xfer array;
+  invs : inv array;
+  outputs : cell array;
+  producer_of : (int * int, producer) Hashtbl.t;
+}
+
+let producer t (c : cell) =
+  match Hashtbl.find_opt t.producer_of (c.row, c.col) with
+  | Some p -> p
+  | None -> invalid_arg "Place.producer: cell was never defined"
+
+(* Greedy affinity placement over the block DAG, in topological (ascending
+   root) order. A block prefers the row where most of its operands already
+   live (each locally-available operand is one transfer saved) and avoids
+   rows hosting blocks of its own ASAP level (those are exactly the blocks
+   it could otherwise run beside in the same cycle); residual ties break
+   toward the least-loaded row. *)
+let place ?(rows = 16) (mapping : Mapper.mapping) =
+  if rows < 1 then invalid_arg "Place.place: rows < 1";
+  let aig = mapping.Mapper.aig in
+  let n = Aig.n_inputs aig in
+  let dag = Mapper.dag mapping in
+  let nb = Array.length dag.Mapper.blocks in
+  let root_idx = Hashtbl.create 16 in
+  Array.iteri
+    (fun i (b : Mapper.block) -> Hashtbl.replace root_idx b.Mapper.root i)
+    dag.Mapper.blocks;
+  let next_col = Array.make rows 0 in
+  let level_count = Hashtbl.create 16 in
+  let rop_load = Array.make rows 0 in
+  let producer_of = Hashtbl.create 64 in
+  let slot_row = Array.make nb 0 in
+  let out_of_block = Array.make nb { row = 0; col = 0 } in
+  let lit_memo = Hashtbl.create 16 in
+  let lit_cells = ref [] in
+  let xfer_memo = Hashtbl.create 16 in
+  let inv_memo = Hashtbl.create 16 in
+  let xfers = ref [] and n_xfers = ref 0 in
+  let invs = ref [] and n_invs = ref 0 in
+  let alloc row =
+    let col = next_col.(row) in
+    next_col.(row) <- col + 1;
+    { row; col }
+  in
+  let set_producer (c : cell) p = Hashtbl.replace producer_of (c.row, c.col) p in
+  let lit_cell row l =
+    match Hashtbl.find_opt lit_memo (row, l) with
+    | Some c -> c
+    | None ->
+      let c = alloc row in
+      Hashtbl.add lit_memo (row, l) c;
+      lit_cells := (c, l) :: !lit_cells;
+      set_producer c P_init;
+      c
+  in
+  (* the value of intermediate node [node] made local to [row]: the
+     producer's output cell when co-located, else one memoized transfer *)
+  let local_value row node =
+    let src = out_of_block.(Hashtbl.find root_idx node) in
+    if src.row = row then src
+    else
+      match Hashtbl.find_opt xfer_memo (row, node) with
+      | Some c -> c
+      | None ->
+        let c = alloc row in
+        Hashtbl.add xfer_memo (row, node) c;
+        xfers := { x_node = node; x_src = src; x_dst = c } :: !xfers;
+        set_producer c (P_xfer !n_xfers);
+        incr n_xfers;
+        c
+  in
+  (* negation of an intermediate node on [row]: one memoized NOR(x,x) *)
+  let neg_value row node =
+    match Hashtbl.find_opt inv_memo (row, node) with
+    | Some c -> c
+    | None ->
+      let i_in = local_value row node in
+      let c = alloc row in
+      Hashtbl.add inv_memo (row, node) c;
+      invs := { i_node = node; i_in; i_out = c } :: !invs;
+      set_producer c (P_inv !n_invs);
+      incr n_invs;
+      rop_load.(row) <- rop_load.(row) + 1;
+      c
+  in
+  let leaf_value row leaf ~neg =
+    if leaf = 0 then lit_cell row (if neg then Literal.Const1 else Literal.Const0)
+    else if leaf <= n then
+      lit_cell row (if neg then Literal.Neg leaf else Literal.Pos leaf)
+    else
+      match List.assoc_opt leaf mapping.Mapper.const_nodes with
+      | Some b ->
+        lit_cell row (if b <> neg then Literal.Const1 else Literal.Const0)
+      | None -> if neg then neg_value row leaf else local_value row leaf
+  in
+  let slots =
+    Array.mapi
+      (fun i (b : Mapper.block) ->
+        let level = dag.Mapper.level.(i) in
+        (* row choice *)
+        let avail r j =
+          slot_row.(j) = r
+          || Hashtbl.mem xfer_memo (r, dag.Mapper.blocks.(j).Mapper.root)
+        in
+        let best_row = ref 0 and best_score = ref neg_infinity in
+        for r = 0 to rows - 1 do
+          let aff =
+            List.fold_left
+              (fun acc j -> if avail r j then acc + 1 else acc)
+              0 dag.Mapper.deps.(i)
+          in
+          let lvl =
+            match Hashtbl.find_opt level_count (r, level) with
+            | Some c -> c
+            | None -> 0
+          in
+          let score =
+            (3. *. float_of_int aff)
+            -. (3. *. float_of_int lvl)
+            -. (0.01 *. float_of_int rop_load.(r))
+            -. (0.001 *. float_of_int next_col.(r))
+          in
+          if score > !best_score then begin
+            best_score := score;
+            best_row := r
+          end
+        done;
+        let row = !best_row in
+        slot_row.(i) <- row;
+        Hashtbl.replace level_count (row, level)
+          (1 + match Hashtbl.find_opt level_count (row, level) with
+               | Some c -> c
+               | None -> 0);
+        let e = b.Mapper.entry in
+        let legged = Circuit.n_legs e.Blocklib.circuit > 0 in
+        let circuit =
+          if legged then
+            (* leaves of a legged block are primary inputs: lift the
+               block-local variables onto the full input space *)
+            Circuit.physicalize
+              (Compose.rename_vars e.Blocklib.circuit ~arity:n
+                 ~mapping:b.Mapper.cut.Cut.leaves)
+          else e.Blocklib.circuit
+        in
+        let leg_cols =
+          Array.init (Circuit.n_legs circuit) (fun _ ->
+              let c = alloc row in
+              set_producer c (P_vdone i);
+              c.col)
+        in
+        let rop_cols =
+          Array.init (Circuit.n_rops circuit) (fun j ->
+              let c = alloc row in
+              set_producer c (P_rop (i, j));
+              c.col)
+        in
+        rop_load.(row) <- rop_load.(row) + Circuit.n_rops circuit;
+        let resolve = function
+          | Circuit.From_rop r -> { row; col = rop_cols.(r) }
+          | Circuit.From_leg l -> { row; col = leg_cols.(l) }
+          | Circuit.From_vop (l, s) ->
+            if s <> Circuit.steps_per_leg circuit - 1 then
+              invalid_arg "Place.place: non-final V-op tap survived physicalize";
+            { row; col = leg_cols.(l) }
+          | Circuit.From_literal l ->
+            if legged then lit_cell row l
+            else (
+              match l with
+              | Literal.Const0 | Literal.Const1 -> lit_cell row l
+              | Literal.Pos j ->
+                leaf_value row b.Mapper.cut.Cut.leaves.(j - 1) ~neg:false
+              | Literal.Neg j ->
+                leaf_value row b.Mapper.cut.Cut.leaves.(j - 1) ~neg:true)
+        in
+        let rop_ins =
+          Array.map
+            (fun { Circuit.in1; in2 } -> (resolve in1, resolve in2))
+            circuit.Circuit.rops
+        in
+        let out = resolve circuit.Circuit.outputs.(0) in
+        out_of_block.(i) <- out;
+        { block = i; row; circuit; legged; leg_cols; rop_cols; rop_ins; out })
+      dag.Mapper.blocks
+  in
+  (* spec outputs: block outputs (negated through the producer row's
+     inverter), primary inputs, or constants *)
+  let outputs =
+    Array.map
+      (fun o ->
+        let u = Aig.lit_node o and compl_ = Aig.lit_compl o in
+        if u = 0 then
+          lit_cell 0 (if compl_ then Literal.Const1 else Literal.Const0)
+        else if u <= n then
+          lit_cell 0 (if compl_ then Literal.Neg u else Literal.Pos u)
+        else
+          match List.assoc_opt u mapping.Mapper.const_nodes with
+          | Some b ->
+            lit_cell 0 (if b <> compl_ then Literal.Const1 else Literal.Const0)
+          | None ->
+            let i = Hashtbl.find root_idx u in
+            if compl_ then neg_value slot_row.(i) u else out_of_block.(i))
+      (Aig.outputs aig)
+  in
+  let n_rows = ref 1 in
+  Array.iteri (fun r c -> if c > 0 then n_rows := max !n_rows (r + 1)) next_col;
+  let n_cols = max 1 (Array.fold_left max 0 next_col) in
+  {
+    arity = n;
+    dag;
+    slots;
+    n_rows = !n_rows;
+    n_cols;
+    lit_cells = List.rev !lit_cells;
+    xfers = Array.of_list (List.rev !xfers);
+    invs = Array.of_list (List.rev !invs);
+    outputs;
+    producer_of;
+  }

@@ -1,0 +1,67 @@
+(** Row placement and column layout of a mapped cover on a crossbar.
+
+    Each block of the cover becomes a {!slot} pinned to one crossbar row,
+    with a private column span: one column per leg, one per R-op output,
+    plus shared per-row cells for literal presets, transferred operands and
+    stitch inverters (all memoized, so two consumers on the same row share
+    one cell). Placement is greedy over the block-dependency DAG in
+    topological order: a block scores rows by operand locality (each
+    already-local operand saves one peripheral transfer) minus the number
+    of same-ASAP-level residents (those are the blocks it could otherwise
+    run beside in the same cycle), with load tiebreaks. Cross-row operands
+    materialize explicit {!xfer} records; negated intermediate leaves
+    materialize explicit NOR(x,x) {!inv} records on the consuming row.
+
+    The output is purely static — every cell, transfer and inverter the
+    schedule will ever touch is decided here, so the scheduler
+    ({!Xsched}) only orders events and the executor ({!Xstitch}) only
+    replays them. *)
+
+type cell = { row : int; col : int }
+
+(** What defines a cell's value (for dependency reconstruction). *)
+type producer =
+  | P_init  (** preset during initialization (literal/constant cells) *)
+  | P_vdone of int  (** final V-step of slot [i]'s leg schedule *)
+  | P_rop of int * int  (** R-op [j] of slot [i] *)
+  | P_xfer of int  (** peripheral transfer [i] *)
+  | P_inv of int  (** stitch inverter [i] *)
+
+type slot = {
+  block : int;  (** index into [dag.blocks] *)
+  row : int;
+  circuit : Mm_core.Circuit.t;
+      (** legged blocks: lifted to the full input space and physicalized;
+          0-leg blocks: the block-local library circuit *)
+  legged : bool;
+  leg_cols : int array;
+  rop_cols : int array;
+  rop_ins : (cell * cell) array;  (** resolved input cells per R-op *)
+  out : cell;  (** junction holding the block's root value *)
+}
+
+type xfer = { x_node : int; x_src : cell; x_dst : cell }
+type inv = { i_node : int; i_in : cell; i_out : cell }
+
+type t = {
+  arity : int;
+  dag : Mapper.dag;
+  slots : slot array;  (** same order as [dag.blocks] (topological) *)
+  n_rows : int;  (** rows actually used (>= 1) *)
+  n_cols : int;  (** columns actually used (>= 1) *)
+  lit_cells : (cell * Mm_boolfun.Literal.t) list;
+      (** cells preset during initialization *)
+  xfers : xfer array;
+  invs : inv array;
+  outputs : cell array;  (** one cell per spec output *)
+  producer_of : (int * int, producer) Hashtbl.t;
+}
+
+(** Producer of a cell every slot/xfer/inv/output references. Raises
+    [Invalid_argument] on a cell the placement never defined. *)
+val producer : t -> cell -> producer
+
+(** [place ~rows mapping] lays the cover out on [rows] rows (default 16;
+    must be >= 1 — with [rows = 1] everything co-locates and no transfers
+    are emitted). *)
+val place : ?rows:int -> Mapper.mapping -> t

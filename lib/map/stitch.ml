@@ -162,6 +162,8 @@ let lower spec (mapping : Mapper.mapping) =
 
 type result = {
   stitched : t;
+  mapping : Mapper.mapping;
+  dag : Mapper.dag;
   aig_inputs : int;
   aig_ands : int;
   lib_lookups : int;
@@ -170,16 +172,18 @@ type result = {
   lib_fallbacks : int;
 }
 
-let compile ?(k = 4) ?(cut_limit = 8) ?(passes = 3) (cfg : Engine.config) spec
-    =
+let compile ?(k = 4) ?(cut_limit = 8) ?(passes = 3) ?balance_xor ?v_weight
+    (cfg : Engine.config) spec =
   if cfg.Engine.rop_kind <> Rop.Nor then
     invalid_arg "Stitch.compile: rop_kind must be Nor (stitch inverters)";
-  let aig = Aig.of_spec spec in
+  let aig = Aig.of_spec ?balance:balance_xor spec in
   let lib = Blocklib.create cfg in
-  let mapping = Mapper.compute aig ~lib ~k ~cut_limit ~passes in
+  let mapping = Mapper.compute ?v_weight aig ~lib ~k ~cut_limit ~passes in
   let stitched = lower spec mapping in
   let lookups, hits, exact, fallbacks = Blocklib.stats lib in
   { stitched;
+    mapping;
+    dag = Mapper.dag mapping;
     aig_inputs = Aig.n_inputs aig;
     aig_ands = Aig.n_ands aig;
     lib_lookups = lookups;

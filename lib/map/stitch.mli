@@ -49,6 +49,8 @@ val lower : Spec.t -> Mapper.mapping -> t
 
 type result = {
   stitched : t;
+  mapping : Mapper.mapping;  (** the chosen cover, for alternate backends *)
+  dag : Mapper.dag;  (** block-dependency DAG / critical-path depth *)
   aig_inputs : int;
   aig_ands : int;
   lib_lookups : int;
@@ -61,6 +63,16 @@ type result = {
     ({!Aig.of_spec}), cut enumeration, area-flow mapping against a fresh
     {!Blocklib} probing through [cfg], stitching, verification.
     [cfg.rop_kind] must be [Nor]. Defaults: [k = 4], [cut_limit = 8],
-    [passes = 3]. *)
+    [passes = 3]. [balance_xor] (default [false]) forwards to
+    {!Aig.of_spec}: balanced XOR trees for linear subfunctions — the
+    crossbar backend enables it because cycle count tracks AIG depth.
+    [v_weight] forwards to {!Mapper.compute} (default 1.0). *)
 val compile :
-  ?k:int -> ?cut_limit:int -> ?passes:int -> Engine.config -> Spec.t -> result
+  ?k:int ->
+  ?cut_limit:int ->
+  ?passes:int ->
+  ?balance_xor:bool ->
+  ?v_weight:float ->
+  Engine.config ->
+  Spec.t ->
+  result

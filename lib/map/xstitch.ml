@@ -1,0 +1,178 @@
+module Spec = Mm_boolfun.Spec
+module Literal = Mm_boolfun.Literal
+module Circuit = Mm_core.Circuit
+module Rop = Mm_core.Rop
+module Device = Mm_device.Device
+module Crossbar = Mm_device.Crossbar
+module Rng = Mm_device.Rng
+module Engine = Mm_engine.Engine
+
+type run = {
+  input : int;
+  outputs : bool array;
+  counts : Crossbar.counts;
+}
+
+let word_of outputs =
+  let w = ref 0 in
+  Array.iteri (fun o b -> if b then w := !w lor (1 lsl o)) outputs;
+  !w
+
+let execute ?(params = Device.default_params) ?rng (sched : Xsched.t) ~input ()
+    =
+  let p = sched.Xsched.place in
+  let n = p.Place.arity in
+  if input < 0 || input >= 1 lsl n then invalid_arg "Xstitch.execute";
+  let rng = match rng with Some r -> r | None -> Rng.create 0x5eed in
+  let xb =
+    Crossbar.create ~rng ~rows:p.Place.n_rows ~cols:p.Place.n_cols ~params ()
+  in
+  (* initialization (free, as on the 1D schedule): literal cells take the
+     row's literal value, legs start at 0, R-op/inverter outputs at the
+     gate preset, transfer destinations anywhere deterministic *)
+  List.iter
+    (fun ((c : Place.cell), l) ->
+      Crossbar.set_state xb ~row:c.Place.row ~col:c.Place.col
+        (Literal.eval n l input))
+    p.Place.lit_cells;
+  Array.iter
+    (fun (sl : Place.slot) ->
+      let preset = Rop.output_preset sl.Place.circuit.Circuit.rop_kind in
+      Array.iter
+        (fun col -> Crossbar.set_state xb ~row:sl.Place.row ~col false)
+        sl.Place.leg_cols;
+      Array.iter
+        (fun col -> Crossbar.set_state xb ~row:sl.Place.row ~col preset)
+        sl.Place.rop_cols)
+    p.Place.slots;
+  Array.iter
+    (fun (iv : Place.inv) ->
+      Crossbar.set_state xb ~row:iv.Place.i_out.Place.row
+        ~col:iv.Place.i_out.Place.col
+        (Rop.output_preset Rop.Nor))
+    p.Place.invs;
+  Array.iter
+    (fun (x : Place.xfer) ->
+      Crossbar.set_state xb ~row:x.Place.x_dst.Place.row
+        ~col:x.Place.x_dst.Place.col false)
+    p.Place.xfers;
+  (* replay the schedule *)
+  Array.iter
+    (fun cyc ->
+      match cyc with
+      | Xsched.C_v set ->
+        let te_arr = Array.make p.Place.n_cols None in
+        let active = Hashtbl.create 4 in
+        List.iter
+          (fun (s, st) ->
+            let sl = p.Place.slots.(s) in
+            let be =
+              Literal.eval n sl.Place.circuit.Circuit.legs.(0).(st).Circuit.be
+                input
+            in
+            (match Hashtbl.find_opt active sl.Place.row with
+            | Some b ->
+              if b <> be then
+                failwith "Xstitch.execute: BE clash in a broadcast V-cycle"
+            | None -> Hashtbl.add active sl.Place.row be);
+            Array.iteri
+              (fun l col ->
+                te_arr.(col) <-
+                  Some
+                    (Literal.eval n
+                       sl.Place.circuit.Circuit.legs.(l).(st).Circuit.te input))
+              sl.Place.leg_cols)
+          set;
+        Crossbar.vop_cycle_rows xb
+          ~active:(Hashtbl.fold (fun r b acc -> (r, b) :: acc) active [])
+          ~te:(fun col -> te_arr.(col))
+      | Xsched.C_r refs ->
+        let gates =
+          List.map
+            (fun r ->
+              match r with
+              | Xsched.Gate (s, j) ->
+                let sl = p.Place.slots.(s) in
+                let (a : Place.cell), (b : Place.cell) = sl.Place.rop_ins.(j) in
+                assert (a.Place.row = sl.Place.row && b.Place.row = sl.Place.row);
+                (sl.Place.row, a.Place.col, b.Place.col, sl.Place.rop_cols.(j))
+              | Xsched.Inverter i ->
+                let iv = p.Place.invs.(i) in
+                ( iv.Place.i_out.Place.row,
+                  iv.Place.i_in.Place.col,
+                  iv.Place.i_in.Place.col,
+                  iv.Place.i_out.Place.col ))
+            refs
+        in
+        Crossbar.parallel_magic_nor xb gates
+      | Xsched.C_t ixs ->
+        List.iter
+          (fun i ->
+            let x = p.Place.xfers.(i) in
+            Crossbar.transfer xb
+              ~src:(x.Place.x_src.Place.row, x.Place.x_src.Place.col)
+              ~dst:(x.Place.x_dst.Place.row, x.Place.x_dst.Place.col))
+          ixs)
+    sched.Xsched.cycles;
+  (* readout: one peripheral read per output *)
+  let outputs =
+    Array.map
+      (fun (c : Place.cell) ->
+        fst (Crossbar.read xb ~row:c.Place.row ~col:c.Place.col))
+      p.Place.outputs
+  in
+  { input; outputs; counts = Crossbar.counts xb }
+
+(* Zero-trust check: every schedule is executed on the crossbar simulator
+   for every input row and compared against the spec; the device-level
+   cycle counters must also agree with the schedule's claim. *)
+let verify ?params ?rng (sched : Xsched.t) spec =
+  let n = Spec.arity spec in
+  let failures = ref [] in
+  for input = (1 lsl n) - 1 downto 0 do
+    let rng = match rng with Some r -> Some (Rng.split r) | None -> None in
+    let r = execute ?params ?rng sched ~input () in
+    let ok =
+      word_of r.outputs = Spec.eval spec input
+      && r.counts.Crossbar.v_cycles = sched.Xsched.v_cycles
+      && r.counts.Crossbar.r_cycles = sched.Xsched.r_cycles
+      && r.counts.Crossbar.transfers
+         = Array.length sched.Xsched.place.Place.xfers
+    in
+    if not ok then failures := input :: !failures
+  done;
+  !failures
+
+type result = {
+  stitch : Stitch.result;  (** the 1D compile this schedule was derived from *)
+  sched : Xsched.t;
+  cycles : int;  (** V + R + T cycles (readout excluded, like 1D steps) *)
+  readout : int;  (** peripheral read cycles at the end (= #outputs) *)
+  transfers : int;
+  rows_used : int;
+  cols_used : int;
+  verified : bool;
+}
+
+let of_stitch ?(rows = 16) ?(ports = 4) ?(polish = true) (st : Stitch.result)
+    spec =
+  let place = Place.place ~rows st.Stitch.mapping in
+  let sched = Xsched.build ~ports ~polish place in
+  let verified = verify sched spec = [] in
+  {
+    stitch = st;
+    sched;
+    cycles = Xsched.n_cycles sched;
+    readout = Array.length place.Place.outputs;
+    transfers = Array.length place.Place.xfers;
+    rows_used = place.Place.n_rows;
+    cols_used = place.Place.n_cols;
+    verified;
+  }
+
+let compile ?k ?cut_limit ?passes ?(balance_xor = true) ?(v_weight = 2.0)
+    ?rows ?ports ?polish (cfg : Engine.config) spec =
+  let st =
+    Stitch.compile ?k ?cut_limit ?passes ~balance_xor ~v_weight cfg spec
+  in
+  of_stitch ?rows ?ports ?polish st spec

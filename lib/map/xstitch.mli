@@ -1,0 +1,74 @@
+(** Execute and verify crossbar schedules on the device-level simulator.
+
+    {!execute} replays an {!Xsched} schedule cycle-by-cycle on
+    {!Mm_device.Crossbar} for one input row: literal cells are preset to the
+    row's values (initialization is free, as on the 1D schedule), broadcast
+    V-cycles drive the full shared-bit-line pattern on every active row,
+    MAGIC NOR cycles fire one gate per listed row, transfer cycles move
+    values through the periphery (costing endurance on the destination).
+    Readout is one peripheral read per output, counted separately from
+    compute cycles — the 1D step metric [N_St] also excludes readout, which
+    keeps "cycles vs steps" an apples-to-apples comparison.
+
+    {!verify} is the zero-trust backstop: every input row is executed and
+    compared against the spec, and the crossbar's own cycle counters must
+    match the schedule's claimed V/R/transfer counts. A scheduler bug that
+    co-activates incompatible rows corrupts the simulated states and is
+    caught here rather than masked. *)
+
+module Spec = Mm_boolfun.Spec
+module Device = Mm_device.Device
+module Crossbar = Mm_device.Crossbar
+module Rng = Mm_device.Rng
+module Engine = Mm_engine.Engine
+
+type run = {
+  input : int;
+  outputs : bool array;
+  counts : Crossbar.counts;  (** what the hardware model actually executed *)
+}
+
+val word_of : bool array -> int
+
+val execute : ?params:Device.params -> ?rng:Rng.t -> Xsched.t -> input:int -> unit -> run
+
+(** Failing input rows (empty = fully verified). Also fails a row when the
+    device-level counters disagree with the schedule's claimed counts. *)
+val verify : ?params:Device.params -> ?rng:Rng.t -> Xsched.t -> Spec.t -> int list
+
+type result = {
+  stitch : Stitch.result;  (** the 1D compile this schedule was derived from *)
+  sched : Xsched.t;
+  cycles : int;  (** V + R + T cycles (readout excluded, like 1D steps) *)
+  readout : int;  (** peripheral read cycles at the end (= #outputs) *)
+  transfers : int;
+  rows_used : int;
+  cols_used : int;
+  verified : bool;  (** simulator-validated on every input row *)
+}
+
+(** Crossbar backend over an existing 1D compile result (reuses its cover).
+    Defaults: [rows = 16], [ports = 4], [polish = true]. *)
+val of_stitch : ?rows:int -> ?ports:int -> ?polish:bool -> Stitch.result -> Spec.t -> result
+
+(** End-to-end: AIG → cover → placement → schedule → simulator verification.
+    Same mapping knobs as {!Stitch.compile}, with two crossbar-tuned
+    defaults: [balance_xor = true] (cycle count tracks the block-DAG
+    critical path, so linear XOR-chain functions are rebuilt as balanced
+    trees before mapping) and [v_weight = 2.0] (broadcast V-cycles
+    serialize globally while MAGIC NORs run row-parallel, so the area flow
+    leans toward R-only blocks over free input literals). The legacy 1D
+    pipeline keeps both off — its step metric is depth-insensitive and its
+    published numbers stay bit-stable. *)
+val compile :
+  ?k:int ->
+  ?cut_limit:int ->
+  ?passes:int ->
+  ?balance_xor:bool ->
+  ?v_weight:float ->
+  ?rows:int ->
+  ?ports:int ->
+  ?polish:bool ->
+  Engine.config ->
+  Spec.t ->
+  result

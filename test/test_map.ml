@@ -46,7 +46,7 @@ let test_aig_of_exprs () =
 
 let test_aig_strash () =
   (* structurally identical sub-terms must share one node *)
-  let b = Aig.create ~n_inputs:3 in
+  let b = Aig.create ~n_inputs:3 () in
   let x1 = Aig.input b 1 and x2 = Aig.input b 2 in
   let a1 = Aig.mk_and b x1 x2 in
   let a2 = Aig.mk_and b x2 x1 in
