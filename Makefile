@@ -20,6 +20,8 @@
 SMOKE_CACHE := $(shell mktemp -u /tmp/mmsynth_smoke_XXXXXX.cache)
 MAP_CACHE   := $(shell mktemp -u /tmp/mmsynth_map_XXXXXX.cache)
 XBAR_CACHE  := $(shell mktemp -u /tmp/mmsynth_xbar_XXXXXX.cache)
+RESYN_CACHE := $(shell mktemp -u /tmp/mmsynth_resyn_XXXXXX.cache)
+RESYN_ART   := $(shell mktemp -u /tmp/mmsynth_resyn_XXXXXX.json)
 FAULT_CACHE := $(shell mktemp -u /tmp/mmsynth_fault_XXXXXX.cache)
 SERVE_SOCK  := $(shell mktemp -u /tmp/mmsynth_serve_XXXXXX.sock)
 SERVE_CACHE := $(shell mktemp -u /tmp/mmsynth_serve_XXXXXX.cache)
@@ -30,9 +32,9 @@ CLUSTER_DIR  := $(shell mktemp -u /tmp/mmsynth_cluster_XXXXXX)
 MMSYNTH     := _build/default/bin/mmsynth.exe
 
 .PHONY: all build test smoke smoke-fault smoke-serve smoke-ladder \
-  smoke-prove smoke-map smoke-xbar smoke-atlas smoke-cluster check bench \
-  bench-ladder bench-prove bench-map bench-xbar bench-robustness \
-  bench-serve bench-storm bench-atlas clean
+  smoke-prove smoke-map smoke-xbar smoke-resyn smoke-atlas smoke-cluster \
+  check bench bench-ladder bench-prove bench-map bench-xbar bench-resyn \
+  bench-robustness bench-serve bench-storm bench-atlas clean
 
 all: build
 
@@ -155,6 +157,34 @@ smoke-xbar: build
 	rm -f $(XBAR_CACHE); \
 	echo "smoke-xbar: OK (crossbar schedule verified and matches the 1D backend on all rows)"
 
+# Post-mapping resynthesis must never regress: map the same workload with
+# and without --resyn and require the resyn'd step total to be <= the plain
+# mapped total (`map` already exits non-zero unless the schedule re-verifies
+# on every input row). The emitted --json artifact is then fed back through
+# `mmsynth resyn`, which must re-verify and, being a second application of a
+# fixed-point optimizer, must not find further gains to reject.
+smoke-resyn: build
+	@set -e; \
+	plain=$$($(MMSYNTH) map --workload adder2 --effort 1 \
+	  --cache $(RESYN_CACHE) \
+	  | sed -n 's/^steps: .*= \([0-9][0-9]*\);.*/\1/p'); \
+	$(MMSYNTH) map --workload adder2 --effort 1 --cache $(RESYN_CACHE) \
+	  --resyn --json > $(RESYN_ART); \
+	grep -q "simulator validation: 32/32 rows correct" $(RESYN_ART) \
+	  || { echo "smoke-resyn: simulator validation failed"; exit 1; }; \
+	grep -q "^resyn: " $(RESYN_ART) \
+	  || { echo "smoke-resyn: no resyn summary"; exit 1; }; \
+	total=$$(sed -n 's/^steps: .*= \([0-9][0-9]*\);.*/\1/p' $(RESYN_ART)); \
+	[ -n "$$plain" ] && [ -n "$$total" ] \
+	  || { echo "smoke-resyn: could not parse step totals"; exit 1; }; \
+	[ "$$total" -le "$$plain" ] \
+	  || { echo "smoke-resyn: resyn regressed ($$plain -> $$total steps)"; exit 1; }; \
+	$(MMSYNTH) resyn $(RESYN_ART) --effort 1 --cache $(RESYN_CACHE) \
+	  | grep -q "rows correct" \
+	  || { echo "smoke-resyn: artifact round trip failed"; exit 1; }; \
+	rm -f $(RESYN_CACHE) $(RESYN_ART); \
+	echo "smoke-resyn: OK (resyn verified, never worse: $$plain -> $$total steps)"
+
 # The zero-SAT serve path, end to end: an exact tiny atlas must answer a
 # covered sweep with no solver calls and no fallbacks, both through the
 # batch engine and through a daemon round trip, and `atlas verify` must
@@ -207,7 +237,7 @@ smoke-cluster: build
 	echo "smoke-cluster: OK (40/40 answered across a mid-stream shard kill)"
 
 check: test smoke smoke-fault smoke-serve smoke-ladder smoke-prove smoke-map \
-  smoke-xbar smoke-atlas smoke-cluster
+  smoke-xbar smoke-resyn smoke-atlas smoke-cluster
 
 bench:
 	dune exec bench/main.exe -- engine
@@ -223,6 +253,9 @@ bench-map:
 
 bench-xbar:
 	dune exec bench/main.exe -- xbar
+
+bench-resyn:
+	dune exec bench/main.exe -- resyn
 
 bench-robustness:
 	dune exec bench/main.exe -- robustness

@@ -671,6 +671,7 @@ let map_bench ?(budget = 0.5) () =
        baseline\",\n\
       \  \"host_cores\": %d,\n\
       \  \"probe_budget_s\": %.2f,\n\
+      \  \"resyn_passes\": 0,\n\
       \  \"cost_metric\": \"V-steps per leg + R-ops (total schedule \
        steps)\",\n\
       \  \"results\": [\n%s\n  ]\n\
@@ -782,6 +783,7 @@ let xbar_bench ?(budget = 0.5) ?(rows = 16) ?(ports = 4) () =
        cover) vs serial 1D schedule\",\n\
       \  \"host_cores\": %d,\n\
       \  \"probe_budget_s\": %.2f,\n\
+      \  \"resyn_passes\": 0,\n\
       \  \"rows\": %d,\n\
       \  \"ports\": %d,\n\
       \  \"cycle_metric\": \"V broadcast cycles + parallel NOR cycles + \
@@ -803,6 +805,135 @@ let xbar_bench ?(budget = 0.5) ?(rows = 16) ?(ports = 4) () =
     "\nShape: %d/%d workloads need fewer crossbar cycles than 1D steps —\n\
      the R-op phase parallelizes across rows while placement affinity\n\
      keeps transfer cycles low; written to BENCH_xbar.json\n"
+    !wins !total
+
+(* ------------------------------------------------------------------ *)
+(* Resyn: windowed SAT-sweeping resynthesis over stitched schedules    *)
+(* ------------------------------------------------------------------ *)
+
+let resyn_bench ?(budget = 0.5) ?(passes = 4) ?(rows = 16) ?(ports = 4) () =
+  let module Engine = Mm_engine.Engine in
+  let module Cache = Mm_engine.Cache in
+  let module Stitch = Mm_map.Stitch in
+  let module Xstitch = Mm_map.Xstitch in
+  let module Resyn = Mm_resyn.Resyn in
+  section "Resyn: post-mapping resynthesis of stitched schedules";
+  Printf.printf
+    "Each workload is mapped and stitched, then re-optimized after the cut\n\
+     boundaries are gone: semantic sweeping redirects R-ops that duplicate\n\
+     an earlier signal, every legal window is re-synthesized exactly\n\
+     (atlas-first) and spliced only when strictly cheaper AND re-verified,\n\
+     and the shared-BE-rail schedule is compacted to the shortest common\n\
+     supersequence of the legs' real-op rails. The crossbar schedule is\n\
+     re-optimized at cover level (producer-into-consumer merges). The\n\
+     gate: mapped+resyn must never exceed the Shannon heuristic.\n\n%!";
+  let t =
+    Table.create
+      [ "function"; "n"; "map"; "resyn"; "heur"; "win a/t"; "merged"; "dead";
+        "V saved"; "xbar cyc"; "time [s]"; "verified" ]
+  in
+  let cache = Cache.create () in
+  let cfg =
+    Engine.config ~timeout_per_call:budget ~max_rops:8 ~domains:1
+      ~taps:E.Final_only ~cache ()
+  in
+  let results = ref [] and wins = ref 0 and total = ref 0 in
+  let case spec =
+    let t0 = Unix.gettimeofday () in
+    let st = (Stitch.compile cfg spec).Stitch.stitched in
+    let r = Resyn.optimize ~max_passes:passes cfg spec st.Stitch.circuit in
+    let s = r.Resyn.stats in
+    let c = r.Resyn.circuit in
+    let plan = Schedule.plan c in
+    let failures = Schedule.verify plan spec in
+    let hc, _ = Heuristic.synthesize ~timeout_per_block:budget spec in
+    let xr = Xstitch.compile ~rows ~ports cfg spec in
+    let x = Resyn.optimize_xbar ~rows ~ports cfg spec xr in
+    let xs = x.Resyn.xstats in
+    let dt = Unix.gettimeofday () -. t0 in
+    let gate = C.n_steps c <= C.n_steps hc in
+    let ok =
+      failures = [] && x.Resyn.result.Xstitch.verified
+      && s.Resyn.steps_after <= s.Resyn.steps_before
+      && xs.Resyn.cycles_after <= xs.Resyn.cycles_before
+    in
+    incr total;
+    if gate && ok then incr wins;
+    Table.add_row t
+      [
+        Spec.name spec;
+        string_of_int (Spec.arity spec);
+        string_of_int s.Resyn.steps_before;
+        string_of_int s.Resyn.steps_after;
+        string_of_int (C.n_steps hc);
+        Printf.sprintf "%d/%d" s.Resyn.windows_accepted s.Resyn.windows_attempted;
+        string_of_int s.Resyn.sweep_merged;
+        string_of_int s.Resyn.dce_removed;
+        string_of_int s.Resyn.v_steps_saved;
+        Printf.sprintf "%d->%d" xs.Resyn.cycles_before xs.Resyn.cycles_after;
+        Printf.sprintf "%.1f" dt;
+        (if ok then "yes" else "NO");
+      ];
+    results :=
+      Printf.sprintf
+        "    { \"function\": %S, \"n\": %d, \"mapped_total\": %d,\n\
+        \      \"resyn_total\": %d, \"heuristic_total\": %d,\n\
+        \      \"windows_attempted\": %d, \"windows_accepted\": %d,\n\
+        \      \"trivial_hits\": %d, \"atlas_hits\": %d, \"solver_hits\": %d,\n\
+        \      \"sweep_merged\": %d, \"dce_removed\": %d, \"v_steps_saved\": %d,\n\
+        \      \"passes\": %d, \"fixed_point\": %b,\n\
+        \      \"xbar_cycles_before\": %d, \"xbar_cycles_after\": %d,\n\
+        \      \"xbar_merges_accepted\": %d,\n\
+        \      \"mapped_le_heuristic\": %b, \"time_s\": %.2f, \"verified\": %b }"
+        (Spec.name spec) (Spec.arity spec) s.Resyn.steps_before
+        s.Resyn.steps_after (C.n_steps hc) s.Resyn.windows_attempted
+        s.Resyn.windows_accepted s.Resyn.trivial_hits s.Resyn.atlas_hits
+        s.Resyn.solver_hits s.Resyn.sweep_merged s.Resyn.dce_removed
+        s.Resyn.v_steps_saved s.Resyn.passes s.Resyn.fixed_point
+        xs.Resyn.cycles_before xs.Resyn.cycles_after xs.Resyn.merges_accepted
+        gate dt ok
+      :: !results
+  in
+  case (Arith.adder_bits 2);
+  case (Arith.adder_bits 3);
+  case (Arith.adder_bits 4);
+  case (Arith.majority 5);
+  case (Arith.majority 6);
+  case (Arith.majority 7);
+  case (Arith.parity 5);
+  case (Arith.parity 6);
+  case (Arith.parity 7);
+  case (Arith.parity 8);
+  Table.print t;
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"workload\": \"post-mapping resynthesis (sweep + window rewrite + \
+       leg compaction) vs Shannon heuristic\",\n\
+      \  \"host_cores\": %d,\n\
+      \  \"probe_budget_s\": %.2f,\n\
+      \  \"resyn_passes\": %d,\n\
+      \  \"rows\": %d,\n\
+      \  \"ports\": %d,\n\
+      \  \"cost_metric\": \"V-steps per leg + R-ops (total schedule \
+       steps)\",\n\
+      \  \"mapped_le_heuristic\": %d,\n\
+      \  \"workloads\": %d,\n\
+      \  \"results\": [\n%s\n  ]\n\
+       }"
+      (Domain.recommended_domain_count ())
+      budget passes rows ports !wins !total
+      (String.concat ",\n" (List.rev !results))
+  in
+  let oc = open_out "BENCH_resyn.json" in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf
+    "\nShape: %d/%d workloads meet the mapped+resyn <= heuristic gate —\n\
+     sweeps absorb cross-block duplication and SCS rail compaction\n\
+     reclaims the stitcher's serialization padding; written to\n\
+     BENCH_resyn.json\n"
     !wins !total
 
 (* ------------------------------------------------------------------ *)
@@ -2177,6 +2308,9 @@ let usage () =
     \               -> BENCH_map.json; --budget SECONDS per library probe\n\
     \  xbar         crossbar row-parallel scheduling vs 1D steps on the map\n\
     \               workloads -> BENCH_xbar.json; --budget SECONDS per probe\n\
+    \  resyn        post-mapping resynthesis (sweep + window rewrite + leg\n\
+    \               compaction) vs heuristic -> BENCH_resyn.json; --budget\n\
+    \               SECONDS per probe\n\
     \  engine       batch engine: NPN classes + cache + domain pool -> BENCH_engine.json\n\
     \  ladder       incremental assumption sweep vs monolithic -> BENCH_ladder.json;\n\
     \               --budget SECONDS, --limit N classes\n\
@@ -2226,6 +2360,7 @@ let () =
     heuristic_bench ();
     map_bench ();
     xbar_bench ();
+    resyn_bench ();
     engine_bench ();
     ladder_bench ~budget:60. ~limit ();
     prove_bench ();
@@ -2258,6 +2393,7 @@ let () =
   | [ "heuristic" ] -> heuristic_bench ()
   | [ "map" ] -> map_bench ~budget:(value "--budget" 0.5) ()
   | [ "xbar" ] -> xbar_bench ~budget:(value "--budget" 0.5) ()
+  | [ "resyn" ] -> resyn_bench ~budget:(value "--budget" 0.5) ()
   | [ "engine" ] -> engine_bench ()
   | [ "ladder" ] ->
     ladder_bench ~budget:(value "--budget" 60.) ~limit ()

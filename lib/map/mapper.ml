@@ -54,10 +54,10 @@ type choice =
   | Const of bool
   | Mapped of Cut.t * Blocklib.entry
 
-(* distinct block variables the circuit consumes negated whose leaf is an
-   intermediate signal — each costs one NOR(x,x) inverter at stitch time
-   (negated primary inputs are free literals) *)
-let stitch_inverters n_inputs (cut : Cut.t) (entry : Blocklib.entry) =
+(* node ids of the distinct block variables the circuit consumes negated
+   whose leaf is an intermediate signal — each needs a NOR(x,x) inverter at
+   stitch time (negated primary inputs are free literals) *)
+let negated_leaves n_inputs (cut : Cut.t) (entry : Blocklib.entry) =
   let m = Array.length cut.leaves in
   let neg = Array.make m false in
   let scan = function
@@ -69,7 +69,11 @@ let stitch_inverters n_inputs (cut : Cut.t) (entry : Blocklib.entry) =
     (fun (r : Circuit.rop) -> scan r.in1; scan r.in2)
     entry.circuit.Circuit.rops;
   Array.iter scan entry.circuit.Circuit.outputs;
-  Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 neg
+  let acc = ref [] in
+  for j = m - 1 downto 0 do
+    if neg.(j) then acc := cut.leaves.(j) :: !acc
+  done;
+  !acc
 
 let is_self v (c : Cut.t) =
   Array.length c.leaves = 1 && c.leaves.(0) = v
@@ -99,9 +103,19 @@ let select aig cuts lib refs ~v_weight =
           else begin
             let price kind =
               let entry = Blocklib.lookup lib kind c.tt in
+              (* the stitcher materializes ONE inverter per negated signal
+                 for the whole program, so a consumer's share is the
+                 inverter amortized over the leaf's estimated fanout —
+                 charging it in full here double-counts the inversion as
+                 soon as two blocks negate the same leaf, which made
+                 covering prefer cuts whose stitch cost erased their
+                 block-count win *)
               let inv =
                 if kind = Blocklib.R_only then
-                  float_of_int (stitch_inverters n c entry)
+                  List.fold_left
+                    (fun acc l -> acc +. (1.0 /. float_of_int refs.(l)))
+                    0.0
+                    (negated_leaves n c entry)
                 else 0.0
               in
               ( entry,

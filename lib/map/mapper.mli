@@ -11,8 +11,10 @@
 
     Blocks are priced through {!Blocklib}: a cut whose leaves are all
     primary inputs may use the full mixed-mode repertoire; one with
-    intermediate leaves is restricted to [R_only] blocks (plus one stitch
-    inverter per internally-negated leaf, counted in the flow). *)
+    intermediate leaves is restricted to [R_only] blocks, plus the stitch
+    inverter each internally-negated leaf needs — amortized over the
+    leaf's estimated fanout, because the stitcher shares one NOR(x,x)
+    inverter per signal across the whole program. *)
 
 type block = {
   root : int;  (** the AIG node this block implements *)

@@ -23,6 +23,7 @@ type t = {
   circuit : Circuit.t;
   placed : placed list;
   inverters : int;
+  shared_inverters : int;
 }
 
 type ref_ = [ `Old of Circuit.source | `New of int ]
@@ -102,22 +103,28 @@ let lower spec (mapping : Mapper.mapping) =
     | Some s -> s
     | None -> failwith "Stitch.lower: node has no signal (mapper bug)"
   in
-  (* negated signal of a node: literal negation when it is one, otherwise a
-     memoized NOR(x,x) inverter *)
-  let inv_memo : (int, ref_) Hashtbl.t = Hashtbl.create 16 in
-  let inverters = ref 0 in
-  let neg_signal v =
-    match signal v with
-    | `Old (Circuit.From_literal l) -> `Old (Circuit.From_literal (Literal.negate l))
+  (* negated signal: literal negation when it is one, otherwise a NOR(x,x)
+     inverter memoized per *source signal* across the whole stitched
+     program — two blocks (or a block-internal inversion and an output
+     edge) never pay twice for the same inversion *)
+  let inv_memo : (ref_, ref_) Hashtbl.t = Hashtbl.create 16 in
+  let inverters = ref 0 and shared = ref 0 in
+  let invert (s : ref_) =
+    match s with
+    | `Old (Circuit.From_literal l) ->
+      `Old (Circuit.From_literal (Literal.negate l))
     | s -> (
-      match Hashtbl.find_opt inv_memo v with
-      | Some r -> r
+      match Hashtbl.find_opt inv_memo s with
+      | Some r ->
+        incr shared;
+        r
       | None ->
         incr inverters;
         let r = push (s, s) in
-        Hashtbl.add inv_memo v r;
+        Hashtbl.add inv_memo s r;
         r)
   in
+  let neg_signal v = invert (signal v) in
   (* phase 2: append every 0-leg block, re-sourcing its literals onto the
      leaf signals *)
   List.iter
@@ -138,7 +145,12 @@ let lower spec (mapping : Mapper.mapping) =
       in
       Array.iteri
         (fun i (r : Circuit.rop) ->
-          local.(i) <- push (translate r.in1, translate r.in2))
+          let a = translate r.in1 and b = translate r.in2 in
+          local.(i) <-
+            (* a block-internal NOR(x,x) is an inverter of the translated
+               signal: route it through the global memo so adjacent blocks
+               share it (and fold it outright on literal signals) *)
+            (if a = b then invert a else push (a, b)))
         c.Circuit.rops;
       Hashtbl.replace signals b.root (translate c.Circuit.outputs.(0)))
     r_blocks;
@@ -158,7 +170,8 @@ let lower spec (mapping : Mapper.mapping) =
        (Printf.sprintf "Stitch.lower: stitched circuit wrong on row %d" row));
   { circuit;
     placed = List.map placed_of mapping.Mapper.blocks;
-    inverters = !inverters }
+    inverters = !inverters;
+    shared_inverters = !shared }
 
 type result = {
   stitched : t;

@@ -8,9 +8,10 @@
     literal [x_j] is re-sourced onto the signal of the cut's leaf [j] — a
     primary-input literal, a merged leg/V-op tap, or an earlier appended
     R-op. A negated intermediate leaf materializes one NOR(x,x) inverter
-    R-op, memoized per signal, which is why stitching requires
-    [rop_kind = Nor]. Complemented AIG outputs negate literals directly or
-    reuse the same inverter path.
+    R-op, memoized per source signal across the {e whole} stitched program
+    (block-internal NOR(x,x) pairs route through the same memo), which is
+    why stitching requires [rop_kind = Nor]. Complemented AIG outputs
+    negate literals directly or reuse the same inverter path.
 
     The stitched circuit is re-verified row-by-row against the full spec
     ({!Mm_core.Circuit.realizes}); {!lower} raises [Failure] on any
@@ -39,7 +40,10 @@ type placed = {
 type t = {
   circuit : Mm_core.Circuit.t;  (** verified against the spec on all rows *)
   placed : placed list;  (** cover order (topological) *)
-  inverters : int;  (** NOR(x,x) R-ops materialized while stitching *)
+  inverters : int;  (** distinct NOR(x,x) R-ops materialized while stitching *)
+  shared_inverters : int;
+      (** inversions served by the program-wide inverter memo instead of a
+          fresh R-op — cross-block sharing the cover could not express *)
 }
 
 (** [lower spec mapping] — [mapping] must come from an AIG of [spec]; every

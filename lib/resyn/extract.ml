@@ -1,0 +1,46 @@
+module Circuit = Mm_core.Circuit
+module Tt = Mm_boolfun.Truth_table
+module Literal = Mm_boolfun.Literal
+module Rop = Mm_core.Rop
+
+type fn = {
+  tt : Tt.t;
+  live_in : Circuit.source array;
+}
+
+let table (c : Circuit.t) (w : Window.t) : fn =
+  let m = Array.length w.Window.live_in in
+  let idx = Hashtbl.create 8 in
+  Array.iteri (fun i s -> Hashtbl.replace idx s i) w.Window.live_in;
+  let members = w.Window.members in
+  let local = Hashtbl.create 8 in
+  Array.iteri (fun j r -> Hashtbl.replace local r j) members;
+  let kind = c.Circuit.rop_kind in
+  let raw =
+    Tt.of_fun m (fun q ->
+        let live i = Tt.input_bit m q (i + 1) in
+        let vals = Array.make (Array.length members) false in
+        let value (s : Circuit.source) =
+          match s with
+          | Circuit.From_literal Literal.Const0 -> false
+          | Circuit.From_literal Literal.Const1 -> true
+          | Circuit.From_literal (Literal.Neg i) ->
+            not (live (Hashtbl.find idx (Circuit.From_literal (Literal.Pos i))))
+          | Circuit.From_rop r when Hashtbl.mem local r ->
+            vals.(Hashtbl.find local r)
+          | s -> live (Hashtbl.find idx s)
+        in
+        (* members are ascending and only reference earlier R-ops, so one
+           left-to-right pass is a topological replay *)
+        Array.iteri
+          (fun j r ->
+            let { Circuit.in1; in2 } = c.Circuit.rops.(r) in
+            vals.(j) <- Rop.eval kind (value in1) (value in2))
+          members;
+        vals.(Array.length members - 1))
+  in
+  match Tt.support raw with
+  | [] -> { tt = Tt.const 1 (Tt.eval raw 0); live_in = [||] }
+  | sup ->
+    { tt = Tt.project raw sup;
+      live_in = Array.of_list (List.map (fun v -> w.Window.live_in.(v - 1)) sup) }

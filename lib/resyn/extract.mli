@@ -1,0 +1,26 @@
+(** Window function extraction by forward simulation.
+
+    A legal {!Window.t} computes one Boolean function of its live-in
+    signals at the live-out. {!table} tabulates it by replaying the member
+    R-ops in schedule order ({!Mm_core.Rop.eval}, the device semantics) on
+    every live-in assignment — [x_{i+1}] of the raw table is [live_in.(i)],
+    with the paper's row convention ([x_1] = MSB of the row index). The raw
+    table is then projected onto its true support, so live-ins the window
+    reads but whose value cannot reach the live-out drop out before the
+    solver budget check.
+
+    Soundness does not depend on live-in independence: the extracted table
+    reproduces the window's behaviour on {e every} assignment, a superset
+    of the combinations the surrounding circuit can realize. *)
+
+module Circuit = Mm_core.Circuit
+module Tt = Mm_boolfun.Truth_table
+
+type fn = {
+  tt : Tt.t;  (** projected to its support *)
+  live_in : Circuit.source array;
+      (** support signals, in table-variable order: [x_{i+1}] of [tt] is
+          [live_in.(i)]. Empty when the window is constant. *)
+}
+
+val table : Circuit.t -> Window.t -> fn

@@ -1,0 +1,285 @@
+module Resyn = Mm_resyn.Resyn
+module Window = Mm_resyn.Window
+module Extract = Mm_resyn.Extract
+module Artifact = Mm_resyn.Artifact
+module Stitch = Mm_map.Stitch
+module Xstitch = Mm_map.Xstitch
+module Engine = Mm_engine.Engine
+module Cache = Mm_engine.Cache
+module Arith = Mm_boolfun.Arith
+module Spec = Mm_boolfun.Spec
+module Tt = Mm_boolfun.Truth_table
+module C = Mm_core.Circuit
+module Schedule = Mm_core.Schedule
+
+(* one memory-only cache shared by every compile in this binary: the specs
+   below revisit the same NPN classes over and over *)
+let shared_cache = lazy (Cache.create ())
+
+let cfg () =
+  Engine.config ~timeout_per_call:0.05 ~max_rops:5 ~domains:1
+    ~cache:(Lazy.force shared_cache) ()
+
+let specs = [ Arith.adder_bits 2; Arith.majority 5; Arith.parity 5 ]
+
+let stitched spec = (Stitch.compile (cfg ()) spec).Stitch.stitched.Stitch.circuit
+
+(* ------------------------------------------------------------------ *)
+(* Window extraction: the tabulated function must reproduce the        *)
+(* live-out on every global input row                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* [Extract.table] claims x_{i+1} of the extracted table is live_in.(i),
+   with the paper's convention (x_1 = MSB of the row index). Check it
+   against the whole-circuit oracle: on every global row, evaluating the
+   extracted table on the live-in values must give the live-out value. *)
+let check_windows spec c =
+  let windows = Window.enumerate c in
+  let rows = 1 lsl c.C.arity in
+  List.iter
+    (fun (w : Window.t) ->
+      let fn = Extract.table c w in
+      let k = Array.length fn.Extract.live_in in
+      let live_tts = Array.map (C.source_value c) fn.Extract.live_in in
+      let out_tt = C.rop_value c w.Window.live_out in
+      for q = 0 to rows - 1 do
+        let wrow = ref 0 in
+        Array.iteri
+          (fun i tt ->
+            if Tt.eval tt q then wrow := !wrow lor (1 lsl (k - 1 - i)))
+          live_tts;
+        if Tt.eval fn.Extract.tt !wrow <> Tt.eval out_tt q then
+          Alcotest.failf "%s: window at R%d (width %d) wrong on row %d"
+            (Spec.name spec) w.Window.live_out (Window.width w) q
+      done)
+    windows;
+  windows
+
+let test_extract_equivalence () =
+  List.iter (fun spec -> ignore (check_windows spec (stitched spec))) specs
+
+(* the V/R boundary: stitched circuits feed R-ops from leg taps, so the
+   enumeration must surface windows whose live-ins cross into the V part
+   (From_leg / From_vop), and those windows must extract correctly too
+   (checked above; here we assert the coverage is real, not vacuous) *)
+let test_extract_vr_boundary () =
+  let crossing =
+    List.exists
+      (fun spec ->
+        let c = stitched spec in
+        List.exists
+          (fun (w : Window.t) ->
+            Array.exists
+              (function
+                | C.From_leg _ | C.From_vop _ -> true
+                | C.From_literal _ | C.From_rop _ -> false)
+              w.Window.live_in)
+          (Window.enumerate c))
+      specs
+  in
+  Alcotest.(check bool) "some window taps the V part" true crossing
+
+(* ------------------------------------------------------------------ *)
+(* Cleanup sweeps                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_sweep_dce_preserve () =
+  List.iter
+    (fun spec ->
+      let c = stitched spec in
+      let c1, merged = Resyn.sweep_merge c in
+      Alcotest.(check bool)
+        (Spec.name spec ^ " sweep preserves")
+        true
+        (C.realizes c1 spec = Ok ());
+      let c2, removed = Resyn.dce c1 in
+      Alcotest.(check bool)
+        (Spec.name spec ^ " dce preserves")
+        true
+        (C.realizes c2 spec = Ok ());
+      Alcotest.(check int)
+        (Spec.name spec ^ " dce drops what it counts")
+        (C.n_rops c1 - removed) (C.n_rops c2);
+      Alcotest.(check bool)
+        (Spec.name spec ^ " counters non-negative")
+        true
+        (merged >= 0 && removed >= 0))
+    specs
+
+(* compact_legs reschedules every leg onto a shortest common supersequence
+   of the BE rails: the result must still realize the spec, must still
+   satisfy the line array's shared-BE-rail constraint (Schedule.plan raises
+   otherwise), must never be longer, and a second application must find
+   nothing left (fixed point) *)
+let test_compact_legs () =
+  List.iter
+    (fun spec ->
+      let c = stitched spec in
+      let c1, saved = Resyn.compact_legs c in
+      Alcotest.(check int)
+        (Spec.name spec ^ " saved = delta")
+        (C.steps_per_leg c - C.steps_per_leg c1)
+        saved;
+      Alcotest.(check bool) (Spec.name spec ^ " never worse") true (saved >= 0);
+      Alcotest.(check bool)
+        (Spec.name spec ^ " compaction preserves")
+        true
+        (C.realizes c1 spec = Ok ());
+      let plan = Schedule.plan c1 in
+      Alcotest.(check (list int))
+        (Spec.name spec ^ " schedulable after compaction")
+        []
+        (Schedule.verify plan spec);
+      let _, saved2 = Resyn.compact_legs c1 in
+      Alcotest.(check int) (Spec.name spec ^ " fixed point") 0 saved2)
+    specs
+
+(* ------------------------------------------------------------------ *)
+(* 1D driver                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_optimize_never_worse () =
+  List.iter
+    (fun spec ->
+      let c = stitched spec in
+      let r = Resyn.optimize (cfg ()) spec c in
+      let s = r.Resyn.stats in
+      Alcotest.(check int)
+        (Spec.name spec ^ " steps_before")
+        (C.n_steps c) s.Resyn.steps_before;
+      Alcotest.(check int)
+        (Spec.name spec ^ " steps_after")
+        (C.n_steps r.Resyn.circuit)
+        s.Resyn.steps_after;
+      Alcotest.(check bool)
+        (Spec.name spec ^ " never worse")
+        true
+        (s.Resyn.steps_after <= s.Resyn.steps_before);
+      Alcotest.(check bool)
+        (Spec.name spec ^ " result realizes")
+        true
+        (C.realizes r.Resyn.circuit spec = Ok ());
+      let plan = Schedule.plan r.Resyn.circuit in
+      Alcotest.(check (list int))
+        (Spec.name spec ^ " result schedulable")
+        []
+        (Schedule.verify plan spec);
+      Alcotest.(check bool)
+        (Spec.name spec ^ " accepted <= attempted")
+        true
+        (s.Resyn.windows_accepted <= s.Resyn.windows_attempted))
+    specs
+
+let test_optimize_rejects_wrong_circuit () =
+  (* the driver refuses a circuit that does not realize the spec — a
+     resynthesis of the wrong function must never start *)
+  let spec = Arith.majority 5 in
+  let wrong = stitched (Arith.parity 5) in
+  match Resyn.optimize (cfg ()) spec wrong with
+  | _ -> Alcotest.fail "wrong input accepted"
+  | exception Invalid_argument msg ->
+    Alcotest.(check bool)
+      "names the offense" true
+      (String.length msg >= 14 && String.sub msg 0 14 = "Resyn.optimize")
+
+(* ------------------------------------------------------------------ *)
+(* Crossbar driver                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* few rows force cross-row operands, so the rebuilt schedules replayed by
+   optimize_xbar exercise peripheral transfer cycles, not just the
+   broadcast/NOR phases *)
+let test_optimize_xbar () =
+  let rows = 4 and ports = 2 in
+  List.iter
+    (fun spec ->
+      let r0 = Xstitch.compile ~rows ~ports (cfg ()) spec in
+      let x = Resyn.optimize_xbar ~rows ~ports (cfg ()) spec r0 in
+      let xs = x.Resyn.xstats in
+      Alcotest.(check bool)
+        (Spec.name spec ^ " xbar verified")
+        true x.Resyn.result.Xstitch.verified;
+      Alcotest.(check int)
+        (Spec.name spec ^ " cycles_after = result")
+        x.Resyn.result.Xstitch.cycles xs.Resyn.cycles_after;
+      Alcotest.(check bool)
+        (Spec.name spec ^ " never worse")
+        true
+        (xs.Resyn.cycles_after <= xs.Resyn.cycles_before))
+    [ Arith.adder_bits 2; Arith.majority 5 ]
+
+let test_xbar_transfer_coverage () =
+  (* the narrow array must actually pay transfer cycles somewhere, or the
+     test above is vacuous on the transfer path *)
+  let transfers =
+    List.exists
+      (fun spec ->
+        let r = Xstitch.compile ~rows:4 ~ports:2 (cfg ()) spec in
+        r.Xstitch.transfers > 0)
+      [ Arith.adder_bits 2; Arith.majority 5 ]
+  in
+  Alcotest.(check bool) "transfer cycles exercised" true transfers
+
+(* ------------------------------------------------------------------ *)
+(* Artifact round trip                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_artifact_round_trip () =
+  List.iter
+    (fun spec ->
+      let c = stitched spec in
+      match Artifact.circuit_of_json (Artifact.circuit_to_json c) with
+      | Error msg -> Alcotest.failf "%s: circuit: %s" (Spec.name spec) msg
+      | Ok c2 ->
+        Alcotest.(check bool)
+          (Spec.name spec ^ " circuit round trip")
+          true
+          (C.realizes c2 spec = Ok ());
+        Alcotest.(check int)
+          (Spec.name spec ^ " steps survive")
+          (C.n_steps c) (C.n_steps c2);
+        (match Artifact.spec_of_json (Artifact.spec_to_json spec) with
+         | Error msg -> Alcotest.failf "%s: spec: %s" (Spec.name spec) msg
+         | Ok spec2 ->
+           Alcotest.(check string)
+             "spec name survives" (Spec.name spec) (Spec.name spec2);
+           Alcotest.(check bool)
+             (Spec.name spec ^ " spec tables survive")
+             true
+             (Array.for_all2 Tt.equal (Spec.outputs spec) (Spec.outputs spec2))))
+    specs
+
+let () =
+  Alcotest.run "resyn"
+    [
+      ( "extract",
+        [
+          Alcotest.test_case "window tables vs oracle" `Slow
+            test_extract_equivalence;
+          Alcotest.test_case "V/R boundary live-ins" `Slow
+            test_extract_vr_boundary;
+        ] );
+      ( "cleanup",
+        [
+          Alcotest.test_case "sweep + dce preserve" `Slow
+            test_sweep_dce_preserve;
+          Alcotest.test_case "leg compaction" `Slow test_compact_legs;
+        ] );
+      ( "optimize",
+        [
+          Alcotest.test_case "never worse, re-verified" `Slow
+            test_optimize_never_worse;
+          Alcotest.test_case "wrong circuit rejected" `Quick
+            test_optimize_rejects_wrong_circuit;
+        ] );
+      ( "xbar",
+        [
+          Alcotest.test_case "cover merges verified" `Slow test_optimize_xbar;
+          Alcotest.test_case "transfer cycles covered" `Slow
+            test_xbar_transfer_coverage;
+        ] );
+      ( "artifact",
+        [
+          Alcotest.test_case "round trip" `Slow test_artifact_round_trip;
+        ] );
+    ]
